@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestOnlineSimOutput(t *testing.T) {
+	out := render(t, "-words", "32", "-runs", "5", "-mean", "2")
+	for _, want := range []string{"this work", "Scheme 1 [12]", "interference", "completed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProposedSessionShorter(t *testing.T) {
+	out := render(t, "-words", "16", "-runs", "3", "-mean", "3")
+	var sessions []int
+	for _, l := range strings.Split(out, "\n") {
+		var rest string
+		switch {
+		case strings.HasPrefix(l, "this work"):
+			rest = strings.TrimPrefix(l, "this work")
+		case strings.HasPrefix(l, "Scheme 1 [12]"):
+			rest = strings.TrimPrefix(l, "Scheme 1 [12]")
+		default:
+			continue
+		}
+		// Session ops is the first numeric field after the name.
+		for _, tok := range strings.Fields(rest) {
+			if v, err := strconv.Atoi(tok); err == nil {
+				sessions = append(sessions, v)
+				break
+			}
+		}
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("could not parse session ops from:\n%s", out)
+	}
+	if sessions[0] >= sessions[1] {
+		t.Errorf("proposed session %d not shorter than Scheme 1 %d", sessions[0], sessions[1])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-test", "March Z"}, &b); err == nil {
+		t.Error("unknown test accepted")
+	}
+	if err := run([]string{"-width", "12"}, &b); err == nil {
+		t.Error("bad width accepted")
+	}
+	if err := run([]string{"-mean", "-1"}, &b); err == nil {
+		t.Error("negative mean accepted")
+	}
+}

@@ -1,0 +1,174 @@
+// Command faultsim runs fault-injection campaigns against the
+// transparent word-oriented tests:
+//
+//	faultsim -test "March C-" -width 4 -words 4
+//	faultsim -test "March U" -width 8 -words 3 -classes CFid,CFin -scope intra
+//	faultsim -mode signature -width 16
+//
+// Every enumerated fault is injected into a fresh memory with
+// pseudo-random contents; the report shows per-class coverage of the
+// generated TWMarch and, for comparison, of the Scheme 1 baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"twmarch/internal/core"
+	"twmarch/internal/faults"
+	"twmarch/internal/faultsim"
+	"twmarch/internal/march"
+	"twmarch/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "faultsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
+	testName := fs.String("test", "March C-", "catalog test name")
+	width := fs.Int("width", 4, "word width (power of two)")
+	words := fs.Int("words", 4, "memory words")
+	classes := fs.String("classes", "SAF,TF,CFst,CFid,CFin", "fault classes to enumerate (also: AF, Linked)")
+	scope := fs.String("scope", "all", "coupling pair scope: all, intra, inter")
+	mode := fs.String("mode", "compare", "detection mode: compare or signature")
+	seed := fs.Int64("seed", 1, "initial-contents seed")
+	baseline := fs.Bool("baseline", true, "also run the Scheme 1 baseline")
+	characterize := fs.Bool("characterize", false, "print the catalog-wide coverage matrix and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *characterize {
+		return characterizeCatalog(out, *words)
+	}
+
+	bm, err := march.Lookup(*testName)
+	if err != nil {
+		return err
+	}
+	list, err := buildList(*classes, *scope, *words, *width)
+	if err != nil {
+		return err
+	}
+	dm := faultsim.DirectCompare
+	if *mode == "signature" {
+		dm = faultsim.Signature
+	} else if *mode != "compare" {
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	res, err := core.TWMTA(bm, *width)
+	if err != nil {
+		return err
+	}
+	tb := &report.Table{
+		Title: fmt.Sprintf("fault coverage: %d faults on %dx%d memory, mode %s, seed %d",
+			len(list), *words, *width, dm, *seed),
+		Header: []string{"test", "class", "detected", "total", "coverage"},
+	}
+	if err := campaign(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, list); err != nil {
+		return err
+	}
+	if *baseline {
+		s1, err := core.Scheme1(bm, *width)
+		if err != nil {
+			return err
+		}
+		if err := campaign(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, list); err != nil {
+			return err
+		}
+	}
+	_, err = io.WriteString(out, tb.Render())
+	return err
+}
+
+// characterizeCatalog prints the coverage matrix of every catalog test
+// against every fault class — the library's reproduction of the
+// classical march-test comparison tables.
+func characterizeCatalog(out io.Writer, words int) error {
+	var names []string
+	for _, e := range march.Catalog() {
+		names = append(names, e.Name)
+	}
+	ch, err := faultsim.Characterize(names, words)
+	if err != nil {
+		return err
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("march test characterization on a %d-cell bit-oriented memory (coverage %%)", words),
+		Header: append([]string{"test"}, ch.Classes...),
+	}
+	for i, name := range ch.Tests {
+		row := []string{name}
+		for j := range ch.Classes {
+			row = append(row, fmt.Sprintf("%.0f", 100*ch.Coverage[i][j]))
+		}
+		tb.AddRow(row...)
+	}
+	_, err = io.WriteString(out, tb.Render())
+	return err
+}
+
+func campaign(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, list []faults.Fault) error {
+	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed}
+	rep, err := faultsim.Run(c, list)
+	if err != nil {
+		return err
+	}
+	for _, cls := range rep.Classes() {
+		s := rep.ByClass[cls]
+		tb.AddRow(label, cls, fmt.Sprintf("%d", s.Detected), fmt.Sprintf("%d", s.Total),
+			fmt.Sprintf("%.2f%%", 100*s.Coverage()))
+	}
+	tb.AddRow(label, "TOTAL", fmt.Sprintf("%d", rep.Detected), fmt.Sprintf("%d", rep.Total),
+		fmt.Sprintf("%.2f%%", 100*rep.Coverage()))
+	return nil
+}
+
+func buildList(classes, scope string, words, width int) ([]faults.Fault, error) {
+	var ps faults.PairScope
+	switch scope {
+	case "all":
+		ps = faults.AllPairs
+	case "intra":
+		ps = faults.IntraWordPairs
+	case "inter":
+		ps = faults.InterWordPairs
+	default:
+		return nil, fmt.Errorf("unknown scope %q", scope)
+	}
+	var out []faults.Fault
+	for _, c := range strings.Split(classes, ",") {
+		switch strings.TrimSpace(c) {
+		case "SAF":
+			out = append(out, faults.EnumerateStuckAt(words, width)...)
+		case "TF":
+			out = append(out, faults.EnumerateTransition(words, width)...)
+		case "CFst":
+			out = append(out, faults.EnumerateCFst(words, width, ps)...)
+		case "CFid":
+			out = append(out, faults.EnumerateCFid(words, width, ps)...)
+		case "CFin":
+			out = append(out, faults.EnumerateCFin(words, width, ps)...)
+		case "AF":
+			out = append(out, faults.EnumerateAddrFaults(words)...)
+		case "Linked":
+			out = append(out, faults.EnumerateLinkedCFid(words, width)...)
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown fault class %q", c)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty fault list")
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestDefaultCampaign(t *testing.T) {
+	out := render(t, "-words", "3")
+	for _, want := range []string{"TWMarch", "Scheme 1", "SAF", "TF", "CFid", "TOTAL", "100.00%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIntraScopeShowsTheTrade(t *testing.T) {
+	out := render(t, "-words", "2", "-classes", "CFid", "-scope", "intra")
+	if !strings.Contains(out, "TWMarch") || !strings.Contains(out, "Scheme 1") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Scheme 1 covers intra-word CFid fully; TWMarch partially.
+	lines := strings.Split(out, "\n")
+	var twTotal, s1Total string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "TWMarch") && strings.Contains(l, "TOTAL") {
+			twTotal = l
+		}
+		if strings.HasPrefix(l, "Scheme 1") && strings.Contains(l, "TOTAL") {
+			s1Total = l
+		}
+	}
+	if !strings.Contains(s1Total, "100.00%") {
+		t.Errorf("Scheme 1 intra CFid should be complete: %q", s1Total)
+	}
+	if strings.Contains(twTotal, "100.00%") {
+		t.Errorf("TWMarch intra CFid should be partial: %q", twTotal)
+	}
+}
+
+func TestAddressFaultClass(t *testing.T) {
+	out := render(t, "-classes", "AF", "-words", "3", "-baseline=false")
+	if !strings.Contains(out, "AF") || !strings.Contains(out, "100.00%") {
+		t.Errorf("AF campaign broken:\n%s", out)
+	}
+}
+
+func TestSignatureMode(t *testing.T) {
+	out := render(t, "-mode", "signature", "-classes", "SAF", "-words", "2", "-width", "8", "-baseline=false")
+	if !strings.Contains(out, "signature") {
+		t.Errorf("mode not reflected:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-classes", "XYZ"}, &b); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if err := run([]string{"-scope", "sideways"}, &b); err == nil {
+		t.Error("unknown scope accepted")
+	}
+	if err := run([]string{"-mode", "psychic"}, &b); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-test", "March Z"}, &b); err == nil {
+		t.Error("unknown test accepted")
+	}
+	if err := run([]string{"-classes", ""}, &b); err == nil {
+		t.Error("empty class list accepted")
+	}
+}
+
+func TestCharacterizeFlag(t *testing.T) {
+	out := render(t, "-characterize", "-words", "3")
+	for _, want := range []string{"characterization", "March SS", "DRDF", "Linked", "100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("characterization output missing %q", want)
+		}
+	}
+}

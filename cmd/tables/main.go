@@ -1,0 +1,159 @@
+// Command tables regenerates the paper's tables and headline numbers:
+//
+//	tables -table 1     word contents during ATMarch (Table 1)
+//	tables -table 2     TCM/TCP formulas of the three schemes (Table 2)
+//	tables -table 3     complexity sweep over word sizes (Table 3)
+//	tables -headline    the 56% / 19% comparison for March C-, W=32
+//	tables -all         everything, in order
+//
+// Closed-form values reproduce the paper's formulas; measured values
+// are operation counts of the tests this library actually generates
+// (see EXPERIMENTS.md for the reconciliation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twmarch/internal/complexity"
+	"twmarch/internal/core"
+	"twmarch/internal/march"
+	"twmarch/internal/report"
+	"twmarch/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	table := fs.Int("table", 0, "table number to print (1, 2 or 3)")
+	headline := fs.Bool("headline", false, "print the abstract's 56%/19% comparison")
+	all := fs.Bool("all", false, "print every table and the headline")
+	width := fs.Int("width", 8, "word width for table 1")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *all {
+		for _, t := range []func(io.Writer) error{
+			func(w io.Writer) error { return table1(w, *width) },
+			table2, table3, headlineOut,
+		} {
+			if err := t(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out)
+		}
+		return nil
+	}
+	switch {
+	case *table == 1:
+		return table1(out, *width)
+	case *table == 2:
+		return table2(out)
+	case *table == 3:
+		return table3(out)
+	case *headline:
+		return headlineOut(out)
+	}
+	fs.Usage()
+	return fmt.Errorf("choose -table 1|2|3, -headline or -all")
+}
+
+// table1 prints the word contents while ATMarch executes (the paper
+// uses W=8 and shows the first three elements; we print all of them).
+func table1(out io.Writer, width int) error {
+	res, err := core.TWMTA(march.MustLookup("March U"), width)
+	if err != nil {
+		return err
+	}
+	rows, err := trace.SymbolicContents(res.ATMarch)
+	if err != nil {
+		return err
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("Table 1: word contents during ATMarch (W=%d)", width),
+		Header: append([]string{"op"}, headerBits(width)...),
+	}
+	for _, r := range rows {
+		tb.AddRow(append([]string{r.Op}, r.Content...)...)
+	}
+	_, err = io.WriteString(out, tb.Render())
+	return err
+}
+
+func headerBits(width int) []string {
+	out := make([]string, width)
+	for i := 0; i < width; i++ {
+		out[i] = fmt.Sprintf("d%d", width-1-i)
+	}
+	return out
+}
+
+// table2 prints the symbolic complexity comparison.
+func table2(out io.Writer) error {
+	tb := &report.Table{
+		Title:  "Table 2: comparison of transparent test schemes",
+		Header: []string{"scheme", "TCM", "TCP"},
+	}
+	for _, s := range complexity.Schemes() {
+		tcm, tcp := complexity.Formula(s)
+		tb.AddRow(s.String(), tcm, tcp)
+	}
+	_, err := io.WriteString(out, tb.Render())
+	return err
+}
+
+// table3 prints the word-size sweep, closed-form and measured.
+func table3(out io.Writer) error {
+	rows, err := complexity.Table3()
+	if err != nil {
+		return err
+	}
+	tb := &report.Table{
+		Title: "Table 3: time complexity (ops per word; closed form, measured in parentheses)",
+		Header: []string{"test", "W",
+			"[12] TCM+TCP", "[13] TCM", "this work TCM+TCP"},
+	}
+	for _, r := range rows {
+		tb.AddRow(
+			r.Test,
+			fmt.Sprintf("%d", r.Width),
+			cell(r.Closed[complexity.Scheme1].Total(), r.Measured[complexity.Scheme1].Total()),
+			cell(r.Closed[complexity.Scheme2].TCM, r.Measured[complexity.Scheme2].TCM),
+			cell(r.Closed[complexity.Proposed].Total(), r.Measured[complexity.Proposed].Total()),
+		)
+	}
+	_, err = io.WriteString(out, tb.Render())
+	return err
+}
+
+func cell(closed, measured int) string {
+	return fmt.Sprintf("%dN (%dN)", closed, measured)
+}
+
+// headlineOut prints the abstract's comparison for March C- on 32-bit
+// words.
+func headlineOut(out io.Writer) error {
+	h, err := complexity.Headline(march.MustLookup("March C-"), 32)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Headline: March C-, W=32 (TCM+TCP totals)\n")
+	fmt.Fprintf(out, "  closed form:  proposed %dN, Scheme 1 %dN, Scheme 2 %dN\n",
+		h.ProposedTotal, h.Scheme1Total, h.Scheme2Total)
+	fmt.Fprintf(out, "    proposed / Scheme 1 = %.1f%%   (paper: about 56%%)\n", 100*h.VsScheme1)
+	fmt.Fprintf(out, "    proposed / Scheme 2 = %.1f%%   (paper: about 19%%)\n", 100*h.VsScheme2)
+	fmt.Fprintf(out, "  measured:     proposed %dN, Scheme 1 %dN, Scheme 2 %dN\n",
+		h.MeasuredProposedTotal, h.MeasuredScheme1Total, h.MeasuredScheme2Total)
+	fmt.Fprintf(out, "    proposed / Scheme 1 = %.1f%%\n", 100*h.MeasuredVsScheme1)
+	fmt.Fprintf(out, "    proposed / Scheme 2 = %.1f%%\n", 100*h.MeasuredVsScheme2)
+	return nil
+}

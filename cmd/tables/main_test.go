@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestTable1Output(t *testing.T) {
+	out := render(t, "-table", "1")
+	for _, want := range []string{"Table 1", "wa^c1", "~d6", "~d0", "d7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable1CustomWidth(t *testing.T) {
+	out := render(t, "-table", "1", "-width", "4")
+	if !strings.Contains(out, "W=4") || !strings.Contains(out, "d3") {
+		t.Errorf("width-4 table broken:\n%s", out)
+	}
+	if strings.Contains(out, "d7") {
+		t.Error("width-4 table mentions d7")
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := render(t, "-table", "2")
+	for _, want := range []string{"Scheme 1 [12]", "8W·N", "(M + 5 log2 W)·N", "No"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 2 output missing %q", want)
+		}
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	out := render(t, "-table", "3")
+	for _, want := range []string{"March C-", "March U", "128", "50N (56N)", "1024N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 3 output missing %q", want)
+		}
+	}
+}
+
+func TestHeadlineOutput(t *testing.T) {
+	out := render(t, "-headline")
+	for _, want := range []string{"55.6%", "19.5%", "50N", "90N", "256N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("headline output missing %q", want)
+		}
+	}
+}
+
+func TestAllOutput(t *testing.T) {
+	out := render(t, "-all")
+	for _, want := range []string{"Table 1", "Table 2", "Table 3", "Headline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-all output missing %q", want)
+		}
+	}
+}
+
+func TestNoArgsErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestBadFlagErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-bogus"}, &b); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+}
+
+func TestBadWidthErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-table", "1", "-width", "9"}, &b); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+}
+
+// The -all output is pinned as a golden file: any change to the
+// generated tables (op counts, formulas, ratios) must be reviewed
+// against the paper. Regenerate with:
+//
+//	go run ./cmd/tables -all > cmd/tables/testdata/all.golden
+func TestGoldenAll(t *testing.T) {
+	want, err := os.ReadFile("testdata/all.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-all"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("output diverged from testdata/all.golden:\n%s", b.String())
+	}
+}

@@ -1,0 +1,122 @@
+// Command twmgen transforms a bit-oriented march test into the
+// paper's transparent word-oriented march test and prints every
+// artifact of the transformation:
+//
+//	twmgen -test "March C-" -width 32
+//	twmgen -notation "{any(w0); up(r0,w1); down(r1,w0)}" -width 8
+//	twmgen -list
+//
+// The output shows the solid SMarch, the transparent TSMarch, the
+// added ATMarch, the combined TWMarch, the signature-prediction test,
+// and the complexity accounting against the two prior schemes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"twmarch/internal/complexity"
+	"twmarch/internal/core"
+	"twmarch/internal/march"
+	"twmarch/internal/report"
+	"twmarch/internal/symmetric"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "twmgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("twmgen", flag.ContinueOnError)
+	testName := fs.String("test", "March C-", "catalog test name")
+	notation := fs.String("notation", "", "explicit march notation (overrides -test)")
+	width := fs.Int("width", 32, "word width (power of two)")
+	list := fs.Bool("list", false, "list the catalog tests and exit")
+	arrows := fs.Bool("arrows", false, "print tests in ⇑⇓⇕ arrow notation")
+	sym := fs.Bool("symmetric", false, "also print the symmetric (zero-signature) variant")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		return listCatalog(out)
+	}
+
+	var bm *march.Test
+	var err error
+	if *notation != "" {
+		bm, err = march.Parse("custom", *notation)
+	} else {
+		bm, err = march.Lookup(*testName)
+	}
+	if err != nil {
+		return err
+	}
+
+	res, err := core.TWMTA(bm, *width)
+	if err != nil {
+		return err
+	}
+
+	show := func(t *march.Test) string {
+		if *arrows {
+			return t.String()
+		}
+		return t.ASCII()
+	}
+
+	fmt.Fprintf(out, "source (%s, M=%d, Q=%d):\n  %s\n\n", bm.Name, bm.Ops(), bm.Reads(), show(bm))
+	fmt.Fprintf(out, "SMarch (solid backgrounds):\n  %s\n\n", show(res.SMarch))
+	fmt.Fprintf(out, "TSMarch (transparent solid part):\n  %s\n\n", show(res.TSMarch))
+	fmt.Fprintf(out, "ATMarch (added intra-word part, base %s):\n  %s\n\n", base(res), show(res.ATMarch))
+	fmt.Fprintf(out, "TWMarch (complete transparent word test):\n  %s\n\n", show(res.TWMarch))
+	fmt.Fprintf(out, "signature prediction:\n  %s\n\n", show(res.Prediction))
+
+	if *sym {
+		st, err := symmetric.MakeSymmetric(res.TWMarch)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "symmetric variant (one pass, zero-signature XOR compaction, %dN):\n  %s\n\n",
+			st.Ops(), show(st))
+	}
+
+	tb := &report.Table{
+		Title:  fmt.Sprintf("complexity for W=%d (ops per word)", *width),
+		Header: []string{"scheme", "TCM", "TCP", "total"},
+	}
+	for _, s := range complexity.Schemes() {
+		c, err := complexity.Constructive(s, bm, *width)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(s.String(), fmt.Sprintf("%dN", c.TCM), fmt.Sprintf("%dN", c.TCP), fmt.Sprintf("%dN", c.Total()))
+	}
+	_, err = io.WriteString(out, tb.Render())
+	return err
+}
+
+func base(res *core.TWMResult) string {
+	if res.BaseInverted {
+		return "~a"
+	}
+	return "a"
+}
+
+func listCatalog(out io.Writer) error {
+	tb := &report.Table{
+		Title:  "catalog of bit-oriented march tests",
+		Header: []string{"name", "ops", "reads", "detects", "reference"},
+	}
+	for _, e := range march.Catalog() {
+		t := march.MustLookup(e.Name)
+		tb.AddRow(e.Name, fmt.Sprintf("%dN", t.Ops()), fmt.Sprintf("%dN", t.Reads()), e.Detects, e.Reference)
+	}
+	_, err := io.WriteString(out, tb.Render())
+	return err
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func render(t *testing.T, args ...string) string {
+	t.Helper()
+	var b strings.Builder
+	if err := run(args, &b); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return b.String()
+}
+
+func TestDefaultTransform(t *testing.T) {
+	out := render(t)
+	for _, want := range []string{
+		"source (March C-, M=10, Q=5)",
+		"TSMarch", "ATMarch", "TWMarch", "signature prediction",
+		"This work", "35N",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestMarchUWidth8MatchesPaper(t *testing.T) {
+	out := render(t, "-test", "March U", "-width", "8")
+	if !strings.Contains(out, "29N") {
+		t.Errorf("March U at W=8 should show the paper's 29N:\n%s", out)
+	}
+}
+
+func TestCustomNotation(t *testing.T) {
+	out := render(t, "-notation", "{any(w0); up(r0,w1); down(r1,w0); any(r0)}", "-width", "8")
+	if !strings.Contains(out, "source (custom") {
+		t.Errorf("custom notation not used:\n%s", out)
+	}
+}
+
+func TestArrowOutput(t *testing.T) {
+	out := render(t, "-arrows")
+	if !strings.Contains(out, "⇑") || !strings.Contains(out, "⇕") {
+		t.Error("arrow notation missing")
+	}
+}
+
+func TestListCatalog(t *testing.T) {
+	out := render(t, "-list")
+	for _, want := range []string{"March C-", "March U", "MATS+", "van de Goor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("catalog listing missing %q", want)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-test", "March Z"}, &b); err == nil {
+		t.Error("unknown test accepted")
+	}
+	if err := run([]string{"-width", "12"}, &b); err == nil {
+		t.Error("bad width accepted")
+	}
+	if err := run([]string{"-notation", "{bogus}"}, &b); err == nil {
+		t.Error("bad notation accepted")
+	}
+}
+
+func TestSymmetricFlag(t *testing.T) {
+	out := render(t, "-symmetric", "-width", "8")
+	if !strings.Contains(out, "symmetric variant") {
+		t.Fatalf("symmetric output missing:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Fieldtest: the paper's motivating scenario — an SOC with several
+// embedded memory cores of different geometries, tested periodically
+// in the idle windows of a running system without losing a byte of
+// live data.
+//
+// For every core the example builds the transparent word-oriented test
+// at the core's width, then simulates periodic online BIST with
+// realistic (geometrically distributed) idle windows, comparing the
+// interference behaviour of the proposed scheme against the Scheme 1
+// baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"twmarch"
+)
+
+// core describes one embedded memory of the simulated SOC.
+type core struct {
+	name  string
+	words int
+	width int
+}
+
+func main() {
+	socCores := []core{
+		{"cpu-l1-tags", 256, 16},
+		{"dsp-scratch", 512, 32},
+		{"net-buffer", 1024, 64},
+	}
+	bm, err := twmarch.Lookup("March C-")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("SOC periodic transparent self-test (March C- based)")
+	fmt.Println()
+	for _, c := range socCores {
+		res, err := twmarch.Transform(bm, c.width)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s1, err := twmarch.TransformScheme1(bm, c.width)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		mem := twmarch.NewMemory(c.words, c.width)
+		mem.Randomize(rand.New(rand.NewSource(7)))
+		before := mem.Snapshot()
+
+		ctl, err := twmarch.NewBIST(res.TWMarch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ctlS1, err := twmarch.NewBIST(s1.Test)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Idle windows average 1.3x the proposed scheme's session, a
+		// tight but realistic budget.
+		meanOps := 1.3 * float64(ctl.SessionOps()*c.words)
+		run := func(ctl *twmarch.BIST, seed int64) twmarch.OnlineStats {
+			win := &twmarch.GeometricWindows{Mean: meanOps, Rng: rand.New(rand.NewSource(seed))}
+			stats, err := twmarch.SimulateOnline(ctl, mem, win, 25)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !stats.AllPassed {
+				log.Fatalf("%s: session failed on fault-free core", c.name)
+			}
+			return stats
+		}
+		stats := run(ctl, 100)
+		statsS1 := run(ctlS1, 100)
+
+		if !mem.Equal(before) {
+			log.Fatalf("%s: periodic testing corrupted live data", c.name)
+		}
+		fmt.Printf("%-12s %4dx%-3d  session %6d ops   interference: this work %5.1f%%  vs  Scheme 1 %5.1f%%\n",
+			c.name, c.words, c.width, ctl.SessionOps()*c.words,
+			100*stats.InterferenceProb(), 100*statsS1.InterferenceProb())
+	}
+	fmt.Println()
+	fmt.Println("All cores tested repeatedly; live contents intact on every core.")
+}

@@ -1,0 +1,162 @@
+// Package addrgen provides the address sequences a hardware BIST
+// controller steps a march test through.
+//
+// March-test theory only requires that ⇑ visits every address in some
+// fixed order and ⇓ in exactly the reverse order; the "addresses" need
+// not be counted linearly. Hardware generators exploit that freedom:
+// an LFSR sequencer costs a fraction of a binary up/down counter, and
+// Gray-code stepping toggles one address bit per cycle, reducing
+// switching noise on the address bus. This package implements the
+// three classical generators and proves (in its tests and in the
+// faultsim experiments) that fault coverage is preserved under any of
+// them — with the documented exception that "adjacent address"
+// arguments change meaning.
+package addrgen
+
+import (
+	"fmt"
+)
+
+// Kind selects an address-sequence generator.
+type Kind int
+
+const (
+	// Linear is the ordinary binary counter: 0, 1, 2, …
+	Linear Kind = iota
+	// Gray steps a reflected Gray code: 0, 1, 3, 2, 6, …; exactly one
+	// address bit toggles per step. Requires a power-of-two size.
+	Gray
+	// LFSR steps a maximal-length Fibonacci LFSR with the zero state
+	// spliced in front, covering all 2^n addresses in a fixed
+	// pseudo-random order. Requires a power-of-two size.
+	LFSR
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Gray:
+		return "gray"
+	case LFSR:
+		return "lfsr"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// taps holds Fibonacci LFSR feedback taps (bit positions, 0-based)
+// yielding maximal-length sequences for small register sizes — enough
+// for the simulator geometries (up to 2^16 addresses).
+var taps = map[int][]int{
+	1:  {0},
+	2:  {1, 0},
+	3:  {2, 1},
+	4:  {3, 2},
+	5:  {4, 2},
+	6:  {5, 4},
+	7:  {6, 5},
+	8:  {7, 5, 4, 3},
+	9:  {8, 4},
+	10: {9, 6},
+	11: {10, 8},
+	12: {11, 10, 9, 3},
+	13: {12, 11, 10, 7},
+	14: {13, 12, 11, 1},
+	15: {14, 13},
+	16: {15, 14, 12, 3},
+}
+
+// Sequence returns the full address permutation of the given kind over
+// n addresses. Gray and LFSR require n to be a power of two.
+func Sequence(kind Kind, n int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("addrgen: size %d must be positive", n)
+	}
+	switch kind {
+	case Linear:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	case Gray:
+		bits, err := log2exact(n)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i ^ (i >> 1)
+		}
+		_ = bits
+		return out, nil
+	case LFSR:
+		bits, err := log2exact(n)
+		if err != nil {
+			return nil, err
+		}
+		if bits == 0 {
+			return []int{0}, nil
+		}
+		tp, ok := taps[bits]
+		if !ok {
+			return nil, fmt.Errorf("addrgen: no LFSR taps tabulated for %d address bits", bits)
+		}
+		out := make([]int, 0, n)
+		out = append(out, 0) // splice the all-zero address in front
+		state := 1
+		for len(out) < n {
+			out = append(out, state)
+			fb := 0
+			for _, t := range tp {
+				fb ^= (state >> uint(t)) & 1
+			}
+			state = ((state << 1) | fb) & (n - 1)
+			if state == 1 && len(out) < n {
+				return nil, fmt.Errorf("addrgen: LFSR for %d bits cycled early (%d of %d)", bits, len(out), n)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("addrgen: unknown kind %v", kind)
+	}
+}
+
+func log2exact(n int) (int, error) {
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	if 1<<uint(k) != n {
+		return 0, fmt.Errorf("addrgen: size %d is not a power of two", n)
+	}
+	return k, nil
+}
+
+// IsPermutation reports whether seq visits each of 0..n-1 exactly
+// once.
+func IsPermutation(seq []int, n int) bool {
+	if len(seq) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, a := range seq {
+		if a < 0 || a >= n || seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return true
+}
+
+// Reverse returns the reversed sequence (the ⇓ order matching a ⇑
+// sequence).
+func Reverse(seq []int) []int {
+	out := make([]int, len(seq))
+	for i, a := range seq {
+		out[len(seq)-1-i] = a
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package addrgen
+
+import (
+	"testing"
+)
+
+func TestLinearSequence(t *testing.T) {
+	seq, err := Sequence(Linear, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range seq {
+		if a != i {
+			t.Fatalf("linear sequence broken: %v", seq)
+		}
+	}
+}
+
+func TestGraySequence(t *testing.T) {
+	seq, err := Sequence(Gray, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPermutation(seq, 8) {
+		t.Fatalf("gray not a permutation: %v", seq)
+	}
+	// Exactly one bit toggles between consecutive addresses.
+	for i := 1; i < len(seq); i++ {
+		diff := seq[i] ^ seq[i-1]
+		if diff == 0 || diff&(diff-1) != 0 {
+			t.Fatalf("gray step %d: %d -> %d toggles more than one bit", i, seq[i-1], seq[i])
+		}
+	}
+	if _, err := Sequence(Gray, 6); err == nil {
+		t.Error("non-power-of-two gray accepted")
+	}
+}
+
+func TestLFSRSequences(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256, 1024} {
+		seq, err := Sequence(LFSR, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !IsPermutation(seq, n) {
+			t.Fatalf("n=%d: LFSR not a permutation", n)
+		}
+		if seq[0] != 0 {
+			t.Fatalf("n=%d: zero address not spliced first", n)
+		}
+	}
+	if _, err := Sequence(LFSR, 12); err == nil {
+		t.Error("non-power-of-two LFSR accepted")
+	}
+	if _, err := Sequence(LFSR, 1<<17); err == nil {
+		t.Error("untabulated LFSR size accepted")
+	}
+}
+
+func TestAllTabulatedTapsMaximal(t *testing.T) {
+	// Every tabulated tap set must produce a full-period sequence.
+	for bits := 1; bits <= 16; bits++ {
+		n := 1 << uint(bits)
+		if n > 1<<14 && testing.Short() {
+			continue
+		}
+		seq, err := Sequence(LFSR, n)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if !IsPermutation(seq, n) {
+			t.Fatalf("bits=%d: not maximal", bits)
+		}
+	}
+}
+
+func TestReverse(t *testing.T) {
+	seq := []int{3, 1, 2, 0}
+	rev := Reverse(seq)
+	want := []int{0, 2, 1, 3}
+	for i := range want {
+		if rev[i] != want[i] {
+			t.Fatalf("reverse = %v", rev)
+		}
+	}
+	// Reverse must not alias its input.
+	rev[0] = 99
+	if seq[3] == 99 {
+		t.Fatal("Reverse aliases input")
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int{2, 0, 1}, 3) {
+		t.Error("valid permutation rejected")
+	}
+	if IsPermutation([]int{0, 0, 1}, 3) {
+		t.Error("duplicate accepted")
+	}
+	if IsPermutation([]int{0, 1}, 3) {
+		t.Error("short sequence accepted")
+	}
+	if IsPermutation([]int{0, 1, 3}, 3) {
+		t.Error("out-of-range accepted")
+	}
+}
+
+func TestSequenceErrors(t *testing.T) {
+	if _, err := Sequence(Linear, 0); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := Sequence(Kind(9), 4); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if Kind(9).String() == "" || Linear.String() != "linear" || Gray.String() != "gray" || LFSR.String() != "lfsr" {
+		t.Error("kind strings broken")
+	}
+}

@@ -1,0 +1,242 @@
+// Package bistctl models the controller of a transparent memory BIST
+// and its use for periodic online testing.
+//
+// A transparent BIST session runs two passes over the memory under
+// test: the signature-prediction pass (reads only, MISR compresses the
+// mask-adjusted data) and the test pass (reads and XOR-relative
+// writes, MISR compresses the raw read data). The memory is declared
+// faulty when the signatures differ. Contents are preserved by
+// construction, so the flow can run periodically during the idle
+// phases of a system — the deployment model the paper's introduction
+// motivates, where a shorter test directly lowers the probability of
+// colliding with normal operation.
+//
+// The online scheduler here makes that claim measurable: idle windows
+// of random length arrive; a BIST attempt that does not finish inside
+// its window is preempted, must undo its partial writes before
+// yielding (transparency may not be violated), and retries in a later
+// window. Interference probability and wasted work fall out directly.
+package bistctl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"twmarch/internal/core"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/misr"
+	"twmarch/internal/word"
+)
+
+// Outcome reports one complete transparent-BIST session.
+type Outcome struct {
+	// Predicted and Actual are the two signatures.
+	Predicted, Actual word.Word
+	// Pass is true when the signatures match (memory presumed good).
+	Pass bool
+	// Ops counts the memory operations of both passes.
+	Ops int
+}
+
+// Controller executes transparent-BIST sessions for one test.
+type Controller struct {
+	test *march.Test
+	pred *march.Test
+	reg  *misr.MISR
+}
+
+// New builds a controller for a transparent march test. The MISR width
+// follows the test's word width.
+func New(test *march.Test) (*Controller, error) {
+	if !test.IsTransparent() {
+		return nil, fmt.Errorf("bistctl: %q is not transparent", test.Name)
+	}
+	pred, err := core.Prediction(test)
+	if err != nil {
+		return nil, err
+	}
+	reg, err := misr.New(test.Width)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{test: test, pred: pred, reg: reg}, nil
+}
+
+// Test returns the controller's transparent test.
+func (c *Controller) Test() *march.Test { return c.test }
+
+// Prediction returns the derived signature-prediction test.
+func (c *Controller) Prediction() *march.Test { return c.pred }
+
+// SessionOps returns the total operations of one complete session
+// (prediction plus test) per memory word.
+func (c *Controller) SessionOps() int { return c.pred.Ops() + c.test.Ops() }
+
+// Run executes one full session against mem.
+func (c *Controller) Run(mem march.Mem) (Outcome, error) {
+	var out Outcome
+	c.reg.Reset(word.Zero)
+	pres, err := march.Run(c.pred, mem, march.RunOptions{ReadSink: c.reg.PredictSink()})
+	if err != nil {
+		return out, err
+	}
+	out.Ops += pres.Ops
+	out.Predicted = c.reg.Signature()
+
+	c.reg.Reset(word.Zero)
+	tres, err := march.Run(c.test, mem, march.RunOptions{ReadSink: c.reg.TestSink()})
+	if err != nil {
+		return out, err
+	}
+	out.Ops += tres.Ops
+	out.Actual = c.reg.Signature()
+	out.Pass = out.Actual == out.Predicted
+	return out, nil
+}
+
+// WindowSource yields idle-window lengths in memory operations.
+type WindowSource interface {
+	Next() int
+}
+
+// GeometricWindows draws window lengths from a geometric distribution
+// with the given mean, the discrete analogue of exponentially
+// distributed idle times.
+type GeometricWindows struct {
+	Mean float64
+	Rng  *rand.Rand
+}
+
+// Next implements WindowSource.
+func (g *GeometricWindows) Next() int {
+	if g.Mean <= 1 {
+		return 1
+	}
+	p := 1 / g.Mean
+	// Inverse-CDF sampling of a geometric distribution on {1, 2, …}.
+	u := g.Rng.Float64()
+	n := int(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// FixedWindows yields a constant window length.
+type FixedWindows struct{ Len int }
+
+// Next implements WindowSource.
+func (f *FixedWindows) Next() int { return f.Len }
+
+// OnlineStats summarizes a periodic-test simulation.
+type OnlineStats struct {
+	// CompletedRuns is the number of full sessions that fit in a
+	// window.
+	CompletedRuns int
+	// Preemptions is the number of sessions cut short by window end.
+	Preemptions int
+	// UsefulOps and WastedOps split the spent memory operations;
+	// wasted ops include the rollback writes preempted sessions pay to
+	// restore the contents they had modified.
+	UsefulOps, WastedOps int
+	// AllPassed is true when every completed session matched
+	// signatures.
+	AllPassed bool
+}
+
+// InterferenceProb returns the fraction of attempted sessions that
+// were preempted — the paper's "probability of interference of normal
+// system operation".
+func (s OnlineStats) InterferenceProb() float64 {
+	total := s.CompletedRuns + s.Preemptions
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Preemptions) / float64(total)
+}
+
+// SimulateOnline runs periodic transparent-BIST sessions against mem
+// until targetRuns sessions complete. Each attempt receives one idle
+// window; a session whose prediction+test flow does not fit is
+// preempted: its partial writes are rolled back from the pre-session
+// snapshot (counted as wasted ops) and the session restarts from
+// scratch in the next window, because normal operation may modify the
+// memory in between, invalidating the predicted signature.
+func SimulateOnline(ctl *Controller, mem *memory.Memory, windows WindowSource, targetRuns int) (OnlineStats, error) {
+	stats := OnlineStats{AllPassed: true}
+	if ctl.test.Width != mem.Width() {
+		return stats, fmt.Errorf("bistctl: test width %d != memory width %d", ctl.test.Width, mem.Width())
+	}
+	need := ctl.SessionOps() * mem.Words()
+	guard := 0
+	for stats.CompletedRuns < targetRuns {
+		guard++
+		if guard > 1000*targetRuns {
+			return stats, fmt.Errorf("bistctl: windows too short to ever complete a %d-op session", need)
+		}
+		w := windows.Next()
+		if w >= need {
+			out, err := ctl.Run(mem)
+			if err != nil {
+				return stats, err
+			}
+			stats.CompletedRuns++
+			stats.UsefulOps += out.Ops
+			if !out.Pass {
+				stats.AllPassed = false
+			}
+			continue
+		}
+		// Preempted: execute what fits, then roll back.
+		stats.Preemptions++
+		snapshot := mem.Snapshot()
+		budget := w
+		pres, err := march.Run(ctl.pred, mem, march.RunOptions{MaxOps: budget})
+		if err != nil {
+			return stats, err
+		}
+		spent := pres.Ops
+		if !pres.Aborted && spent < budget {
+			tres, err := march.Run(ctl.test, mem, march.RunOptions{MaxOps: budget - spent})
+			if err != nil {
+				return stats, err
+			}
+			spent += tres.Ops
+			// Roll back the partial test writes: transparency must
+			// hold even for preempted sessions. The rollback writes
+			// are wasted work charged to the session.
+			restored := 0
+			for i := 0; i < mem.Words(); i++ {
+				if mem.Read(i) != snapshot[i] {
+					mem.Write(i, snapshot[i])
+					restored++
+				}
+			}
+			spent += restored
+		}
+		stats.WastedOps += spent
+	}
+	return stats, nil
+}
+
+// InterferenceCurve evaluates the interference probability of a test
+// across a sweep of mean idle-window lengths (in multiples of the
+// session length), using Monte-Carlo simulation without touching a
+// memory: only window arithmetic matters for the probability itself.
+func InterferenceCurve(sessionOps int, meanMultiples []float64, trials int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, len(meanMultiples))
+	for i, m := range meanMultiples {
+		g := &GeometricWindows{Mean: m * float64(sessionOps), Rng: rng}
+		pre := 0
+		for t := 0; t < trials; t++ {
+			if g.Next() < sessionOps {
+				pre++
+			}
+		}
+		out[i] = float64(pre) / float64(trials)
+	}
+	return out
+}

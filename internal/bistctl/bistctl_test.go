@@ -1,0 +1,263 @@
+package bistctl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/core"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+func controllerFor(t *testing.T, test string, width int) *Controller {
+	t.Helper()
+	res, err := core.TWMTA(march.MustLookup(test), width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(res.TWMarch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func TestNewRejectsNontransparent(t *testing.T) {
+	if _, err := New(march.MustLookup("March C-")); err == nil {
+		t.Fatal("nontransparent test accepted")
+	}
+}
+
+func TestRunPassesOnCleanMemory(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 8)
+	mem := memory.MustNew(16, 8)
+	mem.Randomize(rand.New(rand.NewSource(2)))
+	before := mem.Snapshot()
+	out, err := ctl.Run(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Pass {
+		t.Fatalf("clean memory failed BIST: predicted %v actual %v", out.Predicted, out.Actual)
+	}
+	if !mem.Equal(before) {
+		t.Fatal("BIST session did not preserve contents")
+	}
+	if out.Ops != ctl.SessionOps()*16 {
+		t.Fatalf("ops = %d, want %d", out.Ops, ctl.SessionOps()*16)
+	}
+}
+
+func TestRunFailsOnFaultyMemory(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 8)
+	mem := memory.MustNew(16, 8)
+	mem.Randomize(rand.New(rand.NewSource(3)))
+	inj := faults.MustInject(mem, faults.StuckAt{Cell: faults.Site{Addr: 5, Bit: 2}, Value: 1})
+	out, err := ctl.Run(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Pass {
+		t.Fatal("stuck-at fault escaped the signature comparison")
+	}
+}
+
+func TestSessionOps(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 32)
+	// TCM + TCP per word: (10+25) + measured prediction.
+	if got := ctl.SessionOps(); got != ctl.Test().Ops()+ctl.Prediction().Ops() {
+		t.Fatalf("SessionOps = %d", got)
+	}
+	if ctl.Prediction().Writes() != 0 {
+		t.Fatal("prediction has writes")
+	}
+}
+
+func TestSimulateOnlineAllWindowsLarge(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 4)
+	mem := memory.MustNew(8, 4)
+	mem.Randomize(rand.New(rand.NewSource(4)))
+	before := mem.Snapshot()
+	need := ctl.SessionOps() * 8
+	stats, err := SimulateOnline(ctl, mem, &FixedWindows{Len: need}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CompletedRuns != 5 || stats.Preemptions != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !stats.AllPassed {
+		t.Fatal("clean memory failed online sessions")
+	}
+	if stats.InterferenceProb() != 0 {
+		t.Fatal("interference reported for all-large windows")
+	}
+	if !mem.Equal(before) {
+		t.Fatal("online sessions did not preserve contents")
+	}
+}
+
+func TestSimulateOnlinePreemption(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 4)
+	mem := memory.MustNew(8, 4)
+	mem.Randomize(rand.New(rand.NewSource(5)))
+	before := mem.Snapshot()
+	need := ctl.SessionOps() * 8
+	// Alternate short and long windows.
+	ws := &alternatingWindows{short: need / 3, long: need}
+	stats, err := SimulateOnline(ctl, mem, ws, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Preemptions == 0 {
+		t.Fatal("no preemptions with short windows")
+	}
+	if stats.WastedOps == 0 {
+		t.Fatal("preempted sessions should report wasted work")
+	}
+	if !mem.Equal(before) {
+		t.Fatal("preempted sessions violated transparency")
+	}
+	if p := stats.InterferenceProb(); p <= 0 || p >= 1 {
+		t.Fatalf("interference prob = %v", p)
+	}
+}
+
+type alternatingWindows struct {
+	short, long int
+	flip        bool
+}
+
+func (a *alternatingWindows) Next() int {
+	a.flip = !a.flip
+	if a.flip {
+		return a.short
+	}
+	return a.long
+}
+
+func TestSimulateOnlineHopelessWindows(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 4)
+	mem := memory.MustNew(8, 4)
+	if _, err := SimulateOnline(ctl, mem, &FixedWindows{Len: 1}, 1); err == nil {
+		t.Fatal("hopelessly short windows should error out")
+	}
+}
+
+func TestSimulateOnlineWidthMismatch(t *testing.T) {
+	ctl := controllerFor(t, "March C-", 4)
+	mem := memory.MustNew(8, 8)
+	if _, err := SimulateOnline(ctl, mem, &FixedWindows{Len: 100}, 1); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestGeometricWindowsMean(t *testing.T) {
+	g := &GeometricWindows{Mean: 50, Rng: rand.New(rand.NewSource(6))}
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		w := g.Next()
+		if w < 1 {
+			t.Fatal("window below 1")
+		}
+		sum += w
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-50) > 2.5 {
+		t.Fatalf("empirical mean %.2f, want ≈50", mean)
+	}
+}
+
+func TestGeometricWindowsDegenerate(t *testing.T) {
+	g := &GeometricWindows{Mean: 0.5, Rng: rand.New(rand.NewSource(7))}
+	if g.Next() != 1 {
+		t.Fatal("degenerate mean should yield 1")
+	}
+}
+
+// The motivation claim (DESIGN.md E1): interference probability grows
+// with test length. The proposed scheme's shorter sessions interfere
+// less than Scheme 1's at every idle-window scale.
+func TestInterferenceShorterTestsWinMonotonically(t *testing.T) {
+	resP, err := core.TWMTA(march.MustLookup("March C-"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS1, err := core.Scheme1(march.MustLookup("March C-"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const words = 64
+	opsP := (resP.TCM() + resP.TCP()) * words
+	opsS1 := (resS1.TCM() + resS1.TCP()) * words
+	if opsP >= opsS1 {
+		t.Fatalf("proposed session %d not shorter than Scheme 1 %d", opsP, opsS1)
+	}
+	multiples := []float64{0.5, 1, 2, 4}
+	// Evaluate both curves against the same absolute window means —
+	// express them as multiples of the proposed session length.
+	curveP := InterferenceCurve(opsP, multiples, 4000, 11)
+	absolute := make([]float64, len(multiples))
+	for i, m := range multiples {
+		absolute[i] = m * float64(opsP) / float64(opsS1)
+	}
+	curveS1 := InterferenceCurve(opsS1, absolute, 4000, 11)
+	for i := range multiples {
+		if curveP[i] >= curveS1[i] {
+			t.Errorf("mean multiple %.1f: proposed interference %.3f not below Scheme 1 %.3f",
+				multiples[i], curveP[i], curveS1[i])
+		}
+	}
+	// And the curve decreases as idle windows grow.
+	for i := 1; i < len(curveP); i++ {
+		if curveP[i] > curveP[i-1] {
+			t.Errorf("interference curve not monotone: %v", curveP)
+		}
+	}
+}
+
+func TestInterferenceProbEmpty(t *testing.T) {
+	var s OnlineStats
+	if s.InterferenceProb() != 0 {
+		t.Fatal("empty stats should report zero interference")
+	}
+}
+
+func TestInterferenceCurveMonotone(t *testing.T) {
+	curve := InterferenceCurve(1000, []float64{0.5, 1, 2, 8}, 2000, 3)
+	if len(curve) != 4 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1] {
+			t.Fatalf("curve not monotone: %v", curve)
+		}
+	}
+	if curve[0] <= curve[len(curve)-1] && curve[0] == 0 {
+		t.Fatal("tight windows should interfere")
+	}
+}
+
+func TestControllerAccessors(t *testing.T) {
+	ctl := controllerFor(t, "March U", 8)
+	if ctl.Test() == nil || ctl.Prediction() == nil {
+		t.Fatal("accessors broken")
+	}
+	if !ctl.Test().IsTransparent() {
+		t.Fatal("controller test not transparent")
+	}
+}
+
+func TestNewRejectsUntabulatedMISRWidth(t *testing.T) {
+	// A transparent test at width 17 has no tabulated MISR polynomial.
+	tst := march.MustNew("odd", 17,
+		march.Elem(march.Up, march.R(march.Transp(word.Zero))),
+	)
+	if _, err := New(tst); err == nil {
+		t.Fatal("width without MISR polynomial accepted")
+	}
+}

@@ -1,0 +1,178 @@
+package complexity
+
+import (
+	"math"
+	"testing"
+
+	"twmarch/internal/march"
+)
+
+// Table 2's closed forms at the paper's headline point: March C-
+// (M=10, Q=5) on 32-bit words.
+func TestClosedFormMarchCMinus32(t *testing.T) {
+	bm := march.MustLookup("March C-")
+	if bm.Ops() != 10 || bm.Reads() != 5 {
+		t.Fatalf("March C- M=%d Q=%d", bm.Ops(), bm.Reads())
+	}
+	cases := []struct {
+		s        Scheme
+		tcm, tcp int
+	}{
+		{Scheme1, 60, 30},  // M(log2 W+1), Q(log2 W+1) with log2 32 = 5
+		{Scheme2, 256, 0},  // 8W
+		{Proposed, 35, 15}, // M+5 log2 W, Q+2 log2 W
+	}
+	for _, c := range cases {
+		got, err := ClosedFormFor(c.s, bm, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TCM != c.tcm || got.TCP != c.tcp {
+			t.Errorf("%v: TCM/TCP = %d/%d, want %d/%d", c.s, got.TCM, got.TCP, c.tcm, c.tcp)
+		}
+	}
+}
+
+// The abstract's 56% / 19% claim, reproduced exactly from the closed
+// forms: 50/90 ≈ 0.56 and 50/256 ≈ 0.195.
+func TestHeadlineRatios(t *testing.T) {
+	h, err := Headline(march.MustLookup("March C-"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ProposedTotal != 50 || h.Scheme1Total != 90 || h.Scheme2Total != 256 {
+		t.Fatalf("totals = %d/%d/%d, want 50/90/256", h.ProposedTotal, h.Scheme1Total, h.Scheme2Total)
+	}
+	if math.Abs(h.VsScheme1-0.5556) > 0.001 {
+		t.Errorf("vs Scheme 1 = %.4f, want ≈0.5556 (the paper's 56%%)", h.VsScheme1)
+	}
+	if math.Abs(h.VsScheme2-0.1953) > 0.001 {
+		t.Errorf("vs Scheme 2 = %.4f, want ≈0.1953 (the paper's 19%%)", h.VsScheme2)
+	}
+	// The measured (constructive) ratios keep the shape: proposed
+	// clearly shortest, with ratios in the same bands.
+	if h.MeasuredVsScheme1 > 0.65 || h.MeasuredVsScheme2 > 0.30 {
+		t.Errorf("measured ratios %.3f / %.3f out of shape", h.MeasuredVsScheme1, h.MeasuredVsScheme2)
+	}
+}
+
+// The full Table 3 closed-form sweep.
+func TestTable3ClosedForm(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Table3Tests)*len(Table3Widths) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Spot checks derived from the formulas (March C-: M=10 Q=5;
+	// March U: M=13 Q=6).
+	want := map[string]map[int][3]Cost{
+		"March C-": {
+			16:  {{TCM: 50, TCP: 25}, {TCM: 128, TCP: 0}, {TCM: 30, TCP: 13}},
+			32:  {{TCM: 60, TCP: 30}, {TCM: 256, TCP: 0}, {TCM: 35, TCP: 15}},
+			64:  {{TCM: 70, TCP: 35}, {TCM: 512, TCP: 0}, {TCM: 40, TCP: 17}},
+			128: {{TCM: 80, TCP: 40}, {TCM: 1024, TCP: 0}, {TCM: 45, TCP: 19}},
+		},
+		"March U": {
+			16:  {{TCM: 65, TCP: 30}, {TCM: 128, TCP: 0}, {TCM: 33, TCP: 14}},
+			32:  {{TCM: 78, TCP: 36}, {TCM: 256, TCP: 0}, {TCM: 38, TCP: 16}},
+			64:  {{TCM: 91, TCP: 42}, {TCM: 512, TCP: 0}, {TCM: 43, TCP: 18}},
+			128: {{TCM: 104, TCP: 48}, {TCM: 1024, TCP: 0}, {TCM: 48, TCP: 20}},
+		},
+	}
+	for _, row := range rows {
+		exp, ok := want[row.Test][row.Width]
+		if !ok {
+			t.Fatalf("unexpected row %s W=%d", row.Test, row.Width)
+		}
+		for _, s := range Schemes() {
+			if row.Closed[s] != exp[s] {
+				t.Errorf("%s W=%d %v: closed = %+v, want %+v", row.Test, row.Width, s, row.Closed[s], exp[s])
+			}
+		}
+	}
+}
+
+// Shape preservation: in every Table 3 row, measured and closed-form
+// agree on the ordering (proposed < Scheme 1 < Scheme 2 in total
+// cost) and the measured values sit within a small bounded gap of the
+// closed forms.
+func TestTable3MeasuredShape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		mp, m1, m2 := row.Measured[Proposed].Total(), row.Measured[Scheme1].Total(), row.Measured[Scheme2].Total()
+		if !(mp < m1 && m1 < m2) {
+			t.Errorf("%s W=%d: measured ordering broken: %d / %d / %d", row.Test, row.Width, mp, m1, m2)
+		}
+		for _, s := range Schemes() {
+			c, m := row.Closed[s], row.Measured[s]
+			// The bookkeeping gap: prepended reads, restore elements,
+			// ATMarch prediction reads, TOMT verification read.
+			if m.TCM < c.TCM || m.TCM > c.TCM+2*(1+c.TCM/4) {
+				t.Errorf("%s W=%d %v: measured TCM %d far from closed %d", row.Test, row.Width, s, m.TCM, c.TCM)
+			}
+		}
+	}
+}
+
+// The paper's closing observation: the proposed scheme's length is
+// only slightly related to the source test (the ATMarch overhead is
+// test-independent), while Scheme 1 scales multiplicatively.
+func TestSourceSensitivity(t *testing.T) {
+	short := march.MustLookup("March C-") // M=10
+	long := march.MustLookup("March B")   // M=17
+	for _, w := range []int{16, 128} {
+		pShort, _ := ClosedFormFor(Proposed, short, w)
+		pLong, _ := ClosedFormFor(Proposed, long, w)
+		s1Short, _ := ClosedFormFor(Scheme1, short, w)
+		s1Long, _ := ClosedFormFor(Scheme1, long, w)
+		dProposed := pLong.TCM - pShort.TCM
+		dScheme1 := s1Long.TCM - s1Short.TCM
+		if dProposed != long.Ops()-short.Ops() {
+			t.Errorf("W=%d: proposed delta %d, want %d", w, dProposed, long.Ops()-short.Ops())
+		}
+		if dScheme1 <= dProposed {
+			t.Errorf("W=%d: Scheme 1 should amplify source length (%d vs %d)", w, dScheme1, dProposed)
+		}
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	for _, s := range Schemes() {
+		tcm, tcp := Formula(s)
+		if tcm == "" || tcp == "" || tcm == "?" {
+			t.Errorf("%v: formula strings broken", s)
+		}
+	}
+	if s := Scheme(9).String(); s == "" {
+		t.Error("unknown scheme string empty")
+	}
+}
+
+func TestClosedFormValidation(t *testing.T) {
+	if _, err := ClosedForm(Proposed, 10, 5, 12); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := ClosedForm(Proposed, 0, 0, 16); err == nil {
+		t.Error("M=0 accepted")
+	}
+	if _, err := ClosedForm(Proposed, 4, 5, 16); err == nil {
+		t.Error("Q>M accepted")
+	}
+	if _, err := ClosedForm(Scheme(9), 10, 5, 16); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Constructive(Scheme(9), march.MustLookup("March C-"), 16); err == nil {
+		t.Error("unknown scheme accepted by Constructive")
+	}
+}
+
+func TestCostTotal(t *testing.T) {
+	if (Cost{TCM: 35, TCP: 15}).Total() != 50 {
+		t.Error("Total broken")
+	}
+}

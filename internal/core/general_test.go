@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/databg"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+)
+
+// TWMTAGeneral agrees with TWMTA on power-of-two widths.
+func TestTWMTAGeneralMatchesPowerOfTwo(t *testing.T) {
+	bm := march.MustLookup("March C-")
+	for _, w := range []int{2, 8, 32, 128} {
+		a, err := TWMTA(bm, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := TWMTAGeneral(bm, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.TWMarch.ASCII() != b.TWMarch.ASCII() {
+			t.Errorf("W=%d: general path diverges", w)
+		}
+	}
+}
+
+// Arbitrary widths: the extension produces transparent,
+// content-preserving tests with ⌈log2 W⌉ checkerboard elements.
+func TestTWMTAGeneralArbitraryWidths(t *testing.T) {
+	bm := march.MustLookup("March C-")
+	r := rand.New(rand.NewSource(8))
+	for _, w := range []int{3, 5, 12, 24, 33, 100, 127} {
+		res, err := TWMTAGeneral(bm, w)
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		lg, _ := databg.CeilLog2(w)
+		if got := res.ATMarch.Ops(); got != 5*lg+1 {
+			t.Errorf("W=%d: ATMarch ops %d, want %d", w, got, 5*lg+1)
+		}
+		mem := memory.MustNew(6, w)
+		mem.Randomize(r)
+		before := mem.Snapshot()
+		run, err := march.Run(res.TWMarch, mem, march.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() || !mem.Equal(before) {
+			t.Errorf("W=%d: not transparent", w)
+		}
+	}
+	if _, err := TWMTAGeneral(bm, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := TWMTAGeneral(bm, 129); err == nil {
+		t.Error("width 129 accepted")
+	}
+}
+
+// The truncated checkerboards remain pairwise-distinguishing, so the
+// guaranteed fault classes keep full coverage at odd widths.
+func TestTWMTAGeneralCoverageWidth5(t *testing.T) {
+	res, err := TWMTAGeneral(march.MustLookup("March C-"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(3, 5)...)
+	list = append(list, faults.EnumerateTransition(3, 5)...)
+	list = append(list, faults.EnumerateCFin(3, 5, faults.AllPairs)...)
+	missed := 0
+	for _, f := range list {
+		mem := memory.MustNew(3, 5)
+		mem.Randomize(rand.New(rand.NewSource(2)))
+		inj := faults.MustInject(mem, f)
+		run, err := march.Run(res.TWMarch, inj, march.RunOptions{StopAtFirstMismatch: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !run.Detected() {
+			missed++
+			t.Errorf("missed %s", f)
+		}
+	}
+	if missed > 0 {
+		t.Fatalf("missed %d/%d", missed, len(list))
+	}
+}
+
+func TestCeilLog2AndCheckerboardAny(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 12: 4, 100: 7, 128: 7}
+	for w, want := range cases {
+		got, err := databg.CeilLog2(w)
+		if err != nil || got != want {
+			t.Errorf("CeilLog2(%d) = %d, %v; want %d", w, got, err, want)
+		}
+	}
+	if _, err := databg.CeilLog2(0); err == nil {
+		t.Error("CeilLog2(0) accepted")
+	}
+	// Truncated checkerboards pairwise-distinguish at odd widths.
+	for _, w := range []int{3, 5, 12, 100} {
+		lg, _ := databg.CeilLog2(w)
+		for p := 0; p < w; p++ {
+			for q := p + 1; q < w; q++ {
+				found := false
+				for k := 1; k <= lg; k++ {
+					c, err := databg.CheckerboardAny(w, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if c.Bit(p) != c.Bit(q) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("width %d: bits %d,%d not distinguished", w, p, q)
+				}
+			}
+		}
+	}
+	if _, err := databg.CheckerboardAny(5, 4); err == nil {
+		t.Error("k beyond ceil-log2 accepted")
+	}
+	if _, err := databg.CheckerboardAny(5, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/databg"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+)
+
+// randomBitMarch generates a structurally valid bit-oriented march
+// test: an initialization element followed by 1..5 elements of 1..5
+// operations whose reads always expect the tracked content. This is
+// the input space TWM_TA and Scheme 1 must handle.
+func randomBitMarch(r *rand.Rand) *march.Test {
+	t := &march.Test{Name: "random", Width: 1}
+	// Initialization.
+	t.Elements = append(t.Elements, march.Elem(march.Any, march.W(march.LitBit(0))))
+	content := 0
+	hasRead := false
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		order := march.Order(r.Intn(3))
+		var ops []march.Op
+		k := 1 + r.Intn(5)
+		for j := 0; j < k; j++ {
+			if r.Intn(2) == 0 {
+				ops = append(ops, march.R(march.LitBit(content)))
+				hasRead = true
+			} else {
+				content = r.Intn(2)
+				ops = append(ops, march.W(march.LitBit(content)))
+			}
+		}
+		t.Elements = append(t.Elements, march.Element{Order: order, Ops: ops})
+	}
+	if !hasRead {
+		t.Elements = append(t.Elements, march.Elem(march.Any, march.R(march.LitBit(content))))
+	}
+	return t
+}
+
+// The generator itself must produce valid, read-consistent tests.
+func TestRandomBitMarchGenerator(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		bm := randomBitMarch(r)
+		if err := bm.Validate(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := bm.CheckReadConsistency(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !bm.IsBitOriented() {
+			t.Fatalf("iteration %d: not bit-oriented", i)
+		}
+	}
+}
+
+// Property: for every generated march test and width, TWM_TA produces
+// a transparent, read-consistent, content-preserving test whose op
+// count follows the constructive formula, and a fault-free execution
+// is silent.
+func TestPropertyTWMTAInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	widths := []int{2, 4, 16, 64}
+	for i := 0; i < 120; i++ {
+		bm := randomBitMarch(r)
+		width := widths[r.Intn(len(widths))]
+		res, err := TWMTA(bm, width)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !res.TWMarch.IsTransparent() {
+			t.Fatal("TWMarch not transparent")
+		}
+		if err := res.TWMarch.CheckReadConsistency(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		// Complexity: TSMarch ops + ATMarch ops; ATMarch is
+		// 5·log2(width) + 1 (or +2 on the inverted base).
+		lg := databg.MustLog2(width)
+		want := res.TSMarch.Ops() + 5*lg + 1
+		if res.BaseInverted {
+			want++
+		}
+		if res.TCM() != want {
+			t.Fatalf("iteration %d: TCM %d, want %d", i, res.TCM(), want)
+		}
+		// Prediction is the read subsequence.
+		if res.TCP() != res.TWMarch.Reads() {
+			t.Fatalf("iteration %d: TCP %d != reads %d", i, res.TCP(), res.TWMarch.Reads())
+		}
+		// Transparency on random contents.
+		mem := memory.MustNew(5, width)
+		mem.Randomize(r)
+		before := mem.Snapshot()
+		run, err := march.Run(res.TWMarch, mem, march.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() {
+			t.Fatalf("iteration %d: fault-free run mismatched: %v", i, run.Mismatches[0])
+		}
+		if !mem.Equal(before) {
+			t.Fatalf("iteration %d: contents not preserved", i)
+		}
+	}
+}
+
+// Property: Scheme 1 has the same invariants, and is never shorter
+// than TWM_TA in total cost.
+func TestPropertyScheme1Invariants(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	widths := []int{2, 8, 32}
+	for i := 0; i < 80; i++ {
+		bm := randomBitMarch(r)
+		width := widths[r.Intn(len(widths))]
+		s1, err := Scheme1(bm, width)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if err := s1.Test.CheckReadConsistency(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		mem := memory.MustNew(4, width)
+		mem.Randomize(r)
+		before := mem.Snapshot()
+		run, err := march.Run(s1.Test, mem, march.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() || !mem.Equal(before) {
+			t.Fatalf("iteration %d: Scheme 1 not transparent", i)
+		}
+		// Scheme 1's per-background replay scales with M while the
+		// ATMarch overhead is fixed at ~5·log2 W, so TWM_TA wins once
+		// the source test has realistic length (every published march
+		// has M ≥ 10); toy tests below that can tip the other way.
+		if bm.Ops() >= 8 {
+			tw, err := TWMTA(bm, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1.TCM()+s1.TCP() < tw.TCM()+tw.TCP() {
+				t.Fatalf("iteration %d: Scheme 1 total %d below TWM_TA %d (M=%d, W=%d)",
+					i, s1.TCM()+s1.TCP(), tw.TCM()+tw.TCP(), bm.Ops(), width)
+			}
+		}
+	}
+}
+
+// Property: the bit-oriented transparent transformation preserves the
+// read/write structure: reads map to reads, every write-leading
+// element gains exactly one read, and a restore element appears iff
+// the source ends complemented.
+func TestPropertyBitTransformStructure(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 150; i++ {
+		bm := randomBitMarch(r)
+		bt, err := TransformBitOriented(bm)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		// Count expected ops: source minus init, plus one read per
+		// write-leading element, plus 2 if the last write leaves ~a.
+		elements := bm.Elements[1:]
+		want := 0
+		for _, e := range elements {
+			want += len(e.Ops)
+			if e.Ops[0].Kind == march.Write {
+				want++
+			}
+		}
+		final := 0
+		for _, e := range elements {
+			for _, op := range e.Ops {
+				if op.Kind == march.Write {
+					final = int(op.Data.Const.Bit(0))
+				}
+			}
+		}
+		if final == 1 {
+			want += 2
+		}
+		if bt.Transparent.Ops() != want {
+			t.Fatalf("iteration %d: transparent ops %d, want %d (source %s)",
+				i, bt.Transparent.Ops(), want, bm.ASCII())
+		}
+		if bt.Prediction.Reads() != bt.Transparent.Reads() {
+			t.Fatalf("iteration %d: prediction loses reads", i)
+		}
+	}
+}
+
+// Property: Concretize at the all-zero point turns TWMarch into a
+// test that runs silently on a zeroed memory.
+func TestPropertyConcretizeZero(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 60; i++ {
+		bm := randomBitMarch(r)
+		res, err := TWMTA(bm, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := NontransparentEquivalent(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := memory.MustNew(4, 4)
+		run, err := march.Run(ct, mem, march.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() {
+			t.Fatalf("iteration %d: concretized run mismatched on zero memory", i)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package core implements the paper's transparent-test transformation
+// algorithms:
+//
+//   - TransformBitOriented: the classical Nicolaidis rules (Section 3)
+//     that turn a conventional bit-oriented march test into a
+//     transparent march test plus its signature-prediction test.
+//
+//   - TWMTA: the paper's contribution (Algorithm 1, Section 4) — an
+//     efficient transparent *word-oriented* march test built from a
+//     solid-background transparent pass (TSMarch) plus a short added
+//     test (ATMarch) that walks log2(W) checkerboard backgrounds.
+//
+//   - Scheme1: the prior-art word-oriented transparent transformation
+//     of Nicolaidis [12], which replays the whole transparent test for
+//     every one of the log2(W)+1 data backgrounds. Implemented
+//     constructively as the comparison baseline.
+//
+//   - WordOriented: the conventional nontransparent word-oriented
+//     march test obtained from data backgrounds (Section 3), used by
+//     the fault-coverage equivalence experiments.
+//
+// All generated tests are validated structurally and checked for read
+// consistency before being returned.
+package core
+
+import (
+	"fmt"
+
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// solidDatum maps a bit literal of a bit-oriented march test to the
+// solid word background it denotes at the target width: 0 → all-0,
+// 1 → all-1 (Algorithm 1, first step).
+func solidDatum(d march.Datum, width int) (march.Datum, error) {
+	if d.Transparent {
+		return march.Datum{}, fmt.Errorf("core: datum %s is already transparent", d.Format(width))
+	}
+	switch d.Const {
+	case word.Zero:
+		return march.Lit(word.Zero), nil
+	case word.Ones(1):
+		return march.Lit(word.Ones(width)), nil
+	default:
+		return march.Datum{}, fmt.Errorf("core: datum %s is not a bit literal", d.Format(1))
+	}
+}
+
+// Solid converts a bit-oriented march test into its solid-background
+// word-oriented form at the given width: every 0 becomes the all-0
+// word and every 1 the all-1 word. This is the SMarch of Algorithm 1
+// (before the appended read). Any width in [1,128] is accepted; the
+// power-of-two restriction of the paper applies to the background
+// generation, not to the solid part.
+func Solid(bm *march.Test, width int) (*march.Test, error) {
+	if !bm.IsBitOriented() {
+		return nil, fmt.Errorf("core: %q is not a bit-oriented march test", bm.Name)
+	}
+	if width < 1 || width > word.MaxWidth {
+		return nil, fmt.Errorf("core: width %d out of range [1,%d]", width, word.MaxWidth)
+	}
+	out := &march.Test{Name: fmt.Sprintf("SMarch(%s, W=%d)", bm.Name, width), Width: width}
+	for _, e := range bm.Elements {
+		ne := march.Element{Order: e.Order, Ops: make([]march.Op, 0, len(e.Ops))}
+		for _, op := range e.Ops {
+			d, err := solidDatum(op.Data, width)
+			if err != nil {
+				return nil, fmt.Errorf("core: %q: %v", bm.Name, err)
+			}
+			ne.Ops = append(ne.Ops, march.Op{Kind: op.Kind, Data: d})
+		}
+		out.Elements = append(out.Elements, ne)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// transparentize applies the Nicolaidis transformation rules (Section
+// 3, Steps 1–2) to a march test whose data are the two solid literals
+// at its width, producing a transparent test of the same width:
+//
+//	Step 1: drop a write-only initialization element; prepend a read
+//	        of the current content to any element that begins with a
+//	        write.
+//	Step 2: replace every literal v by the XOR-expression a^v.
+//
+// When restore (Step 3) is requested and the content after the last
+// element is the complement of the initial data, a closing
+// ⇕(r ~a, w a) element is appended so the test leaves memory as it
+// found it.
+//
+// The returned mask is the symbolic content after the transformed
+// test: zero means contents equal the initial data, all-ones means
+// they are complemented (only those two arise from solid inputs).
+func transparentize(t *march.Test, restore bool) (*march.Test, word.Word, error) {
+	width := t.Width
+	ones := word.Ones(width)
+	out := &march.Test{Name: t.Name, Width: width}
+
+	elements := t.Elements
+	// Step 1, removal: a write-only leading element is pure
+	// initialization; transparent testing works relative to the
+	// pre-existing contents instead.
+	if elements[0].IsWriteOnly() {
+		elements = elements[1:]
+	}
+	if len(elements) == 0 {
+		return nil, word.Word{}, fmt.Errorf("core: %q consists only of initialization and cannot be made transparent", t.Name)
+	}
+
+	m := word.Zero // current content is a^m
+	for _, e := range elements {
+		ne := march.Element{Order: e.Order}
+		if e.Ops[0].Kind == march.Write {
+			// Step 1, read-prepend: fault activation needs the read of
+			// the value about to be overwritten.
+			ne.Ops = append(ne.Ops, march.R(march.Transp(m)))
+		}
+		for _, op := range e.Ops {
+			v := op.Data.Const.Mask(width)
+			if op.Data.Transparent || (v != word.Zero && v != ones) {
+				return nil, word.Word{}, fmt.Errorf("core: %q: datum %s is not solid", t.Name, op.Data.Format(width))
+			}
+			ne.Ops = append(ne.Ops, march.Op{Kind: op.Kind, Data: march.Transp(v)})
+			if op.Kind == march.Write {
+				m = v
+			}
+		}
+		out.Elements = append(out.Elements, ne)
+	}
+
+	if restore && m == ones {
+		// Step 3: read back the complemented contents and write their
+		// inverse, restoring the initial data.
+		out.Elements = append(out.Elements, march.Elem(march.Any,
+			march.R(march.Transp(ones)),
+			march.W(march.Transp(word.Zero)),
+		))
+		m = word.Zero
+	}
+	if err := out.Validate(); err != nil {
+		return nil, word.Word{}, err
+	}
+	if err := out.CheckReadConsistency(); err != nil {
+		return nil, word.Word{}, err
+	}
+	return out, m, nil
+}
+
+// Prediction derives the signature-prediction test from a transparent
+// test by removing every write operation (Step 4). Elements that
+// contained only writes disappear; address orders are preserved so the
+// prediction pass visits cells in the same sequence as the test pass.
+func Prediction(t *march.Test) (*march.Test, error) {
+	if !t.IsTransparent() {
+		return nil, fmt.Errorf("core: %q is not transparent; prediction applies to transparent tests", t.Name)
+	}
+	out := &march.Test{Name: "Pred(" + t.Name + ")", Width: t.Width}
+	for _, e := range t.Elements {
+		ne := march.Element{Order: e.Order}
+		for _, op := range e.Ops {
+			if op.Kind == march.Read {
+				ne.Ops = append(ne.Ops, op)
+			}
+		}
+		if len(ne.Ops) > 0 {
+			out.Elements = append(out.Elements, ne)
+		}
+	}
+	if len(out.Elements) == 0 {
+		return nil, fmt.Errorf("core: %q has no read operations to predict", t.Name)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BitTransform is the result of the classical bit-oriented transparent
+// transformation.
+type BitTransform struct {
+	// Transparent is the transparent march test (TMarch).
+	Transparent *march.Test
+	// Prediction is the signature-prediction test (reads only).
+	Prediction *march.Test
+}
+
+// TransformBitOriented applies the Section 3 rules (Steps 1–4) to a
+// conventional bit-oriented march test, e.g. March C- into TMarch C-:
+//
+//	{⇑(ra,w~a); ⇑(r~a,wa); ⇓(ra,w~a); ⇓(r~a,wa); ⇕(ra)}
+func TransformBitOriented(bm *march.Test) (BitTransform, error) {
+	if !bm.IsBitOriented() {
+		return BitTransform{}, fmt.Errorf("core: %q is not a bit-oriented march test", bm.Name)
+	}
+	t, _, err := transparentize(bm, true)
+	if err != nil {
+		return BitTransform{}, err
+	}
+	t.Name = "TMarch(" + bm.Name + ")"
+	pred, err := Prediction(t)
+	if err != nil {
+		return BitTransform{}, err
+	}
+	return BitTransform{Transparent: t, Prediction: pred}, nil
+}
+
+// Concat joins several march tests of identical width into one.
+func Concat(name string, tests ...*march.Test) (*march.Test, error) {
+	if len(tests) == 0 {
+		return nil, fmt.Errorf("core: Concat needs at least one test")
+	}
+	out := &march.Test{Name: name, Width: tests[0].Width}
+	for _, t := range tests {
+		if t.Width != out.Width {
+			return nil, fmt.Errorf("core: Concat width mismatch: %q is %d-bit, expected %d", t.Name, t.Width, out.Width)
+		}
+		for _, e := range t.Elements {
+			out.Elements = append(out.Elements, e.Clone())
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Concretize evaluates every datum of a transparent test at a fixed
+// initial content, yielding the nontransparent march test the
+// transparent one degenerates to. Running the result on a memory
+// pre-filled with that content performs exactly the same accesses as
+// the transparent original. Section 5 uses this to name the
+// nontransparent counterpart (SMarch+AMarch) whose fault coverage the
+// transparent test preserves.
+func Concretize(t *march.Test, initial word.Word) (*march.Test, error) {
+	if !t.IsTransparent() {
+		return nil, fmt.Errorf("core: %q is already nontransparent", t.Name)
+	}
+	out := &march.Test{Name: fmt.Sprintf("Concrete(%s, a=%s)", t.Name, initial.Hex(t.Width)), Width: t.Width}
+	for _, e := range t.Elements {
+		ne := march.Element{Order: e.Order, Ops: make([]march.Op, 0, len(e.Ops))}
+		for _, op := range e.Ops {
+			v := op.Data.Value(initial, t.Width)
+			ne.Ops = append(ne.Ops, march.Op{Kind: op.Kind, Data: march.Lit(v)})
+		}
+		out.Elements = append(out.Elements, ne)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

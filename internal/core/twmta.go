@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+
+	"twmarch/internal/databg"
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// TWMResult carries every artifact of Algorithm 1 so callers can
+// inspect, execute, and account for the parts individually.
+type TWMResult struct {
+	// Source is the bit-oriented march test the transformation
+	// started from.
+	Source *march.Test
+	// Width is the word width of the generated tests.
+	Width int
+	// SMarch is the solid-background word test, including the read
+	// element appended when the source ended with a write.
+	SMarch *march.Test
+	// TSMarch is the transparent form of SMarch (Steps 1–2; the Step 3
+	// restore is deferred to ATMarch).
+	TSMarch *march.Test
+	// ATMarch is the added transparent test that walks the log2(W)
+	// checkerboard backgrounds c_k through every word and leaves the
+	// memory holding its initial contents.
+	ATMarch *march.Test
+	// TWMarch is the complete transparent word-oriented march test,
+	// TSMarch followed by ATMarch.
+	TWMarch *march.Test
+	// Prediction is the signature-prediction test of TWMarch (writes
+	// removed).
+	Prediction *march.Test
+	// BaseInverted records whether TSMarch left the memory
+	// complemented, making ATMarch operate on the ~a base and restore
+	// the contents in its closing element.
+	BaseInverted bool
+}
+
+// TCM returns the transparent test length in operations per address
+// (the paper's TCM, in units of N).
+func (r *TWMResult) TCM() int { return r.TWMarch.Ops() }
+
+// TCP returns the prediction test length in operations per address
+// (the paper's TCP, in units of N).
+func (r *TWMResult) TCP() int { return r.Prediction.Ops() }
+
+// TWMTA is the paper's transparent word-oriented march transformation
+// algorithm (Algorithm 1). Given a bit-oriented march test and a
+// power-of-two word width it produces the transparent word-oriented
+// march test TWMarch = TSMarch ; ATMarch and its signature-prediction
+// test.
+//
+// The steps follow Section 4:
+//
+//  1. Replace bit data 0/1 by the solid all-0/all-1 backgrounds
+//     (SMarch).
+//  2. If the last operation of SMarch is a write, append a ⇕(r·)
+//     element so the final write is observed.
+//  3. Transform SMarch into the transparent TSMarch with the Section 3
+//     rules, treating the solid words as single bits. The Step 3
+//     restore is deferred: if the contents end up complemented,
+//     ATMarch runs on the ~a base and restores in its final element.
+//  4. Append ATMarch: for k = 1..log2(W) the element
+//     ⇕(r x, w x^c_k, r x^c_k, w x, r x) with x the TSMarch end state
+//     (a or ~a) and c_k the checkerboard background whose bit j is 1
+//     iff ⌊j/2^(k-1)⌋ is even; then a closing ⇕(r a) — or, on the ~a
+//     base, ⇕(r ~a, w a) which also restores the initial contents.
+func TWMTA(bm *march.Test, width int) (*TWMResult, error) {
+	lg, err := databg.Log2(width)
+	if err != nil {
+		return nil, err
+	}
+	return twmta(bm, width, lg)
+}
+
+// TWMTAGeneral extends Algorithm 1 to arbitrary (non-power-of-two)
+// word widths, as found in parity- or tag-extended embedded memories:
+// ⌈log2 W⌉ truncated checkerboards keep the pairwise-distinguishing
+// property the intra-word coverage argument rests on, so the
+// construction carries over unchanged. For power-of-two widths the
+// result is identical to TWMTA.
+func TWMTAGeneral(bm *march.Test, width int) (*TWMResult, error) {
+	if width < 1 || width > 128 {
+		return nil, fmt.Errorf("core: width %d out of range [1,128]", width)
+	}
+	lg, err := databg.CeilLog2(width)
+	if err != nil {
+		return nil, err
+	}
+	return twmta(bm, width, lg)
+}
+
+func twmta(bm *march.Test, width, lg int) (*TWMResult, error) {
+	if !bm.IsBitOriented() {
+		return nil, fmt.Errorf("core: TWM_TA requires a bit-oriented march test, got %q", bm.Name)
+	}
+	if bm.Reads() == 0 {
+		// Algorithm 1 aborts on tests that cannot observe anything.
+		return nil, fmt.Errorf("core: TWM_TA: %q has no read operations", bm.Name)
+	}
+
+	smarch, err := Solid(bm, width)
+	if err != nil {
+		return nil, err
+	}
+	last := smarch.Elements[len(smarch.Elements)-1]
+	if last.Ops[len(last.Ops)-1].Kind == march.Write {
+		// The final write would otherwise go unobserved.
+		final := last.Ops[len(last.Ops)-1].Data
+		smarch.Elements = append(smarch.Elements, march.Elem(march.Any, march.R(final)))
+	}
+
+	tsmarch, endMask, err := transparentize(smarch, false)
+	if err != nil {
+		return nil, err
+	}
+	tsmarch.Name = fmt.Sprintf("TSMarch(%s, W=%d)", bm.Name, width)
+	baseInverted := !endMask.IsZero()
+
+	atmarch, err := buildATMarch(width, lg, baseInverted)
+	if err != nil {
+		return nil, err
+	}
+
+	twmarch, err := Concat(fmt.Sprintf("TWMarch(%s, W=%d)", bm.Name, width), tsmarch, atmarch)
+	if err != nil {
+		return nil, err
+	}
+	if err := twmarch.CheckReadConsistency(); err != nil {
+		return nil, fmt.Errorf("core: generated TWMarch failed self-check: %v", err)
+	}
+	if fc := twmarch.FinalContent(); !fc.Datum.EffectiveMask(width).IsZero() {
+		return nil, fmt.Errorf("core: generated TWMarch is not transparent: final content %s", fc.Datum.Format(width))
+	}
+	pred, err := Prediction(twmarch)
+	if err != nil {
+		return nil, err
+	}
+	return &TWMResult{
+		Source:       bm.Clone(),
+		Width:        width,
+		SMarch:       smarch,
+		TSMarch:      tsmarch,
+		ATMarch:      atmarch,
+		TWMarch:      twmarch,
+		Prediction:   pred,
+		BaseInverted: baseInverted,
+	}, nil
+}
+
+// buildATMarch assembles the added transparent march test on base x,
+// where x = a when inverted is false and x = ~a otherwise.
+func buildATMarch(width, lg int, inverted bool) (*march.Test, error) {
+	base := func(mask word.Word, label string) march.Datum {
+		d := march.Datum{Transparent: true, Invert: inverted, Mask: mask}
+		if label != "" {
+			d.Label = label
+		}
+		return d
+	}
+	at := &march.Test{Name: fmt.Sprintf("ATMarch(W=%d)", width), Width: width}
+	for k := 1; k <= lg; k++ {
+		ck, err := databg.CheckerboardAny(width, k)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("c%d", k)
+		at.Elements = append(at.Elements, march.Elem(march.Any,
+			march.R(base(word.Zero, "")),
+			march.W(base(ck, label)),
+			march.R(base(ck, label)),
+			march.W(base(word.Zero, "")),
+			march.R(base(word.Zero, "")),
+		))
+	}
+	if inverted {
+		// Closing element doubles as the Step 3 restore: contents are
+		// ~a here; read them and write the inverse.
+		at.Elements = append(at.Elements, march.Elem(march.Any,
+			march.R(base(word.Zero, "")),
+			march.W(march.Transp(word.Zero)),
+		))
+	} else {
+		at.Elements = append(at.Elements, march.Elem(march.Any,
+			march.R(march.Transp(word.Zero)),
+		))
+	}
+	if err := at.Validate(); err != nil {
+		return nil, err
+	}
+	return at, nil
+}
+
+// NontransparentEquivalent returns the conventional word-oriented
+// march test whose fault coverage the transparent TWMarch preserves:
+// the transparent test evaluated at all-zero initial contents, i.e.
+// SMarch followed by the nontransparent AMarch of Section 5.
+func NontransparentEquivalent(r *TWMResult) (*march.Test, error) {
+	t, err := Concretize(r.TWMarch, word.Zero)
+	if err != nil {
+		return nil, err
+	}
+	t.Name = fmt.Sprintf("SMarch+AMarch(%s, W=%d)", r.Source.Name, r.Width)
+	return t, nil
+}

@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"twmarch/internal/databg"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Section 4 worked example: transparent word-oriented March U for an
+// 8-bit memory has complexity 29 N.
+func TestMarchUExampleComplexity29(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.TCM(); got != 29 {
+		t.Fatalf("TCM = %d N, want 29 N (paper, Section 4)", got)
+	}
+	// TSMarch U carries 13 ops: the appended ⇕(r0) plus the
+	// transformed four elements.
+	if got := res.TSMarch.Ops(); got != 13 {
+		t.Fatalf("TSMarch ops = %d, want 13", got)
+	}
+	if got := res.ATMarch.Ops(); got != 16 {
+		t.Fatalf("ATMarch ops = %d, want 16 (3 backgrounds x 5 + closing read)", got)
+	}
+	if res.BaseInverted {
+		t.Fatal("March U TSMarch ends at the initial contents; base must not be inverted")
+	}
+}
+
+// Section 4: the exact shape of TSMarch U for 8-bit words.
+func TestTSMarchUShape(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "{up(ra,w~a,r~a,wa); up(ra,w~a); down(r~a,wa,ra,w~a); down(r~a,wa); any(ra)}"
+	if got := res.TSMarch.ASCII(); got != want {
+		t.Fatalf("TSMarch U = %s\nwant        %s", got, want)
+	}
+}
+
+// Section 4: ATMarch for 8-bit words walks c1=01010101, c2=00110011,
+// c3=00001111 and closes with a read.
+func TestATMarchShapeWidth8(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := res.ATMarch
+	if len(at.Elements) != 4 {
+		t.Fatalf("ATMarch elements = %d, want 4", len(at.Elements))
+	}
+	wantMasks := []string{"01010101", "00110011", "00001111"}
+	for i := 0; i < 3; i++ {
+		e := at.Elements[i]
+		if len(e.Ops) != 5 {
+			t.Fatalf("element %d has %d ops, want 5", i, len(e.Ops))
+		}
+		kinds := []march.OpKind{march.Read, march.Write, march.Read, march.Write, march.Read}
+		for j, k := range kinds {
+			if e.Ops[j].Kind != k {
+				t.Fatalf("element %d op %d kind = %v, want %v", i, j, e.Ops[j].Kind, k)
+			}
+		}
+		if got := e.Ops[1].Data.Mask.Bits(8); got != wantMasks[i] {
+			t.Fatalf("element %d mask = %s, want %s", i, got, wantMasks[i])
+		}
+		// r x, w x^ck, r x^ck, w x, r x: masks 0, ck, ck, 0, 0.
+		if !e.Ops[0].Data.Mask.IsZero() || !e.Ops[3].Data.Mask.IsZero() || !e.Ops[4].Data.Mask.IsZero() {
+			t.Fatalf("element %d base ops carry masks", i)
+		}
+		if e.Ops[2].Data.Mask != e.Ops[1].Data.Mask {
+			t.Fatalf("element %d read-back mask differs from written mask", i)
+		}
+	}
+	closing := at.Elements[3]
+	if len(closing.Ops) != 1 || closing.Ops[0].Kind != march.Read {
+		t.Fatalf("closing element = %+v, want single read", closing)
+	}
+}
+
+// The paper's general complexity claim: TCM = (M + 5 log2 W) N for
+// source tests with an initialization element, read-first elements and
+// a final read (March C- satisfies all three).
+func TestTCMFormulaMarchCMinus(t *testing.T) {
+	bm := march.MustLookup("March C-")
+	M := bm.Ops()
+	for _, width := range []int{2, 4, 8, 16, 32, 64, 128} {
+		res, err := TWMTA(bm, width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lg := databg.MustLog2(width)
+		if got, want := res.TCM(), M+5*lg; got != want {
+			t.Errorf("W=%d: TCM = %d, want %d", width, got, want)
+		}
+		// Constructive prediction: Q reads in TSMarch plus 3 per
+		// checkerboard element plus the closing read.
+		if got, want := res.TCP(), bm.Reads()+3*lg+1; got != want {
+			t.Errorf("W=%d: TCP = %d, want %d", width, got, want)
+		}
+	}
+}
+
+// Transparency: for every catalog test and several widths, TWMarch
+// passes on fault-free memory with random contents and preserves them.
+func TestTWMarchTransparencyAcrossCatalog(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for _, e := range march.Catalog() {
+		for _, width := range []int{2, 8, 32} {
+			res, err := TWMTA(march.MustLookup(e.Name), width)
+			if err != nil {
+				t.Fatalf("%s W=%d: %v", e.Name, width, err)
+			}
+			mem := memory.MustNew(12, width)
+			mem.Randomize(r)
+			before := mem.Snapshot()
+			run, err := march.Run(res.TWMarch, mem, march.RunOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if run.Detected() {
+				t.Fatalf("%s W=%d: fault-free TWMarch mismatched: %v", e.Name, width, run.Mismatches[0])
+			}
+			if !mem.Equal(before) {
+				t.Fatalf("%s W=%d: contents not preserved", e.Name, width)
+			}
+		}
+	}
+}
+
+// A source test ending with the complemented contents exercises the
+// inverted-base ATMarch variant, whose closing element restores.
+func TestTWMTABaseInvertedVariant(t *testing.T) {
+	bm := march.MustParse("endsAt1", "{any(w0); up(r0,w1); any(r1)}")
+	res, err := TWMTA(bm, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BaseInverted {
+		t.Fatal("expected inverted base")
+	}
+	closing := res.ATMarch.Elements[len(res.ATMarch.Elements)-1]
+	if len(closing.Ops) != 2 || closing.Ops[1].Kind != march.Write {
+		t.Fatalf("closing element should read ~a and restore a: %+v", closing)
+	}
+	// The first checkerboard element must operate on the ~a base.
+	first := res.ATMarch.Elements[0]
+	if !first.Ops[0].Data.Invert {
+		t.Fatal("ATMarch base should be ~a")
+	}
+	// End-to-end transparency still holds.
+	mem := memory.MustNew(8, 8)
+	r := rand.New(rand.NewSource(3))
+	mem.Randomize(r)
+	before := mem.Snapshot()
+	run, err := march.Run(res.TWMarch, mem, march.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Detected() || !mem.Equal(before) {
+		t.Fatal("inverted-base TWMarch not transparent")
+	}
+	// TCM = TSMarch + 5 lg + 2 on the inverted base.
+	if got, want := res.TCM(), res.TSMarch.Ops()+5*3+2; got != want {
+		t.Fatalf("TCM = %d, want %d", got, want)
+	}
+}
+
+// Sources ending in a write receive the appended read element.
+func TestTWMTAAppendsReadAfterTrailingWrite(t *testing.T) {
+	bm := march.MustLookup("March U") // ends ⇓(r1,w0)
+	res, err := TWMTA(bm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.SMarch.Elements[len(res.SMarch.Elements)-1]
+	if len(last.Ops) != 1 || last.Ops[0].Kind != march.Read {
+		t.Fatalf("SMarch should end with the appended read element, got %+v", last)
+	}
+	// A source already ending with a read is left alone.
+	bm2 := march.MustLookup("March C-")
+	res2, err := TWMTA(bm2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SMarch.Ops() != bm2.Ops() {
+		t.Fatalf("March C- SMarch ops = %d, want %d", res2.SMarch.Ops(), bm2.Ops())
+	}
+}
+
+func TestTWMTAErrors(t *testing.T) {
+	if _, err := TWMTA(march.MustParse("w", "{any(w01)}"), 8); err == nil {
+		t.Error("non-bit test accepted")
+	}
+	if _, err := TWMTA(march.MustLookup("March C-"), 12); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	if _, err := TWMTA(march.MustParse("noreads", "{any(w0); up(w1)}"), 8); err == nil {
+		t.Error("read-free test accepted")
+	}
+}
+
+func TestTWMTAWidthOne(t *testing.T) {
+	// Width 1 degenerates gracefully: no checkerboards, ATMarch is the
+	// closing read only, and the result is the bit-oriented
+	// transparent test plus that read.
+	res, err := TWMTA(march.MustLookup("March C-"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.ATMarch.Ops(); got != 1 {
+		t.Fatalf("ATMarch ops at width 1 = %d, want 1", got)
+	}
+	mem := memory.MustNew(16, 1)
+	r := rand.New(rand.NewSource(5))
+	mem.Randomize(r)
+	before := mem.Snapshot()
+	run, err := march.Run(res.TWMarch, mem, march.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Detected() || !mem.Equal(before) {
+		t.Fatal("width-1 TWMarch not transparent")
+	}
+}
+
+func TestPredictionMatchesPaperStructure(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction = reads of TWMarch: 7 in TSMarch (6 source reads + 1
+	// appended) and 3 per checkerboard element + closing = 10.
+	if got := res.TCP(); got != 17 {
+		t.Fatalf("TCP = %d, want 17", got)
+	}
+	if res.Prediction.Writes() != 0 {
+		t.Fatal("prediction contains writes")
+	}
+}
+
+func TestNontransparentEquivalentRunsOnZeroMemory(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := NontransparentEquivalent(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.IsTransparent() {
+		t.Fatal("equivalent test should be nontransparent")
+	}
+	if eq.Ops() != res.TWMarch.Ops() {
+		t.Fatalf("ops differ: %d vs %d", eq.Ops(), res.TWMarch.Ops())
+	}
+	mem := memory.MustNew(8, 4) // zeroed = the a=0 concretization point
+	run, err := march.Run(eq, mem, march.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Detected() {
+		t.Fatalf("fault-free equivalent run mismatched: %v", run.Mismatches)
+	}
+	if !strings.Contains(eq.Name, "AMarch") {
+		t.Fatalf("name = %q", eq.Name)
+	}
+}
+
+// The ATMarch data walk reproduces Table 1's content sequence; the
+// full table generator lives in internal/trace, but the underlying
+// symbolic states are asserted here.
+func TestATMarchContentStates(t *testing.T) {
+	res, err := TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := word.FromUint64(0b11001010) // arbitrary 8-bit initial content
+	mem := memory.MustNew(1, 8)
+	mem.Write(0, a)
+	// After TSMarch the content is a again; execute ATMarch and check
+	// the content after each element is a.
+	if _, err := march.Run(res.TSMarch, mem, march.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Read(0) != a {
+		t.Fatal("TSMarch did not restore contents")
+	}
+	states := res.ATMarch.TrackContent()
+	for i, s := range states {
+		if m := s.Datum.EffectiveMask(8); !m.IsZero() {
+			t.Fatalf("ATMarch boundary %d leaves mask %s", i, m.Bits(8))
+		}
+	}
+	if _, err := march.Run(res.ATMarch, mem, march.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Read(0) != a {
+		t.Fatal("ATMarch did not restore contents")
+	}
+}
+
+// Property: for random widths and catalog tests, TCM growth over the
+// source length is exactly the ATMarch overhead — slightly related to
+// the source test only through the appended read (the paper's closing
+// observation in Section 5).
+func TestTWMTAOverheadIndependentOfSource(t *testing.T) {
+	for _, width := range []int{4, 16, 64} {
+		lg := databg.MustLog2(width)
+		for _, e := range march.Catalog() {
+			bm := march.MustLookup(e.Name)
+			res, err := TWMTA(bm, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			overhead := res.TCM() - res.TSMarch.Ops()
+			if res.BaseInverted {
+				if overhead != 5*lg+2 {
+					t.Errorf("%s W=%d: overhead %d, want %d", e.Name, width, overhead, 5*lg+2)
+				}
+			} else if overhead != 5*lg+1 {
+				t.Errorf("%s W=%d: overhead %d, want %d", e.Name, width, overhead, 5*lg+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package databg generates the data backgrounds used by word-oriented
+// march testing.
+//
+// A data background is the word-wide pattern a bit-oriented march test
+// is replayed with so that intra-word coupling faults get excited
+// (Dekker et al., ITC 1988). Two families matter here:
+//
+//   - Standard(width): the log2(W)+1 classical backgrounds
+//     00…0, 0101…, 0011…, …, 0…01…1 used by conventional word-oriented
+//     march tests and by the Scheme 1 transparent transformation.
+//
+//   - Checkerboards(width): the log2(W) patterns c_k the paper's
+//     ATMarch walks through every word. Bit j of c_k is 1 exactly when
+//     ⌊j/2^(k-1)⌋ is even (Section 4), so c_1 = 0101…, c_2 = 0011…,
+//     c_3 = 00001111…, etc. For width 8 this reproduces the paper's
+//     c1=01010101, c2=00110011, c3=00001111.
+//
+// The key property (verified in the tests and relied on by the fault
+// coverage theorem of Section 5) is that the checkerboards are
+// pairwise-distinguishing: for any two bit positions p ≠ q there is a
+// k with c_k[p] ≠ c_k[q], so ATMarch drives every intra-word bit pair
+// through the (0,1) and (1,0) data combinations the solid backgrounds
+// cannot produce.
+package databg
+
+import (
+	"fmt"
+
+	"twmarch/internal/word"
+)
+
+// Log2 returns log2(width) for exact powers of two, or an error
+// otherwise. The paper assumes power-of-two word widths; the
+// transformation needs ⌈log2⌉ backgrounds in general, and we keep the
+// paper's exact-power contract explicit.
+func Log2(width int) (int, error) {
+	if width < 1 {
+		return 0, fmt.Errorf("databg: width %d must be positive", width)
+	}
+	k := 0
+	for v := width; v > 1; v >>= 1 {
+		k++
+	}
+	if 1<<uint(k) != width {
+		return 0, fmt.Errorf("databg: width %d is not a power of two", width)
+	}
+	return k, nil
+}
+
+// MustLog2 is Log2 for widths known to be powers of two.
+func MustLog2(width int) int {
+	k, err := Log2(width)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// CeilLog2 returns ⌈log2 width⌉ for any positive width. It backs the
+// arbitrary-width extension: ⌈log2 W⌉ truncated checkerboards remain
+// pairwise-distinguishing because two positions p ≠ q < W differ in a
+// binary digit below ⌈log2 W⌉.
+func CeilLog2(width int) (int, error) {
+	if width < 1 {
+		return 0, fmt.Errorf("databg: width %d must be positive", width)
+	}
+	k := 0
+	for (1 << uint(k)) < width {
+		k++
+	}
+	return k, nil
+}
+
+// CheckerboardAny returns the background c_k truncated to an arbitrary
+// width; k ranges over 1..CeilLog2(width). For power-of-two widths it
+// agrees with Checkerboard.
+func CheckerboardAny(width, k int) (word.Word, error) {
+	lg, err := CeilLog2(width)
+	if err != nil {
+		return word.Word{}, err
+	}
+	if k < 1 || k > lg {
+		return word.Word{}, fmt.Errorf("databg: checkerboard index %d out of range [1,%d] for width %d", k, lg, width)
+	}
+	var w word.Word
+	block := 1 << uint(k-1)
+	for j := 0; j < width; j++ {
+		if (j/block)%2 == 0 {
+			w = w.SetBit(j, 1)
+		}
+	}
+	return w, nil
+}
+
+// Checkerboard returns the paper's background c_k for the given word
+// width: bit j is 1 iff ⌊j/2^(k-1)⌋ is even. k ranges over
+// 1..log2(width).
+func Checkerboard(width, k int) (word.Word, error) {
+	lg, err := Log2(width)
+	if err != nil {
+		return word.Word{}, err
+	}
+	if k < 1 || k > lg {
+		return word.Word{}, fmt.Errorf("databg: checkerboard index %d out of range [1,%d] for width %d", k, lg, width)
+	}
+	var w word.Word
+	block := 1 << uint(k-1)
+	for j := 0; j < width; j++ {
+		if (j/block)%2 == 0 {
+			w = w.SetBit(j, 1)
+		}
+	}
+	return w, nil
+}
+
+// Checkerboards returns c_1..c_log2(width) in order.
+func Checkerboards(width int) ([]word.Word, error) {
+	lg, err := Log2(width)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]word.Word, lg)
+	for k := 1; k <= lg; k++ {
+		c, err := Checkerboard(width, k)
+		if err != nil {
+			return nil, err
+		}
+		out[k-1] = c
+	}
+	return out, nil
+}
+
+// MustCheckerboards is Checkerboards for valid widths.
+func MustCheckerboards(width int) []word.Word {
+	cs, err := Checkerboards(width)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// Standard returns the log2(width)+1 classical data backgrounds
+// b_1..b_{log2(width)+1}: the all-zero word followed by the
+// checkerboards. This is the background set the conventional
+// word-oriented march test of Section 3 iterates over
+// (e.g. 0000, 0101, 0011 for 4-bit words).
+func Standard(width int) ([]word.Word, error) {
+	cs, err := Checkerboards(width)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]word.Word, 0, len(cs)+1)
+	out = append(out, word.Zero)
+	out = append(out, cs...)
+	return out, nil
+}
+
+// MustStandard is Standard for valid widths.
+func MustStandard(width int) []word.Word {
+	bs, err := Standard(width)
+	if err != nil {
+		panic(err)
+	}
+	return bs
+}
+
+// Count returns the number of standard backgrounds for the width,
+// log2(width)+1.
+func Count(width int) (int, error) {
+	lg, err := Log2(width)
+	if err != nil {
+		return 0, err
+	}
+	return lg + 1, nil
+}
+
+// Distinguishes reports whether background bg separates bit positions
+// p and q, i.e. assigns them different values.
+func Distinguishes(bg word.Word, p, q int) bool {
+	return bg.Bit(p) != bg.Bit(q)
+}
+
+// DistinguishingIndex returns the smallest k (1-based) such that
+// Checkerboard(width,k) separates bits p and q, or an error if the
+// positions coincide or exceed the width.
+func DistinguishingIndex(width, p, q int) (int, error) {
+	if p == q {
+		return 0, fmt.Errorf("databg: positions %d and %d coincide", p, q)
+	}
+	if p < 0 || p >= width || q < 0 || q >= width {
+		return 0, fmt.Errorf("databg: positions %d,%d out of range [0,%d)", p, q, width)
+	}
+	cs, err := Checkerboards(width)
+	if err != nil {
+		return 0, err
+	}
+	for i, c := range cs {
+		if Distinguishes(c, p, q) {
+			return i + 1, nil
+		}
+	}
+	// Unreachable for power-of-two widths: the binary expansions of p
+	// and q differ in some bit b, and c_{b+1} separates them.
+	return 0, fmt.Errorf("databg: no checkerboard separates bits %d and %d at width %d", p, q, width)
+}
+
+// Names returns printable labels c1..clog2(width) for the
+// checkerboards, used when formatting generated tests.
+func Names(width int) []string {
+	lg := MustLog2(width)
+	out := make([]string, lg)
+	for k := 1; k <= lg; k++ {
+		out[k-1] = fmt.Sprintf("c%d", k)
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package databg
+
+import (
+	"testing"
+
+	"twmarch/internal/word"
+)
+
+func TestLog2(t *testing.T) {
+	good := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 32: 5, 64: 6, 128: 7}
+	for w, want := range good {
+		got, err := Log2(w)
+		if err != nil || got != want {
+			t.Errorf("Log2(%d) = %d, %v; want %d", w, got, err, want)
+		}
+	}
+	for _, w := range []int{0, -1, 3, 6, 12, 100} {
+		if _, err := Log2(w); err == nil {
+			t.Errorf("Log2(%d) succeeded, want error", w)
+		}
+	}
+}
+
+func TestCheckerboardPaperExamples(t *testing.T) {
+	// Section 4: for 8-bit words c1=01010101, c2=00110011, c3=00001111.
+	want := []string{"01010101", "00110011", "00001111"}
+	cs := MustCheckerboards(8)
+	if len(cs) != 3 {
+		t.Fatalf("got %d checkerboards, want 3", len(cs))
+	}
+	for i, c := range cs {
+		if got := c.Bits(8); got != want[i] {
+			t.Errorf("c%d = %s, want %s", i+1, got, want[i])
+		}
+	}
+}
+
+func TestCheckerboardWidth4(t *testing.T) {
+	cs := MustCheckerboards(4)
+	if cs[0].Bits(4) != "0101" || cs[1].Bits(4) != "0011" {
+		t.Fatalf("width-4 checkerboards: %s %s", cs[0].Bits(4), cs[1].Bits(4))
+	}
+}
+
+func TestCheckerboardFormula(t *testing.T) {
+	// Verify bit j of c_k is 1 iff floor(j / 2^(k-1)) is even, at
+	// every supported power-of-two width.
+	for _, width := range []int{2, 4, 8, 16, 32, 64, 128} {
+		lg := MustLog2(width)
+		for k := 1; k <= lg; k++ {
+			c, err := Checkerboard(width, k)
+			if err != nil {
+				t.Fatalf("Checkerboard(%d,%d): %v", width, k, err)
+			}
+			for j := 0; j < width; j++ {
+				want := 0
+				if (j/(1<<uint(k-1)))%2 == 0 {
+					want = 1
+				}
+				if got := c.Bit(j); got != want {
+					t.Fatalf("width %d c%d bit %d = %d, want %d", width, k, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckerboardRangeErrors(t *testing.T) {
+	if _, err := Checkerboard(8, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Checkerboard(8, 4); err == nil {
+		t.Error("k=log2+1 accepted")
+	}
+	if _, err := Checkerboard(6, 1); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+}
+
+func TestStandardBackgrounds(t *testing.T) {
+	// Section 3 example: 4-bit words use 0000, 0101, 0011.
+	bs := MustStandard(4)
+	want := []string{"0000", "0101", "0011"}
+	if len(bs) != len(want) {
+		t.Fatalf("got %d standard backgrounds, want %d", len(bs), len(want))
+	}
+	for i, b := range bs {
+		if got := b.Bits(4); got != want[i] {
+			t.Errorf("b%d = %s, want %s", i+1, got, want[i])
+		}
+	}
+	n, err := Count(4)
+	if err != nil || n != 3 {
+		t.Fatalf("Count(4) = %d, %v", n, err)
+	}
+}
+
+// The crux of the paper's intra-word coverage argument: the
+// checkerboards pairwise-distinguish all bit positions.
+func TestCheckerboardsPairwiseDistinguishing(t *testing.T) {
+	for _, width := range []int{2, 4, 8, 16, 32, 64, 128} {
+		cs := MustCheckerboards(width)
+		for p := 0; p < width; p++ {
+			for q := p + 1; q < width; q++ {
+				found := false
+				for _, c := range cs {
+					if Distinguishes(c, p, q) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("width %d: no checkerboard separates bits %d and %d", width, p, q)
+				}
+			}
+		}
+	}
+}
+
+func TestDistinguishingIndex(t *testing.T) {
+	// Bits 0 and 1 differ in their lowest binary digit → c1.
+	k, err := DistinguishingIndex(8, 0, 1)
+	if err != nil || k != 1 {
+		t.Fatalf("DistinguishingIndex(8,0,1) = %d, %v", k, err)
+	}
+	// Bits 0 and 4 differ first at digit 2 → c3.
+	k, err = DistinguishingIndex(8, 0, 4)
+	if err != nil || k != 3 {
+		t.Fatalf("DistinguishingIndex(8,0,4) = %d, %v", k, err)
+	}
+	if _, err := DistinguishingIndex(8, 3, 3); err == nil {
+		t.Error("coinciding positions accepted")
+	}
+	if _, err := DistinguishingIndex(8, 0, 8); err == nil {
+		t.Error("out-of-range position accepted")
+	}
+}
+
+// DistinguishingIndex matches the binary-expansion argument: the
+// smallest separating checkerboard is the lowest differing bit of p
+// and q, plus one.
+func TestDistinguishingIndexFormula(t *testing.T) {
+	for _, width := range []int{4, 8, 16, 32} {
+		for p := 0; p < width; p++ {
+			for q := 0; q < width; q++ {
+				if p == q {
+					continue
+				}
+				k, err := DistinguishingIndex(width, p, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				diff := p ^ q
+				lowest := 0
+				for diff&1 == 0 {
+					diff >>= 1
+					lowest++
+				}
+				if k != lowest+1 {
+					t.Fatalf("width %d p=%d q=%d: k=%d, want %d", width, p, q, k, lowest+1)
+				}
+			}
+		}
+	}
+}
+
+func TestCheckerboardOnesCount(t *testing.T) {
+	// Every checkerboard has exactly width/2 ones.
+	for _, width := range []int{2, 8, 64, 128} {
+		for _, c := range MustCheckerboards(width) {
+			if got := c.OnesCount(); got != width/2 {
+				t.Fatalf("width %d: checkerboard %s has %d ones", width, c.Bits(width), got)
+			}
+		}
+	}
+}
+
+func TestCheckerboardComplementRelation(t *testing.T) {
+	// c_k and its complement partition the word; the complement is the
+	// background with odd ⌊j/2^(k-1)⌋ — sanity for the Not operation
+	// used throughout the transforms.
+	for _, width := range []int{4, 8, 32} {
+		for _, c := range MustCheckerboards(width) {
+			inv := c.Not(width)
+			if c.Xor(inv) != word.Ones(width) {
+				t.Fatalf("width %d: c ^ ~c != ones", width)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names(8)
+	want := []string{"c1", "c2", "c3"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names(8) = %v", names)
+		}
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	if _, err := Checkerboards(12); err == nil {
+		t.Error("Checkerboards(12) succeeded")
+	}
+	if _, err := Standard(12); err == nil {
+		t.Error("Standard(12) succeeded")
+	}
+	if _, err := Count(12); err == nil {
+		t.Error("Count(12) succeeded")
+	}
+	if _, err := DistinguishingIndex(12, 0, 1); err == nil {
+		t.Error("DistinguishingIndex at bad width succeeded")
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 7: 3, 8: 3, 9: 4, 100: 7, 128: 7}
+	for w, want := range cases {
+		got, err := CeilLog2(w)
+		if err != nil || got != want {
+			t.Errorf("CeilLog2(%d) = %d, %v; want %d", w, got, err, want)
+		}
+	}
+	if _, err := CeilLog2(0); err == nil {
+		t.Error("CeilLog2(0) accepted")
+	}
+	if _, err := CeilLog2(-3); err == nil {
+		t.Error("negative width accepted")
+	}
+}
+
+func TestCheckerboardAnyAgreesOnPowersOfTwo(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 32, 128} {
+		lg := MustLog2(w)
+		for k := 1; k <= lg; k++ {
+			a, err := Checkerboard(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := CheckerboardAny(w, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("width %d c%d: %v != %v", w, k, a, b)
+			}
+		}
+	}
+}
+
+func TestCheckerboardAnyTruncation(t *testing.T) {
+	// Width 5 uses ceil(log2)=3 backgrounds; every one must stay
+	// within the width.
+	for k := 1; k <= 3; k++ {
+		c, err := CheckerboardAny(5, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c != c.Mask(5) {
+			t.Fatalf("c%d exceeds width 5: %v", k, c)
+		}
+	}
+	if _, err := CheckerboardAny(5, 4); err == nil {
+		t.Error("k beyond ceil accepted")
+	}
+	if _, err := CheckerboardAny(0, 1); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MustLog2":          func() { MustLog2(12) },
+		"MustCheckerboards": func() { MustCheckerboards(12) },
+		"MustStandard":      func() { MustStandard(12) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on invalid width", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,254 @@
+// Package ecc implements the error-detecting and -correcting codes the
+// TOMT baseline (Scheme 2, Thaller & Steininger [13]) protects its
+// memory words with: even parity and Hamming single-error-correcting
+// codes, optionally extended with an overall parity bit for
+// double-error detection (SEC-DED).
+//
+// Codewords use the classical positional layout: codeword positions
+// are numbered from 1, parity bits sit at the power-of-two positions,
+// and parity bit p_i (position 2^i) covers every position whose index
+// has bit i set. The syndrome of a corrupted word is then exactly the
+// position of a single flipped bit. The extended parity bit, when
+// enabled, occupies position 0 of the stored word and covers the whole
+// codeword.
+package ecc
+
+import (
+	"fmt"
+
+	"twmarch/internal/word"
+)
+
+// Parity returns the even-parity bit over the low width bits of data:
+// 0 when the number of ones is even.
+func Parity(data word.Word, width int) int {
+	return data.Mask(width).Parity()
+}
+
+// CheckParity reports whether the stored parity bit matches the data.
+func CheckParity(data word.Word, width, parityBit int) bool {
+	return Parity(data, width) == parityBit
+}
+
+// Status classifies a decode outcome.
+type Status int
+
+const (
+	// OK: the codeword is consistent.
+	OK Status = iota
+	// Corrected: a single-bit error was found and corrected.
+	Corrected
+	// DoubleError: two bit errors were detected (SEC-DED only); the
+	// data is uncorrectable.
+	DoubleError
+	// Uncorrectable: the syndrome points outside the codeword; more
+	// than one error (plain SEC) or an internal inconsistency.
+	Uncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case DoubleError:
+		return "double-error"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Hamming is a Hamming SEC or SEC-DED codec for a fixed data width.
+type Hamming struct {
+	dataWidth  int
+	checkBits  int  // r parity bits at power-of-two positions
+	extended   bool // overall parity for DED
+	positions  int  // highest codeword position (1-based, excl. extended bit)
+	dataPos    []int
+	parityPos  []int
+	storeWidth int
+}
+
+// NewHamming builds a codec for dataWidth data bits. With extended set
+// the code is SEC-DED. The stored word width is CodewordWidth().
+func NewHamming(dataWidth int, extended bool) (*Hamming, error) {
+	if dataWidth < 1 {
+		return nil, fmt.Errorf("ecc: data width %d must be positive", dataWidth)
+	}
+	r := 0
+	for (1 << uint(r)) < dataWidth+r+1 {
+		r++
+	}
+	positions := dataWidth + r
+	h := &Hamming{
+		dataWidth: dataWidth,
+		checkBits: r,
+		extended:  extended,
+		positions: positions,
+	}
+	for p := 1; p <= positions; p++ {
+		if p&(p-1) == 0 {
+			h.parityPos = append(h.parityPos, p)
+		} else {
+			h.dataPos = append(h.dataPos, p)
+		}
+	}
+	h.storeWidth = positions
+	if extended {
+		h.storeWidth++
+	}
+	if h.storeWidth > word.MaxWidth {
+		return nil, fmt.Errorf("ecc: codeword width %d exceeds %d bits", h.storeWidth, word.MaxWidth)
+	}
+	return h, nil
+}
+
+// MustNewHamming is NewHamming for statically valid widths.
+func MustNewHamming(dataWidth int, extended bool) *Hamming {
+	h, err := NewHamming(dataWidth, extended)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// DataWidth returns the number of protected data bits.
+func (h *Hamming) DataWidth() int { return h.dataWidth }
+
+// CheckBits returns the number of Hamming parity bits (excluding the
+// extended parity bit).
+func (h *Hamming) CheckBits() int { return h.checkBits }
+
+// Extended reports whether the codec is SEC-DED.
+func (h *Hamming) Extended() bool { return h.extended }
+
+// CodewordWidth returns the stored word width: data + check bits,
+// plus one when extended.
+func (h *Hamming) CodewordWidth() int { return h.storeWidth }
+
+// Overhead returns CodewordWidth - DataWidth, the redundancy the TOMT
+// scheme pays for concurrent detection.
+func (h *Hamming) Overhead() int { return h.storeWidth - h.dataWidth }
+
+// DataBitPositions returns the stored-word bit indices that carry data
+// bits, in data-bit order. The remaining stored bits are parity.
+func (h *Hamming) DataBitPositions() []int {
+	out := make([]int, len(h.dataPos))
+	for i, p := range h.dataPos {
+		out[i] = h.storedBit(p)
+	}
+	return out
+}
+
+// storedBit maps a 1-based codeword position to the bit index inside
+// the stored word. Position i lives at stored bit i-1, shifted up by
+// one when the extended parity occupies stored bit 0.
+func (h *Hamming) storedBit(pos int) int {
+	if h.extended {
+		return pos
+	}
+	return pos - 1
+}
+
+// Encode produces the stored codeword for data.
+func (h *Hamming) Encode(data word.Word) word.Word {
+	data = data.Mask(h.dataWidth)
+	var cw word.Word
+	for i, p := range h.dataPos {
+		cw = cw.SetBit(h.storedBit(p), data.Bit(i))
+	}
+	for _, p := range h.parityPos {
+		par := 0
+		for _, dp := range h.dataPos {
+			if dp&p != 0 {
+				cw2 := cw.Bit(h.storedBit(dp))
+				par ^= cw2
+			}
+		}
+		cw = cw.SetBit(h.storedBit(p), par)
+	}
+	if h.extended {
+		cw = cw.SetBit(0, cw.Shr(1).Mask(h.positions).Parity())
+	}
+	return cw
+}
+
+// syndrome recomputes the parity checks over a stored codeword and
+// returns the 1-based position of a single-bit error (0 when clean).
+func (h *Hamming) syndrome(cw word.Word) int {
+	s := 0
+	for _, p := range h.parityPos {
+		par := 0
+		for pos := 1; pos <= h.positions; pos++ {
+			if pos&p != 0 {
+				par ^= cw.Bit(h.storedBit(pos))
+			}
+		}
+		if par != 0 {
+			s |= p
+		}
+	}
+	return s
+}
+
+// Data extracts the data bits from a stored codeword without checking.
+func (h *Hamming) Data(cw word.Word) word.Word {
+	var data word.Word
+	for i, p := range h.dataPos {
+		data = data.SetBit(i, cw.Bit(h.storedBit(p)))
+	}
+	return data
+}
+
+// Decode checks and, when possible, corrects a stored codeword.
+// It returns the decoded data (after correction), the corrected stored
+// codeword, the status, and for Corrected the stored bit index that
+// was flipped back.
+func (h *Hamming) Decode(cw word.Word) (data, corrected word.Word, status Status, fixedBit int) {
+	cw = cw.Mask(h.storeWidth)
+	s := h.syndrome(cw)
+	if !h.extended {
+		switch {
+		case s == 0:
+			return h.Data(cw), cw, OK, -1
+		case s <= h.positions:
+			fixed := cw.FlipBit(h.storedBit(s))
+			return h.Data(fixed), fixed, Corrected, h.storedBit(s)
+		default:
+			return h.Data(cw), cw, Uncorrectable, -1
+		}
+	}
+	overallOK := cw.Mask(h.storeWidth).Parity() == 0
+	switch {
+	case s == 0 && overallOK:
+		return h.Data(cw), cw, OK, -1
+	case s == 0 && !overallOK:
+		// The extended parity bit itself flipped.
+		fixed := cw.FlipBit(0)
+		return h.Data(fixed), fixed, Corrected, 0
+	case s != 0 && overallOK:
+		// Parity consistent overall but syndrome non-zero: two errors.
+		return h.Data(cw), cw, DoubleError, -1
+	case s > h.positions:
+		return h.Data(cw), cw, Uncorrectable, -1
+	default:
+		fixed := cw.FlipBit(h.storedBit(s))
+		return h.Data(fixed), fixed, Corrected, h.storedBit(s)
+	}
+}
+
+// Check reports whether the stored codeword is internally consistent
+// (syndrome zero and, for SEC-DED, overall parity even).
+func (h *Hamming) Check(cw word.Word) bool {
+	if h.syndrome(cw.Mask(h.storeWidth)) != 0 {
+		return false
+	}
+	if h.extended && cw.Mask(h.storeWidth).Parity() != 0 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,225 @@
+package ecc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twmarch/internal/word"
+)
+
+func TestParity(t *testing.T) {
+	if Parity(word.FromUint64(0b0101), 4) != 0 {
+		t.Error("even ones should give parity 0")
+	}
+	if Parity(word.FromUint64(0b0111), 4) != 1 {
+		t.Error("odd ones should give parity 1")
+	}
+	// Bits beyond the width are ignored.
+	if Parity(word.FromUint64(0b10001), 4) != 1 {
+		t.Error("width masking broken")
+	}
+	if !CheckParity(word.FromUint64(0b11), 4, 0) {
+		t.Error("CheckParity rejected a good pair")
+	}
+	if CheckParity(word.FromUint64(0b11), 4, 1) {
+		t.Error("CheckParity accepted a bad pair")
+	}
+}
+
+func TestNewHammingGeometry(t *testing.T) {
+	cases := []struct {
+		data, check int
+	}{
+		{1, 2}, {4, 3}, {8, 4}, {11, 4}, {16, 5}, {26, 5}, {32, 6}, {64, 7},
+	}
+	for _, c := range cases {
+		h := MustNewHamming(c.data, false)
+		if h.CheckBits() != c.check {
+			t.Errorf("data %d: check bits %d, want %d", c.data, h.CheckBits(), c.check)
+		}
+		if h.CodewordWidth() != c.data+c.check {
+			t.Errorf("data %d: codeword width %d", c.data, h.CodewordWidth())
+		}
+		he := MustNewHamming(c.data, true)
+		if he.CodewordWidth() != c.data+c.check+1 {
+			t.Errorf("data %d extended: codeword width %d", c.data, he.CodewordWidth())
+		}
+		if he.Overhead() != c.check+1 {
+			t.Errorf("data %d extended: overhead %d", c.data, he.Overhead())
+		}
+	}
+	if _, err := NewHamming(0, false); err == nil {
+		t.Error("zero data width accepted")
+	}
+	if _, err := NewHamming(125, true); err == nil {
+		t.Error("codeword beyond 128 bits accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, dw := range []int{4, 8, 16, 32} {
+		for _, ext := range []bool{false, true} {
+			h := MustNewHamming(dw, ext)
+			r := rand.New(rand.NewSource(int64(dw)))
+			for trial := 0; trial < 50; trial++ {
+				data := word.FromUint64(r.Uint64()).Mask(dw)
+				cw := h.Encode(data)
+				if !h.Check(cw) {
+					t.Fatalf("dw=%d ext=%v: fresh codeword fails check", dw, ext)
+				}
+				got, fixed, status, _ := h.Decode(cw)
+				if status != OK || got != data || fixed != cw {
+					t.Fatalf("dw=%d ext=%v: round trip: %v %v", dw, ext, got, status)
+				}
+				if h.Data(cw) != data {
+					t.Fatalf("dw=%d ext=%v: Data extraction broken", dw, ext)
+				}
+			}
+		}
+	}
+}
+
+// Single error correction: flipping any single stored bit is detected
+// and corrected back to the original data.
+func TestSingleErrorCorrection(t *testing.T) {
+	for _, ext := range []bool{false, true} {
+		h := MustNewHamming(8, ext)
+		r := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 20; trial++ {
+			data := word.FromUint64(r.Uint64()).Mask(8)
+			cw := h.Encode(data)
+			for b := 0; b < h.CodewordWidth(); b++ {
+				bad := cw.FlipBit(b)
+				if h.Check(bad) {
+					t.Fatalf("ext=%v: single error at bit %d not detected", ext, b)
+				}
+				got, fixedCW, status, fixedBit := h.Decode(bad)
+				if status != Corrected {
+					t.Fatalf("ext=%v bit %d: status %v, want corrected", ext, b, status)
+				}
+				if got != data {
+					t.Fatalf("ext=%v bit %d: corrected data %v != %v", ext, b, got, data)
+				}
+				if fixedCW != cw {
+					t.Fatalf("ext=%v bit %d: corrected codeword differs", ext, b)
+				}
+				if fixedBit != b {
+					t.Fatalf("ext=%v bit %d: reported fixed bit %d", ext, b, fixedBit)
+				}
+			}
+		}
+	}
+}
+
+// SEC-DED: any double error is flagged DoubleError, never miscorrected.
+func TestDoubleErrorDetection(t *testing.T) {
+	h := MustNewHamming(8, true)
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		data := word.FromUint64(r.Uint64()).Mask(8)
+		cw := h.Encode(data)
+		n := h.CodewordWidth()
+		for b1 := 0; b1 < n; b1++ {
+			for b2 := b1 + 1; b2 < n; b2++ {
+				bad := cw.FlipBit(b1).FlipBit(b2)
+				_, _, status, _ := h.Decode(bad)
+				if status != DoubleError {
+					t.Fatalf("double error (%d,%d): status %v", b1, b2, status)
+				}
+			}
+		}
+	}
+}
+
+// Plain SEC miscorrects double errors (the reason TOMT wants SEC-DED);
+// assert it never reports OK for them, at minimum.
+func TestPlainSECDoubleErrorNotSilent(t *testing.T) {
+	h := MustNewHamming(8, false)
+	data := word.FromUint64(0xb7)
+	cw := h.Encode(data)
+	n := h.CodewordWidth()
+	for b1 := 0; b1 < n; b1++ {
+		for b2 := b1 + 1; b2 < n; b2++ {
+			bad := cw.FlipBit(b1).FlipBit(b2)
+			_, _, status, _ := h.Decode(bad)
+			if status == OK {
+				t.Fatalf("double error (%d,%d) reported OK", b1, b2)
+			}
+		}
+	}
+}
+
+// Property: encode/decode round trip over random data for a wide
+// SEC-DED code.
+func TestQuickRoundTrip64(t *testing.T) {
+	h := MustNewHamming(64, true)
+	f := func(v uint64) bool {
+		data := word.FromUint64(v)
+		got, _, status, _ := h.Decode(h.Encode(data))
+		return status == OK && got == data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct data produce distinct codewords (injectivity).
+func TestQuickInjective(t *testing.T) {
+	h := MustNewHamming(16, true)
+	f := func(a, b uint16) bool {
+		if a == b {
+			return true
+		}
+		return h.Encode(word.FromUint64(uint64(a))) != h.Encode(word.FromUint64(uint64(b)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		OK: "ok", Corrected: "corrected", DoubleError: "double-error",
+		Uncorrectable: "uncorrectable", Status(9): "Status(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Status %d = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestEncodeMasksData(t *testing.T) {
+	h := MustNewHamming(4, false)
+	a := h.Encode(word.FromUint64(0xf5)) // only low 4 bits count
+	b := h.Encode(word.FromUint64(0x05))
+	if a != b {
+		t.Fatal("Encode did not mask data to width")
+	}
+}
+
+func TestMinimumDistance(t *testing.T) {
+	// Exhaustive for a small code: Hamming SEC has minimum distance 3,
+	// SEC-DED distance 4.
+	check := func(ext bool, wantDist int) {
+		h := MustNewHamming(4, ext)
+		var codewords []word.Word
+		for v := 0; v < 16; v++ {
+			codewords = append(codewords, h.Encode(word.FromUint64(uint64(v))))
+		}
+		min := h.CodewordWidth() + 1
+		for i := range codewords {
+			for j := i + 1; j < len(codewords); j++ {
+				d := codewords[i].Xor(codewords[j]).OnesCount()
+				if d < min {
+					min = d
+				}
+			}
+		}
+		if min != wantDist {
+			t.Errorf("ext=%v: minimum distance %d, want %d", ext, min, wantDist)
+		}
+	}
+	check(false, 3)
+	check(true, 4)
+}

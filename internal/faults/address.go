@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Address decoder faults (AFs). March tests owe their ⇑/⇓ structure
+// partly to these: a decoder defect makes an address reach the wrong
+// cell, several cells, or no cell at all. The two models here cover
+// the classical cases reachable without modeling the decoder gate
+// level:
+//
+//   - AddrAlias: address From actually accesses the word at To (From's
+//     own storage is never reached). This subsumes van de Goor's AF
+//     types "no cell for address" + "cell shared by two addresses",
+//     which always occur in such pairs in real decoders.
+//
+//   - AddrShadow: a write to address From also writes the word at To
+//     (multi-select), reads of From return the OR/AND combination —
+//     here modeled as wired-AND, the common CMOS bitline behaviour.
+//
+// Both implement the same injection interface as the cell faults, so
+// campaigns can mix populations.
+
+// AddrAlias redirects every access of From to To.
+type AddrAlias struct {
+	From, To int
+}
+
+// String implements Fault.
+func (f AddrAlias) String() string { return fmt.Sprintf("AFalias %d->%d", f.From, f.To) }
+
+// Class implements Fault.
+func (f AddrAlias) Class() string { return "AF" }
+
+// IntraWord implements Fault; decoder faults are word-level.
+func (f AddrAlias) IntraWord() bool { return false }
+
+func (f AddrAlias) init(*memory.Memory) {}
+
+func (f AddrAlias) onWrite(addr int, old, v word.Word) word.Word { return v }
+
+func (f AddrAlias) sideEffects(*memory.Memory, int, word.Word) {}
+
+// AddrShadow makes writes to From also hit To; reads of From return
+// the wired-AND of both words.
+type AddrShadow struct {
+	From, To int
+}
+
+// String implements Fault.
+func (f AddrShadow) String() string { return fmt.Sprintf("AFshadow %d->%d", f.From, f.To) }
+
+// Class implements Fault.
+func (f AddrShadow) Class() string { return "AF" }
+
+// IntraWord implements Fault.
+func (f AddrShadow) IntraWord() bool { return false }
+
+func (f AddrShadow) init(*memory.Memory) {}
+
+func (f AddrShadow) onWrite(addr int, old, v word.Word) word.Word { return v }
+
+func (f AddrShadow) sideEffects(m *memory.Memory, addr int, old word.Word) {
+	if addr == f.From {
+		m.Write(f.To, m.Read(f.From))
+	}
+}
+
+// addrFaultRead lets the Injected wrapper intercept reads for decoder
+// faults (cell faults never need it).
+type addrFaultRead interface {
+	readVia(m *memory.Memory, addr int) (word.Word, bool)
+}
+
+func (f AddrAlias) readVia(m *memory.Memory, addr int) (word.Word, bool) {
+	if addr == f.From {
+		return m.Read(f.To), true
+	}
+	return word.Word{}, false
+}
+
+// writeVia lets decoder faults redirect the whole write.
+type addrFaultWrite interface {
+	writeVia(m *memory.Memory, addr int, v word.Word) bool
+}
+
+func (f AddrAlias) writeVia(m *memory.Memory, addr int, v word.Word) bool {
+	if addr == f.From {
+		m.Write(f.To, v)
+		return true
+	}
+	return false
+}
+
+func (f AddrShadow) readVia(m *memory.Memory, addr int) (word.Word, bool) {
+	if addr == f.From {
+		return m.Read(f.From).And(m.Read(f.To)), true
+	}
+	return word.Word{}, false
+}
+
+// EnumerateAddrFaults lists alias and shadow faults over all ordered
+// address pairs.
+func EnumerateAddrFaults(words int) []Fault {
+	var out []Fault
+	for a := 0; a < words; a++ {
+		for b := 0; b < words; b++ {
+			if a == b {
+				continue
+			}
+			out = append(out, AddrAlias{From: a, To: b})
+			out = append(out, AddrShadow{From: a, To: b})
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package faults
+
+import (
+	"testing"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+func TestAddrAliasRedirectsAccesses(t *testing.T) {
+	mem := memory.MustNew(4, 8)
+	mem.Write(2, word.FromUint64(0x22))
+	inj := MustInject(mem, AddrAlias{From: 1, To: 2})
+	// Reads of 1 see word 2.
+	if got := inj.Read(1); got != word.FromUint64(0x22) {
+		t.Fatalf("aliased read = %v", got)
+	}
+	// Writes to 1 land in word 2; word 1's own storage never changes.
+	inj.Write(1, word.FromUint64(0x55))
+	if got := mem.Read(2); got != word.FromUint64(0x55) {
+		t.Fatalf("aliased write missed target: %v", got)
+	}
+	if got := mem.Read(1); !got.IsZero() {
+		t.Fatalf("orphaned storage changed: %v", got)
+	}
+	// Other addresses unaffected.
+	inj.Write(3, word.FromUint64(0x99))
+	if inj.Read(3) != word.FromUint64(0x99) {
+		t.Fatal("unrelated address disturbed")
+	}
+}
+
+func TestAddrShadowMultiSelect(t *testing.T) {
+	mem := memory.MustNew(4, 8)
+	inj := MustInject(mem, AddrShadow{From: 0, To: 3})
+	inj.Write(0, word.FromUint64(0xf0))
+	// The shadow write also lands at 3.
+	if got := mem.Read(3); got != word.FromUint64(0xf0) {
+		t.Fatalf("shadow write missing: %v", got)
+	}
+	// Reads of 0 return the wired-AND of both words.
+	mem.Write(3, word.FromUint64(0x3c))
+	if got := inj.Read(0); got != word.FromUint64(0x30) {
+		t.Fatalf("wired-AND read = %v, want 0x30", got)
+	}
+	// Reads of 3 are direct.
+	if got := inj.Read(3); got != word.FromUint64(0x3c) {
+		t.Fatalf("direct read = %v", got)
+	}
+}
+
+func TestAddrFaultValidation(t *testing.T) {
+	mem := memory.MustNew(4, 8)
+	if _, err := Inject(mem, AddrAlias{From: 1, To: 1}); err == nil {
+		t.Error("self-alias accepted")
+	}
+	if _, err := Inject(mem, AddrShadow{From: 0, To: 9}); err == nil {
+		t.Error("out-of-range shadow accepted")
+	}
+}
+
+func TestAddrFaultStringsAndClass(t *testing.T) {
+	a := AddrAlias{From: 1, To: 2}
+	s := AddrShadow{From: 3, To: 0}
+	if a.String() != "AFalias 1->2" || s.String() != "AFshadow 3->0" {
+		t.Errorf("strings: %q %q", a.String(), s.String())
+	}
+	if a.Class() != "AF" || s.Class() != "AF" || a.IntraWord() || s.IntraWord() {
+		t.Error("classification broken")
+	}
+}
+
+func TestEnumerateAddrFaults(t *testing.T) {
+	list := EnumerateAddrFaults(3)
+	// 3*2 ordered pairs x 2 models.
+	if len(list) != 12 {
+		t.Fatalf("count = %d, want 12", len(list))
+	}
+	seen := map[string]bool{}
+	for _, f := range list {
+		if seen[f.String()] {
+			t.Fatalf("duplicate %s", f)
+		}
+		seen[f.String()] = true
+	}
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"fmt"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Dynamic (read-disturb) faults, per Hamdioui's classification: a read
+// operation itself corrupts the cell.
+//
+//   - RDF (read destructive fault): the read inverts the cell and
+//     returns the *new*, wrong value — any read of the sensitive
+//     polarity observes it.
+//
+//   - DRDF (deceptive read destructive fault): the read inverts the
+//     cell but returns the *old*, correct value — only a second
+//     observation of the cell before it is rewritten can catch it,
+//     which is why March SS performs r,r pairs.
+//
+// The fault is polarity-sensitive: it fires only when the cell holds
+// Value before the read.
+
+// ReadDestructive models RDF and DRDF.
+type ReadDestructive struct {
+	Cell Site
+	// Value is the cell state that triggers the disturb (0 or 1).
+	Value int
+	// Deceptive selects DRDF semantics (correct value returned).
+	Deceptive bool
+}
+
+// String implements Fault.
+func (f ReadDestructive) String() string {
+	kind := "RDF"
+	if f.Deceptive {
+		kind = "DRDF"
+	}
+	return fmt.Sprintf("%s%d@%s", kind, f.Value, f.Cell)
+}
+
+// Class implements Fault.
+func (f ReadDestructive) Class() string {
+	if f.Deceptive {
+		return "DRDF"
+	}
+	return "RDF"
+}
+
+// IntraWord implements Fault.
+func (f ReadDestructive) IntraWord() bool { return true }
+
+func (f ReadDestructive) init(*memory.Memory) {}
+
+func (f ReadDestructive) onWrite(addr int, old, v word.Word) word.Word { return v }
+
+func (f ReadDestructive) sideEffects(*memory.Memory, int, word.Word) {}
+
+// readVia implements the read-perturbation hook: reads of the faulty
+// word flip the sensitive cell when it holds the trigger value.
+func (f ReadDestructive) readVia(m *memory.Memory, addr int) (word.Word, bool) {
+	if addr != f.Cell.Addr {
+		return word.Word{}, false
+	}
+	stored := m.Read(addr)
+	if stored.Bit(f.Cell.Bit) != f.Value {
+		return stored, true
+	}
+	disturbed := stored.FlipBit(f.Cell.Bit)
+	m.Write(addr, disturbed)
+	if f.Deceptive {
+		return stored, true // old value returned; corruption latent
+	}
+	return disturbed, true // wrong value returned immediately
+}
+
+// EnumerateReadDestructive lists all RDF and DRDF instances.
+func EnumerateReadDestructive(words, width int) []Fault {
+	var out []Fault
+	for a := 0; a < words; a++ {
+		for b := 0; b < width; b++ {
+			for v := 0; v <= 1; v++ {
+				out = append(out, ReadDestructive{Cell: Site{a, b}, Value: v, Deceptive: false})
+				out = append(out, ReadDestructive{Cell: Site{a, b}, Value: v, Deceptive: true})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"testing"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+func TestRDFReturnsWrongValueAndDisturbs(t *testing.T) {
+	mem := memory.MustNew(2, 4)
+	inj := MustInject(mem, ReadDestructive{Cell: Site{0, 1}, Value: 0, Deceptive: false})
+	// Cell holds 0 (trigger): the read flips it and returns the new 1.
+	got := inj.Read(0)
+	if got.Bit(1) != 1 {
+		t.Fatal("RDF should return the disturbed value")
+	}
+	if mem.Read(0).Bit(1) != 1 {
+		t.Fatal("RDF should corrupt the stored value")
+	}
+	// Now the cell holds 1 (not the trigger): reads are clean.
+	got = inj.Read(0)
+	if got.Bit(1) != 1 || mem.Read(0).Bit(1) != 1 {
+		t.Fatal("non-trigger polarity disturbed")
+	}
+}
+
+func TestDRDFReturnsOldValue(t *testing.T) {
+	mem := memory.MustNew(2, 4)
+	mem.Write(1, word.FromUint64(0b0010))
+	inj := MustInject(mem, ReadDestructive{Cell: Site{1, 1}, Value: 1, Deceptive: true})
+	// First read deceives: correct old value, corrupted cell.
+	if inj.Read(1).Bit(1) != 1 {
+		t.Fatal("DRDF first read should return the old value")
+	}
+	if mem.Read(1).Bit(1) != 0 {
+		t.Fatal("DRDF should have corrupted the cell")
+	}
+	// Second read sees the corruption (cell now 0, not the trigger).
+	if inj.Read(1).Bit(1) != 0 {
+		t.Fatal("second read should expose the corruption")
+	}
+}
+
+func TestReadDestructiveOtherAddressesClean(t *testing.T) {
+	mem := memory.MustNew(3, 4)
+	mem.Write(2, word.FromUint64(0xf))
+	inj := MustInject(mem, ReadDestructive{Cell: Site{0, 0}, Value: 0})
+	if inj.Read(2) != word.FromUint64(0xf) {
+		t.Fatal("unrelated address perturbed")
+	}
+	inj.Write(1, word.FromUint64(0x3))
+	if inj.Read(1) != word.FromUint64(0x3) {
+		t.Fatal("unrelated write perturbed")
+	}
+}
+
+func TestReadDestructiveMetadata(t *testing.T) {
+	rdf := ReadDestructive{Cell: Site{1, 2}, Value: 0}
+	drdf := ReadDestructive{Cell: Site{1, 2}, Value: 1, Deceptive: true}
+	if rdf.String() != "RDF0@1.2" || drdf.String() != "DRDF1@1.2" {
+		t.Errorf("strings: %q %q", rdf.String(), drdf.String())
+	}
+	if rdf.Class() != "RDF" || drdf.Class() != "DRDF" || !rdf.IntraWord() {
+		t.Error("metadata broken")
+	}
+}
+
+func TestEnumerateReadDestructive(t *testing.T) {
+	list := EnumerateReadDestructive(2, 3)
+	// 6 cells x 2 polarities x 2 kinds.
+	if len(list) != 24 {
+		t.Fatalf("count = %d, want 24", len(list))
+	}
+	seen := map[string]bool{}
+	for _, f := range list {
+		if seen[f.String()] {
+			t.Fatalf("duplicate %s", f)
+		}
+		seen[f.String()] = true
+	}
+}

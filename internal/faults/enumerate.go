@@ -1,0 +1,123 @@
+package faults
+
+// Enumeration of complete single-fault lists over a memory geometry.
+// Campaign sizes grow as O((N·W)²) for coupling faults, so the
+// exhaustive lists are intended for the small memories the coverage
+// experiments use (the paper's arguments are per cell pair, so small
+// exhaustive geometries generalize).
+
+// PairScope restricts which aggressor/victim pairs a coupling
+// enumeration generates.
+type PairScope int
+
+const (
+	// AllPairs enumerates every ordered pair of distinct bit cells.
+	AllPairs PairScope = iota
+	// IntraWordPairs keeps pairs within one word (the faults only the
+	// paper's ATMarch extension can excite).
+	IntraWordPairs
+	// InterWordPairs keeps pairs across different words (covered by
+	// the TSMarch part).
+	InterWordPairs
+)
+
+// EnumerateStuckAt lists all 2·N·W stuck-at faults.
+func EnumerateStuckAt(words, width int) []Fault {
+	out := make([]Fault, 0, 2*words*width)
+	for a := 0; a < words; a++ {
+		for b := 0; b < width; b++ {
+			out = append(out, StuckAt{Cell: Site{a, b}, Value: 0})
+			out = append(out, StuckAt{Cell: Site{a, b}, Value: 1})
+		}
+	}
+	return out
+}
+
+// EnumerateTransition lists all 2·N·W transition faults.
+func EnumerateTransition(words, width int) []Fault {
+	out := make([]Fault, 0, 2*words*width)
+	for a := 0; a < words; a++ {
+		for b := 0; b < width; b++ {
+			out = append(out, Transition{Cell: Site{a, b}, Rise: true})
+			out = append(out, Transition{Cell: Site{a, b}, Rise: false})
+		}
+	}
+	return out
+}
+
+// pairs yields all ordered (aggressor, victim) site pairs in scope.
+func pairs(words, width int, scope PairScope) []struct{ A, V Site } {
+	var out []struct{ A, V Site }
+	for aa := 0; aa < words; aa++ {
+		for ab := 0; ab < width; ab++ {
+			for va := 0; va < words; va++ {
+				for vb := 0; vb < width; vb++ {
+					if aa == va && ab == vb {
+						continue
+					}
+					intra := aa == va
+					if scope == IntraWordPairs && !intra {
+						continue
+					}
+					if scope == InterWordPairs && intra {
+						continue
+					}
+					out = append(out, struct{ A, V Site }{Site{aa, ab}, Site{va, vb}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateCFst lists state coupling faults <s;v> for all four
+// (s,v) combinations over the pairs in scope.
+func EnumerateCFst(words, width int, scope PairScope) []Fault {
+	var out []Fault
+	for _, p := range pairs(words, width, scope) {
+		for s := 0; s <= 1; s++ {
+			for v := 0; v <= 1; v++ {
+				out = append(out, Coupling{Model: CFst, Aggressor: p.A, Victim: p.V, AggrTrigger: s, VictimValue: v})
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateCFid lists idempotent coupling faults <t;v> for all four
+// (transition, value) combinations over the pairs in scope.
+func EnumerateCFid(words, width int, scope PairScope) []Fault {
+	var out []Fault
+	for _, p := range pairs(words, width, scope) {
+		for tr := 0; tr <= 1; tr++ {
+			for v := 0; v <= 1; v++ {
+				out = append(out, Coupling{Model: CFid, Aggressor: p.A, Victim: p.V, AggrTrigger: tr, VictimValue: v})
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateCFin lists inversion coupling faults <t> for both
+// transitions over the pairs in scope.
+func EnumerateCFin(words, width int, scope PairScope) []Fault {
+	var out []Fault
+	for _, p := range pairs(words, width, scope) {
+		for tr := 0; tr <= 1; tr++ {
+			out = append(out, Coupling{Model: CFin, Aggressor: p.A, Victim: p.V, AggrTrigger: tr})
+		}
+	}
+	return out
+}
+
+// EnumerateAll lists the complete Section 2 fault population for the
+// geometry: SAF, TF, and all coupling families over all pairs.
+func EnumerateAll(words, width int) []Fault {
+	var out []Fault
+	out = append(out, EnumerateStuckAt(words, width)...)
+	out = append(out, EnumerateTransition(words, width)...)
+	out = append(out, EnumerateCFst(words, width, AllPairs)...)
+	out = append(out, EnumerateCFid(words, width, AllPairs)...)
+	out = append(out, EnumerateCFin(words, width, AllPairs)...)
+	return out
+}

@@ -1,0 +1,104 @@
+package faults
+
+import (
+	"fmt"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Linked faults: two coupling faults sharing the victim cell whose
+// effects can mask each other (van de Goor & Gaydadjiev 1997 — the
+// motivation for March U in the catalog). A march test detects the
+// pair only if it observes the victim between the two interfering
+// excitations; March C- famously misses some linked CFid pairs that
+// March U catches.
+//
+// The model composes two Coupling faults with a common victim: each
+// triggering write applies its component's effect in program order
+// (first A, then B, when one write triggers both).
+
+// Linked is a pair of coupling faults on the same victim.
+type Linked struct {
+	A, B Coupling
+}
+
+// NewLinked validates and builds a linked fault.
+func NewLinked(a, b Coupling) (Linked, error) {
+	if a.Victim != b.Victim {
+		return Linked{}, fmt.Errorf("faults: linked components have different victims: %s vs %s", a.Victim, b.Victim)
+	}
+	if a.Aggressor == b.Aggressor && a.AggrTrigger == b.AggrTrigger && a.Model == b.Model {
+		return Linked{}, fmt.Errorf("faults: linked components are identical")
+	}
+	if a.Aggressor == a.Victim || b.Aggressor == b.Victim {
+		return Linked{}, fmt.Errorf("faults: linked component couples a cell to itself")
+	}
+	return Linked{A: a, B: b}, nil
+}
+
+// String implements Fault.
+func (f Linked) String() string { return fmt.Sprintf("Linked{%s & %s}", f.A, f.B) }
+
+// Class implements Fault.
+func (f Linked) Class() string { return "Linked" }
+
+// IntraWord implements Fault.
+func (f Linked) IntraWord() bool { return f.A.IntraWord() && f.B.IntraWord() }
+
+func (f Linked) init(m *memory.Memory) {
+	f.A.init(m)
+	f.B.init(m)
+}
+
+func (f Linked) onWrite(addr int, old, v word.Word) word.Word {
+	v = f.A.onWrite(addr, old, v)
+	v = f.B.onWrite(addr, old, v)
+	return v
+}
+
+func (f Linked) sideEffects(m *memory.Memory, addr int, old word.Word) {
+	f.A.sideEffects(m, addr, old)
+	f.B.sideEffects(m, addr, old)
+}
+
+// EnumerateLinkedCFid lists the classical linked CFid pairs over
+// bit-oriented geometries: two idempotent coupling faults from
+// distinct aggressors onto one victim with opposite forced values —
+// the masking pattern March U targets. To keep populations manageable
+// the enumeration pairs aggressors i<j for every victim distinct from
+// both.
+func EnumerateLinkedCFid(words, width int) []Fault {
+	var sites []Site
+	for a := 0; a < words; a++ {
+		for b := 0; b < width; b++ {
+			sites = append(sites, Site{Addr: a, Bit: b})
+		}
+	}
+	var out []Fault
+	for vi, victim := range sites {
+		for ai, aggrA := range sites {
+			if ai == vi {
+				continue
+			}
+			for bi, aggrB := range sites {
+				if bi == vi || bi <= ai {
+					continue
+				}
+				for t1 := 0; t1 <= 1; t1++ {
+					for t2 := 0; t2 <= 1; t2++ {
+						lf, err := NewLinked(
+							Coupling{Model: CFid, Aggressor: aggrA, Victim: victim, AggrTrigger: t1, VictimValue: 1},
+							Coupling{Model: CFid, Aggressor: aggrB, Victim: victim, AggrTrigger: t2, VictimValue: 0},
+						)
+						if err != nil {
+							continue
+						}
+						out = append(out, lf)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

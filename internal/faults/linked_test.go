@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"testing"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+func TestNewLinkedValidation(t *testing.T) {
+	a := Coupling{Model: CFid, Aggressor: Site{0, 0}, Victim: Site{2, 0}, AggrTrigger: 1, VictimValue: 1}
+	b := Coupling{Model: CFid, Aggressor: Site{1, 0}, Victim: Site{2, 0}, AggrTrigger: 1, VictimValue: 0}
+	if _, err := NewLinked(a, b); err != nil {
+		t.Fatalf("valid pair rejected: %v", err)
+	}
+	bad := b
+	bad.Victim = Site{3, 0}
+	if _, err := NewLinked(a, bad); err == nil {
+		t.Error("different victims accepted")
+	}
+	if _, err := NewLinked(a, a); err == nil {
+		t.Error("identical components accepted")
+	}
+}
+
+// The defining behaviour: the second component can mask the first.
+// Aggressor A rising sets the victim to 1; aggressor B rising resets
+// it to 0. Exciting A then B leaves the victim clean — undetectable by
+// a read placed only after both.
+func TestLinkedMasking(t *testing.T) {
+	a := Coupling{Model: CFid, Aggressor: Site{0, 0}, Victim: Site{2, 0}, AggrTrigger: 1, VictimValue: 1}
+	b := Coupling{Model: CFid, Aggressor: Site{1, 0}, Victim: Site{2, 0}, AggrTrigger: 1, VictimValue: 0}
+	lf, err := NewLinked(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.MustNew(3, 1)
+	inj := MustInject(mem, lf)
+	inj.Write(0, word.FromUint64(1)) // A rises: victim = 1
+	if inj.Read(2).Bit(0) != 1 {
+		t.Fatal("first component did not fire")
+	}
+	inj.Write(1, word.FromUint64(1)) // B rises: victim back to 0
+	if inj.Read(2).Bit(0) != 0 {
+		t.Fatal("second component did not mask the first")
+	}
+}
+
+func TestLinkedSameWriteOrdering(t *testing.T) {
+	// Both aggressors in one word: a single write triggers A then B;
+	// the victim ends at B's value.
+	a := Coupling{Model: CFid, Aggressor: Site{0, 0}, Victim: Site{0, 2}, AggrTrigger: 1, VictimValue: 1}
+	b := Coupling{Model: CFid, Aggressor: Site{0, 1}, Victim: Site{0, 2}, AggrTrigger: 1, VictimValue: 0}
+	lf, err := NewLinked(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.MustNew(1, 3)
+	inj := MustInject(mem, lf)
+	inj.Write(0, word.FromUint64(0b011)) // both rise in one write
+	if inj.Read(0).Bit(2) != 0 {
+		t.Fatalf("ordering broken: victim = %d, want B's value 0", inj.Read(0).Bit(2))
+	}
+}
+
+func TestLinkedMetadata(t *testing.T) {
+	a := Coupling{Model: CFid, Aggressor: Site{0, 0}, Victim: Site{0, 2}, AggrTrigger: 1, VictimValue: 1}
+	b := Coupling{Model: CFid, Aggressor: Site{0, 1}, Victim: Site{0, 2}, AggrTrigger: 0, VictimValue: 0}
+	lf, _ := NewLinked(a, b)
+	if lf.Class() != "Linked" {
+		t.Error("class broken")
+	}
+	if !lf.IntraWord() {
+		t.Error("intra-word pair misclassified")
+	}
+	if lf.String() == "" {
+		t.Error("empty string")
+	}
+	inter, _ := NewLinked(
+		Coupling{Model: CFid, Aggressor: Site{1, 0}, Victim: Site{0, 2}, AggrTrigger: 1, VictimValue: 1},
+		b,
+	)
+	if inter.IntraWord() {
+		t.Error("inter-word pair misclassified")
+	}
+}
+
+func TestEnumerateLinkedCFid(t *testing.T) {
+	list := EnumerateLinkedCFid(3, 1)
+	if len(list) == 0 {
+		t.Fatal("empty enumeration")
+	}
+	// 3 victims x 1 aggressor pair each x 4 trigger combos.
+	if len(list) != 3*1*4 {
+		t.Fatalf("count = %d, want 12", len(list))
+	}
+	for _, f := range list {
+		lf := f.(Linked)
+		if lf.A.Victim != lf.B.Victim {
+			t.Fatal("victim mismatch in enumeration")
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package faults
+
+import (
+	"fmt"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Neighborhood pattern-sensitive faults (NPSF). The paper's references
+// [3,17] apply the transparent transformation to dedicated PSF tests
+// because march tests do not target these faults; the model here makes
+// that gap measurable (EXPERIMENTS.md E11).
+//
+// A static NPSF forces the victim cell to a value while its four
+// physical neighbors hold a specific pattern. Physical adjacency needs
+// a layout: the bit-oriented memory is interpreted as a Rows×Cols grid
+// with address = row·Cols + col.
+
+// NPSF is a static type-1 (five-cell) neighborhood pattern-sensitive
+// fault on a bit-oriented memory.
+type NPSF struct {
+	// Rows and Cols define the physical grid; Rows*Cols must not
+	// exceed the memory size.
+	Rows, Cols int
+	// Victim is the base cell's address (bit 0 of a width-1 memory).
+	Victim int
+	// Pattern holds the required north, south, west, east neighbor
+	// values.
+	Pattern [4]int
+	// Value is forced onto the victim while the pattern holds.
+	Value int
+}
+
+// String implements Fault.
+func (f NPSF) String() string {
+	return fmt.Sprintf("NPSF<%d%d%d%d;%d>@%d", f.Pattern[0], f.Pattern[1], f.Pattern[2], f.Pattern[3], f.Value, f.Victim)
+}
+
+// Class implements Fault.
+func (f NPSF) Class() string { return "NPSF" }
+
+// IntraWord implements Fault.
+func (f NPSF) IntraWord() bool { return false }
+
+// neighbors returns the N,S,W,E addresses, or -1 where the victim sits
+// on a grid edge (edge neighbors are treated as holding 0).
+func (f NPSF) neighbors() [4]int {
+	row, col := f.Victim/f.Cols, f.Victim%f.Cols
+	out := [4]int{-1, -1, -1, -1}
+	if row > 0 {
+		out[0] = f.Victim - f.Cols
+	}
+	if row < f.Rows-1 {
+		out[1] = f.Victim + f.Cols
+	}
+	if col > 0 {
+		out[2] = f.Victim - 1
+	}
+	if col < f.Cols-1 {
+		out[3] = f.Victim + 1
+	}
+	return out
+}
+
+func (f NPSF) matches(m *memory.Memory) bool {
+	for i, addr := range f.neighbors() {
+		v := 0
+		if addr >= 0 {
+			v = m.Read(addr).Bit(0)
+		}
+		if v != f.Pattern[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f NPSF) enforce(m *memory.Memory) {
+	if !f.matches(m) {
+		return
+	}
+	v := m.Read(f.Victim)
+	if v.Bit(0) != f.Value {
+		m.Write(f.Victim, v.SetBit(0, f.Value))
+	}
+}
+
+func (f NPSF) init(m *memory.Memory) { f.enforce(m) }
+
+func (f NPSF) onWrite(addr int, old, v word.Word) word.Word { return v }
+
+func (f NPSF) sideEffects(m *memory.Memory, addr int, old word.Word) {
+	// A standing condition like CFst: enforce after every write.
+	f.enforce(m)
+}
+
+// EnumerateNPSF lists the active (victim forced against the pattern)
+// static NPSF instances over all interior cells of the grid, for a
+// fixed pattern set. The full 5-cell population has 32 patterns x 2
+// values per cell; the default enumeration keeps the 4 solid and
+// checkered patterns that dedicated PSF tests start from, times both
+// forced values.
+func EnumerateNPSF(rows, cols int) []Fault {
+	patterns := [][4]int{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{0, 1, 0, 1},
+		{1, 0, 1, 0},
+	}
+	var out []Fault
+	for row := 1; row < rows-1; row++ {
+		for col := 1; col < cols-1; col++ {
+			victim := row*cols + col
+			for _, p := range patterns {
+				for v := 0; v <= 1; v++ {
+					out = append(out, NPSF{Rows: rows, Cols: cols, Victim: victim, Pattern: p, Value: v})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"testing"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// grid5x5 builds a 25-cell bit memory with a given victim value and a
+// neighborhood pattern around address 12 (center of a 5x5 grid).
+func grid5x5(t *testing.T, pattern [4]int, victimVal int) *memory.Memory {
+	t.Helper()
+	mem := memory.MustNew(25, 1)
+	// N=7, S=17, W=11, E=13 around center 12.
+	for i, addr := range []int{7, 17, 11, 13} {
+		mem.Write(addr, word.FromUint64(uint64(pattern[i])))
+	}
+	mem.Write(12, word.FromUint64(uint64(victimVal)))
+	return mem
+}
+
+func TestNPSFEnforcement(t *testing.T) {
+	pattern := [4]int{0, 1, 0, 1}
+	mem := grid5x5(t, pattern, 1)
+	f := NPSF{Rows: 5, Cols: 5, Victim: 12, Pattern: pattern, Value: 0}
+	inj := MustInject(mem, f)
+	// Initial condition: the pattern holds, victim forced to 0.
+	if inj.Read(12).Bit(0) != 0 {
+		t.Fatal("NPSF not enforced at injection")
+	}
+	// Writing the victim while the pattern holds is overridden.
+	inj.Write(12, word.FromUint64(1))
+	if inj.Read(12).Bit(0) != 0 {
+		t.Fatal("victim writable despite active pattern")
+	}
+	// Breaking the pattern releases the victim.
+	inj.Write(7, word.FromUint64(1))
+	inj.Write(12, word.FromUint64(1))
+	if inj.Read(12).Bit(0) != 1 {
+		t.Fatal("victim not released after pattern broke")
+	}
+}
+
+func TestNPSFInactiveWhenPatternAbsent(t *testing.T) {
+	pattern := [4]int{1, 1, 1, 1}
+	mem := grid5x5(t, [4]int{0, 0, 0, 0}, 1)
+	f := NPSF{Rows: 5, Cols: 5, Victim: 12, Pattern: pattern, Value: 0}
+	inj := MustInject(mem, f)
+	if inj.Read(12).Bit(0) != 1 {
+		t.Fatal("NPSF fired without its pattern")
+	}
+}
+
+func TestNPSFEdgeCellsUseZeroNeighbors(t *testing.T) {
+	mem := memory.MustNew(25, 1)
+	// Corner cell 0: N and W are off-grid (treated as 0); S=5, E=1.
+	f := NPSF{Rows: 5, Cols: 5, Victim: 0, Pattern: [4]int{0, 1, 0, 1}, Value: 1}
+	inj := MustInject(mem, f)
+	inj.Write(5, word.FromUint64(1))
+	inj.Write(1, word.FromUint64(1))
+	if inj.Read(0).Bit(0) != 1 {
+		t.Fatal("edge-cell NPSF not enforced")
+	}
+}
+
+func TestNPSFValidation(t *testing.T) {
+	mem := memory.MustNew(8, 1)
+	if _, err := Inject(mem, NPSF{Rows: 5, Cols: 5, Victim: 12, Value: 0}); err == nil {
+		t.Error("grid larger than memory accepted")
+	}
+	if _, err := Inject(mem, NPSF{Rows: 0, Cols: 5, Victim: 0, Value: 0}); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+}
+
+func TestNPSFMetadataAndEnumeration(t *testing.T) {
+	f := NPSF{Rows: 4, Cols: 4, Victim: 5, Pattern: [4]int{0, 1, 0, 1}, Value: 1}
+	if f.String() != "NPSF<0101;1>@5" {
+		t.Errorf("string: %q", f.String())
+	}
+	if f.Class() != "NPSF" || f.IntraWord() {
+		t.Error("metadata broken")
+	}
+	list := EnumerateNPSF(4, 4)
+	// 2x2 interior cells x 4 patterns x 2 values.
+	if len(list) != 4*4*2 {
+		t.Fatalf("enumeration = %d, want 32", len(list))
+	}
+}

@@ -1,0 +1,109 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// Characterization is a coverage matrix: one row per march test, one
+// column per fault class, each cell the detected fraction over the
+// exhaustive class population on a small bit-oriented memory. It
+// reproduces the classical march-test comparison tables (van de Goor,
+// IEEE D&T 1993) from first principles and locates every catalog test
+// on them, including the dynamic and decoder classes the later
+// literature added.
+type Characterization struct {
+	Words   int
+	Tests   []string
+	Classes []string
+	// Coverage[i][j] is test i's coverage of class j.
+	Coverage [][]float64
+}
+
+// characterizationClasses fixes the column order.
+var characterizationClasses = []string{"SAF", "TF", "AF", "CFin", "CFid", "CFst", "RDF", "DRDF", "Linked"}
+
+// classPopulation enumerates the population for one class label.
+func classPopulation(class string, words int) ([]faults.Fault, error) {
+	switch class {
+	case "SAF":
+		return faults.EnumerateStuckAt(words, 1), nil
+	case "TF":
+		return faults.EnumerateTransition(words, 1), nil
+	case "AF":
+		return faults.EnumerateAddrFaults(words), nil
+	case "CFin":
+		return faults.EnumerateCFin(words, 1, faults.AllPairs), nil
+	case "CFid":
+		return faults.EnumerateCFid(words, 1, faults.AllPairs), nil
+	case "CFst":
+		return faults.EnumerateCFst(words, 1, faults.AllPairs), nil
+	case "RDF", "DRDF":
+		var out []faults.Fault
+		for _, f := range faults.EnumerateReadDestructive(words, 1) {
+			if f.Class() == class {
+				out = append(out, f)
+			}
+		}
+		return out, nil
+	case "Linked":
+		return faults.EnumerateLinkedCFid(words, 1), nil
+	default:
+		return nil, fmt.Errorf("faultsim: unknown class %q", class)
+	}
+}
+
+// Characterize measures every named test against every fault class on
+// a words-cell bit-oriented memory with all-zero initial contents (the
+// classical analysis point; the catalog tests initialize themselves).
+func Characterize(testNames []string, words int) (*Characterization, error) {
+	ch := &Characterization{
+		Words:   words,
+		Tests:   append([]string(nil), testNames...),
+		Classes: append([]string(nil), characterizationClasses...),
+	}
+	zeros := make([]word.Word, words)
+	for _, name := range testNames {
+		tst, err := march.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(ch.Classes))
+		for j, class := range ch.Classes {
+			list, err := classPopulation(class, words)
+			if err != nil {
+				return nil, err
+			}
+			c := Campaign{Test: tst, Words: words, Width: 1, Mode: DirectCompare, Initial: zeros}
+			rep, err := Run(c, list)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = rep.Coverage()
+		}
+		ch.Coverage = append(ch.Coverage, row)
+	}
+	return ch, nil
+}
+
+// Get returns the coverage for a test/class pair.
+func (c *Characterization) Get(test, class string) (float64, error) {
+	ti, ci := -1, -1
+	for i, t := range c.Tests {
+		if t == test {
+			ti = i
+		}
+	}
+	for j, cl := range c.Classes {
+		if cl == class {
+			ci = j
+		}
+	}
+	if ti < 0 || ci < 0 {
+		return 0, fmt.Errorf("faultsim: no cell for %q/%q", test, class)
+	}
+	return c.Coverage[ti][ci], nil
+}

@@ -1,0 +1,106 @@
+package faultsim
+
+import (
+	"testing"
+
+	"twmarch/internal/march"
+)
+
+// The measured characterization must reproduce the classical
+// march-test comparison table (van de Goor 1993 and successors):
+// which tests fully cover which fault classes.
+func TestCharacterizationMatchesLiterature(t *testing.T) {
+	names := make([]string, 0, 12)
+	for _, e := range march.Catalog() {
+		names = append(names, e.Name)
+	}
+	ch, err := Characterize(names, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := func(test, class string) {
+		t.Helper()
+		got, err := ch.Get(test, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Errorf("%s / %s: coverage %.2f, literature says 100%%", test, class, got)
+		}
+	}
+	partial := func(test, class string) {
+		t.Helper()
+		got, err := ch.Get(test, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= 1 {
+			t.Errorf("%s / %s: coverage 100%%, literature says partial", test, class)
+		}
+	}
+
+	// Every march test detects all stuck-at faults.
+	for _, n := range names {
+		full(n, "SAF")
+	}
+	// MATS misses transition faults (no read after the final write per
+	// state) and decoder faults (single address order).
+	partial("MATS", "TF")
+	partial("MATS", "AF")
+	// MATS+ adds both address orders: AFs covered, TFs still not.
+	full("MATS+", "AF")
+	partial("MATS+", "TF")
+	// MATS++ adds the trailing read: TFs covered.
+	full("MATS++", "TF")
+	full("MATS++", "AF")
+	// March X covers inversion CFs but not the idempotent/state ones.
+	full("March X", "CFin")
+	partial("March X", "CFid")
+	partial("March X", "CFst")
+	// The complete CF tests.
+	for _, n := range []string{"March C-", "March C", "March U", "March LR", "March SS"} {
+		full(n, "CFin")
+		full(n, "CFid")
+		full(n, "CFst")
+		full(n, "TF")
+		full(n, "AF")
+	}
+	// RDF is caught by every test with reads of both polarities; DRDF
+	// only by March SS's read-after-read pairs.
+	for _, n := range []string{"March C-", "March U", "March SS"} {
+		full(n, "RDF")
+	}
+	full("March SS", "DRDF")
+	partial("March C-", "DRDF")
+	partial("March U", "DRDF")
+	// Linked faults split the catalog exactly along its design lines:
+	// March A, March B and March LR — the tests published *for* linked
+	// faults — cover the two-aggressor CFid population in full, while
+	// the simple-fault tests do not.
+	for _, n := range []string{"March A", "March B", "March LR"} {
+		full(n, "Linked")
+	}
+	for _, n := range []string{"MATS", "MATS+", "MATS++", "March X", "March Y", "March C", "March C-", "March U", "March SS"} {
+		partial(n, "Linked")
+	}
+}
+
+func TestCharacterizeErrors(t *testing.T) {
+	if _, err := Characterize([]string{"March Z"}, 3); err == nil {
+		t.Error("unknown test accepted")
+	}
+	ch, err := Characterize([]string{"MATS"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Get("MATS", "XYZ"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := ch.Get("nope", "SAF"); err == nil {
+		t.Error("unknown test accepted in Get")
+	}
+	if _, err := classPopulation("XYZ", 2); err == nil {
+		t.Error("unknown class population accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package faultsim
+
+import (
+	"fmt"
+
+	"twmarch/internal/core"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+)
+
+// WordCharacterization extends the bit-level matrix to the paper's
+// word-oriented domain: each catalog test is transformed with TWM_TA
+// at the given width and measured against the word-level fault
+// classes, splitting coupling faults into the inter-word population
+// (covered by TSMarch) and the intra-word population (ATMarch's
+// territory, where finding F1 applies).
+type WordCharacterization struct {
+	Words, Width int
+	Tests        []string
+	Classes      []string
+	Coverage     [][]float64
+}
+
+var wordClasses = []string{"SAF", "TF", "CFinter", "CFintra", "AF"}
+
+func wordClassPopulation(class string, words, width int) ([]faults.Fault, error) {
+	switch class {
+	case "SAF":
+		return faults.EnumerateStuckAt(words, width), nil
+	case "TF":
+		return faults.EnumerateTransition(words, width), nil
+	case "CFinter":
+		var out []faults.Fault
+		out = append(out, faults.EnumerateCFst(words, width, faults.InterWordPairs)...)
+		out = append(out, faults.EnumerateCFid(words, width, faults.InterWordPairs)...)
+		out = append(out, faults.EnumerateCFin(words, width, faults.InterWordPairs)...)
+		return out, nil
+	case "CFintra":
+		var out []faults.Fault
+		out = append(out, faults.EnumerateCFst(words, width, faults.IntraWordPairs)...)
+		out = append(out, faults.EnumerateCFid(words, width, faults.IntraWordPairs)...)
+		out = append(out, faults.EnumerateCFin(words, width, faults.IntraWordPairs)...)
+		return out, nil
+	case "AF":
+		return faults.EnumerateAddrFaults(words), nil
+	default:
+		return nil, fmt.Errorf("faultsim: unknown word class %q", class)
+	}
+}
+
+// CharacterizeWord measures the TWM_TA transforms of the named tests
+// over the word-level fault classes, with pseudo-random pre-existing
+// contents (seed-fixed for reproducibility).
+func CharacterizeWord(testNames []string, words, width int, seed int64) (*WordCharacterization, error) {
+	ch := &WordCharacterization{
+		Words: words, Width: width,
+		Tests:   append([]string(nil), testNames...),
+		Classes: append([]string(nil), wordClasses...),
+	}
+	for _, name := range testNames {
+		bm, err := march.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.TWMTA(bm, width)
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(ch.Classes))
+		for j, class := range ch.Classes {
+			list, err := wordClassPopulation(class, words, width)
+			if err != nil {
+				return nil, err
+			}
+			c := Campaign{Test: res.TWMarch, Words: words, Width: width, Mode: DirectCompare, Seed: seed}
+			rep, err := Run(c, list)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = rep.Coverage()
+		}
+		ch.Coverage = append(ch.Coverage, row)
+	}
+	return ch, nil
+}
+
+// Get returns the coverage for a test/class pair.
+func (c *WordCharacterization) Get(test, class string) (float64, error) {
+	ti, ci := -1, -1
+	for i, t := range c.Tests {
+		if t == test {
+			ti = i
+		}
+	}
+	for j, cl := range c.Classes {
+		if cl == class {
+			ci = j
+		}
+	}
+	if ti < 0 || ci < 0 {
+		return 0, fmt.Errorf("faultsim: no cell for %q/%q", test, class)
+	}
+	return c.Coverage[ti][ci], nil
+}

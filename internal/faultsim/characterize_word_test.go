@@ -1,0 +1,73 @@
+package faultsim
+
+import (
+	"testing"
+)
+
+// The word-level matrix confirms the paper-level picture for every
+// CF-complete source test: the TWM_TA transform keeps SAF, TF, AF and
+// all inter-word CFs at 100%, while intra-word CF coverage lands in
+// the data-dependent band of finding F1.
+//
+// A pleasant side effect shows up for MATS+: Algorithm 1 appends a
+// read when the source ends with a write (so the final write is
+// observed), and that single read closes MATS+'s classical
+// transition-fault hole — the transform is strictly stronger than its
+// source here. The read-prepend rule similarly feeds its CF coverage.
+func TestWordCharacterization(t *testing.T) {
+	names := []string{"MATS+", "March C-", "March U", "March SS"}
+	ch, err := CharacterizeWord(names, 3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := func(test, class string) {
+		t.Helper()
+		got, err := ch.Get(test, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Errorf("%s / %s: coverage %.3f, want 1", test, class, got)
+		}
+	}
+	band := func(test, class string, lo float64) {
+		t.Helper()
+		got, err := ch.Get(test, class)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < lo || got >= 1 {
+			t.Errorf("%s / %s: coverage %.3f outside [%.2f,1)", test, class, got, lo)
+		}
+	}
+	for _, n := range []string{"March C-", "March U", "March SS"} {
+		full(n, "SAF")
+		full(n, "TF")
+		full(n, "CFinter")
+		full(n, "AF")
+		band(n, "CFintra", 0.6)
+	}
+	// MATS+ misses TFs, but its transform does not: the appended
+	// ⇕(r·) element of Algorithm 1 observes the final write.
+	full("MATS+", "SAF")
+	full("MATS+", "TF")
+}
+
+func TestWordCharacterizationErrors(t *testing.T) {
+	if _, err := CharacterizeWord([]string{"March Z"}, 3, 4, 1); err == nil {
+		t.Error("unknown test accepted")
+	}
+	if _, err := CharacterizeWord([]string{"March C-"}, 3, 12, 1); err == nil {
+		t.Error("non-power-of-two width accepted")
+	}
+	ch, err := CharacterizeWord([]string{"March C-"}, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ch.Get("March C-", "XYZ"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := wordClassPopulation("XYZ", 2, 2); err == nil {
+		t.Error("unknown population accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package faultsim runs fault-injection campaigns: it instantiates a
+// memory, injects one modeled fault at a time, executes a march test
+// against it and decides whether the test detected the fault.
+//
+// Two detection modes mirror the two ways a transparent BIST observes
+// failures. DirectCompare checks every read against its expected
+// value, modeling an ideal comparator (no aliasing). Signature runs
+// the signature-prediction pass first, compresses both passes in a
+// MISR and compares the signatures — the realistic transparent-BIST
+// flow, including its aliasing behaviour.
+//
+// The Section 5 experiments of the paper are campaigns over exhaustive
+// fault populations on small memories, comparing the transparent
+// word-oriented test against its nontransparent counterpart.
+package faultsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"twmarch/internal/core"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/misr"
+	"twmarch/internal/word"
+)
+
+// DetectMode selects the fault-observation mechanism.
+type DetectMode int
+
+const (
+	// DirectCompare flags a fault when any read mismatches its
+	// expected value (ideal comparator, alias-free).
+	DirectCompare DetectMode = iota
+	// Signature flags a fault when the MISR signature of the test pass
+	// differs from the predicted signature.
+	Signature
+)
+
+// String implements fmt.Stringer.
+func (m DetectMode) String() string {
+	switch m {
+	case DirectCompare:
+		return "direct-compare"
+	case Signature:
+		return "signature"
+	default:
+		return fmt.Sprintf("DetectMode(%d)", int(m))
+	}
+}
+
+// Campaign describes a fault-simulation configuration.
+type Campaign struct {
+	// Test is the march test to evaluate. Signature mode requires it
+	// to be transparent (prediction needs XOR-relative reads).
+	Test *march.Test
+	// Words and Width give the memory geometry; Width must match the
+	// test width.
+	Words, Width int
+	// Mode selects the detection mechanism.
+	Mode DetectMode
+	// Seed randomizes the pre-existing memory contents.
+	Seed int64
+	// Initial, when non-nil, fixes the pre-existing contents instead
+	// of randomizing (length must equal Words).
+	Initial []word.Word
+}
+
+func (c Campaign) newMemory() (*memory.Memory, error) {
+	mem, err := memory.New(c.Words, c.Width)
+	if err != nil {
+		return nil, err
+	}
+	if c.Initial != nil {
+		if err := mem.Restore(c.Initial); err != nil {
+			return nil, err
+		}
+		return mem, nil
+	}
+	mem.Randomize(rand.New(rand.NewSource(c.Seed)))
+	return mem, nil
+}
+
+// Detects runs one fault through the campaign configuration and
+// reports whether the test caught it.
+func Detects(c Campaign, f faults.Fault) (bool, error) {
+	if c.Test == nil {
+		return false, fmt.Errorf("faultsim: campaign has no test")
+	}
+	if c.Test.Width != c.Width {
+		return false, fmt.Errorf("faultsim: test width %d != campaign width %d", c.Test.Width, c.Width)
+	}
+	mem, err := c.newMemory()
+	if err != nil {
+		return false, err
+	}
+	inj, err := faults.Inject(mem, f)
+	if err != nil {
+		return false, err
+	}
+	switch c.Mode {
+	case DirectCompare:
+		res, err := march.Run(c.Test, inj, march.RunOptions{StopAtFirstMismatch: true})
+		if err != nil {
+			return false, err
+		}
+		return res.Detected(), nil
+	case Signature:
+		return detectsBySignature(c, inj)
+	default:
+		return false, fmt.Errorf("faultsim: unknown mode %v", c.Mode)
+	}
+}
+
+func detectsBySignature(c Campaign, mem march.Mem) (bool, error) {
+	pred, err := core.Prediction(c.Test)
+	if err != nil {
+		return false, err
+	}
+	reg, err := misr.New(c.Width)
+	if err != nil {
+		return false, err
+	}
+	// Prediction pass: reads only; the memory is untouched, so the
+	// comparator expectations trivially hold and the MISR compresses
+	// the mask-adjusted reads.
+	reg.Reset(word.Zero)
+	if _, err := march.Run(pred, mem, march.RunOptions{ReadSink: reg.PredictSink()}); err != nil {
+		return false, err
+	}
+	predicted := reg.Signature()
+	// Test pass: raw reads compressed.
+	reg.Reset(word.Zero)
+	if _, err := march.Run(c.Test, mem, march.RunOptions{ReadSink: reg.TestSink()}); err != nil {
+		return false, err
+	}
+	return reg.Signature() != predicted, nil
+}
+
+// ClassStats aggregates detection per fault class.
+type ClassStats struct {
+	Total, Detected int
+}
+
+// Coverage returns the detected fraction (1 for an empty class).
+func (s ClassStats) Coverage() float64 {
+	if s.Total == 0 {
+		return 1
+	}
+	return float64(s.Detected) / float64(s.Total)
+}
+
+// Report summarizes a campaign over a fault list.
+type Report struct {
+	Total, Detected int
+	ByClass         map[string]ClassStats
+	// Missed lists undetected faults, capped at 64.
+	Missed []faults.Fault
+}
+
+// Coverage returns the overall detected fraction.
+func (r *Report) Coverage() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(r.Total)
+}
+
+// Classes returns the class labels in sorted order.
+func (r *Report) Classes() []string {
+	out := make([]string, 0, len(r.ByClass))
+	for k := range r.ByClass {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the campaign over the fault list.
+func Run(c Campaign, list []faults.Fault) (*Report, error) {
+	rep := &Report{ByClass: make(map[string]ClassStats)}
+	for _, f := range list {
+		det, err := Detects(c, f)
+		if err != nil {
+			return nil, fmt.Errorf("faultsim: %s: %v", f, err)
+		}
+		rep.Total++
+		cs := rep.ByClass[f.Class()]
+		cs.Total++
+		if det {
+			rep.Detected++
+			cs.Detected++
+		} else if len(rep.Missed) < 64 {
+			rep.Missed = append(rep.Missed, f)
+		}
+		rep.ByClass[f.Class()] = cs
+	}
+	return rep, nil
+}
+
+// Disagreement records a fault two campaigns judged differently.
+type Disagreement struct {
+	Fault                faults.Fault
+	DetectedA, DetectedB bool
+}
+
+// Equivalence compares per-fault detection between two campaigns.
+type Equivalence struct {
+	Both, OnlyA, OnlyB, Neither int
+	// Disagreements lists faults detected by exactly one side, capped
+	// at 64.
+	Disagreements []Disagreement
+}
+
+// Equal reports whether the two campaigns detect exactly the same
+// fault set.
+func (e *Equivalence) Equal() bool { return e.OnlyA == 0 && e.OnlyB == 0 }
+
+// Compare runs both campaigns over the fault list and reports where
+// their verdicts differ. This is the paper's Section 5 experiment: the
+// transparent word-oriented test must preserve the coverage of its
+// nontransparent counterpart.
+func Compare(a, b Campaign, list []faults.Fault) (*Equivalence, error) {
+	eq := &Equivalence{}
+	for _, f := range list {
+		da, err := Detects(a, f)
+		if err != nil {
+			return nil, fmt.Errorf("faultsim: campaign A: %s: %v", f, err)
+		}
+		db, err := Detects(b, f)
+		if err != nil {
+			return nil, fmt.Errorf("faultsim: campaign B: %s: %v", f, err)
+		}
+		switch {
+		case da && db:
+			eq.Both++
+		case da:
+			eq.OnlyA++
+		case db:
+			eq.OnlyB++
+		default:
+			eq.Neither++
+		}
+		if da != db && len(eq.Disagreements) < 64 {
+			eq.Disagreements = append(eq.Disagreements, Disagreement{Fault: f, DetectedA: da, DetectedB: db})
+		}
+	}
+	return eq, nil
+}
+
+// AllContents reports whether the campaign's test detects the fault
+// for every possible initial memory content. The exhaustive sweep has
+// 2^(Words·Width) cases and is intended for tiny geometries; it errors
+// above 16 total bits. The paper's coverage theorem is per arbitrary
+// initial data, which this verifies directly.
+func AllContents(c Campaign, f faults.Fault) (bool, []word.Word, error) {
+	bits := c.Words * c.Width
+	if bits > 16 {
+		return false, nil, fmt.Errorf("faultsim: exhaustive contents need ≤16 total bits, have %d", bits)
+	}
+	for v := 0; v < 1<<uint(bits); v++ {
+		contents := make([]word.Word, c.Words)
+		for i := 0; i < c.Words; i++ {
+			chunk := (v >> uint(i*c.Width)) & ((1 << uint(c.Width)) - 1)
+			contents[i] = word.FromUint64(uint64(chunk))
+		}
+		cc := c
+		cc.Initial = contents
+		det, err := Detects(cc, f)
+		if err != nil {
+			return false, nil, err
+		}
+		if !det {
+			return false, contents, nil
+		}
+	}
+	return true, nil, nil
+}

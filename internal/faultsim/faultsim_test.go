@@ -1,0 +1,701 @@
+package faultsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/addrgen"
+	"twmarch/internal/core"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// March C- is known to detect 100% of SAFs, TFs and unlinked coupling
+// faults on bit-oriented memories (van de Goor 1993). This validates
+// the whole simulation chain against the literature.
+func TestMarchCMinusBitCoverage(t *testing.T) {
+	c := Campaign{
+		Test:  march.MustLookup("March C-"),
+		Words: 6, Width: 1,
+		Mode: DirectCompare,
+	}
+	rep, err := Run(c, faults.EnumerateAll(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("March C- coverage %.4f, missed %v", rep.Coverage(), rep.Missed)
+	}
+	for _, cls := range rep.Classes() {
+		if rep.ByClass[cls].Coverage() != 1 {
+			t.Errorf("class %s coverage %.4f", cls, rep.ByClass[cls].Coverage())
+		}
+	}
+}
+
+// MATS+ does not detect transition faults; the simulator must show
+// partial coverage, not just all-pass (sanity against false positives
+// in the harness).
+func TestMATSPlusMissesTransitionFaults(t *testing.T) {
+	c := Campaign{Test: march.MustLookup("MATS+"), Words: 4, Width: 1, Mode: DirectCompare}
+	rep, err := Run(c, faults.EnumerateTransition(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() == 1 {
+		t.Fatal("MATS+ should not detect every TF")
+	}
+}
+
+// The transparent bit-oriented March C- preserves the coverage of its
+// source (the Nicolaidis theorem the paper builds on).
+func TestTransparentBitMarchCMinusCoverage(t *testing.T) {
+	bt, err := core.TransformBitOriented(march.MustLookup("March C-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: bt.Transparent, Words: 6, Width: 1, Mode: DirectCompare, Seed: 7}
+	rep, err := Run(c, faults.EnumerateAll(6, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("TMarch C- coverage %.4f, missed %v", rep.Coverage(), rep.Missed)
+	}
+}
+
+// Coverage of the guaranteed fault classes (Section 5): TWMarch
+// detects every SAF, every TF and every *inter-word* coupling fault on
+// a word-oriented memory with arbitrary contents. (TSMarch is a full
+// march over "big bits", so inter-word pairs traverse all 18 states of
+// the paper's Fig. 1(a).)
+func TestTWMarchGuaranteedClassesWidth4(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(4, 4)...)
+	list = append(list, faults.EnumerateTransition(4, 4)...)
+	list = append(list, faults.EnumerateCFst(4, 4, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFid(4, 4, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFin(4, 4, faults.InterWordPairs)...)
+	for _, seed := range []int64{1, 99} {
+		c := Campaign{Test: res.TWMarch, Words: 4, Width: 4, Mode: DirectCompare, Seed: seed}
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Coverage() != 1 {
+			t.Fatalf("seed %d: coverage %.4f (%d/%d), missed: %v",
+				seed, rep.Coverage(), rep.Detected, rep.Total, rep.Missed[:min(4, len(rep.Missed))])
+		}
+	}
+}
+
+// Reproduction finding (documented in EXPERIMENTS.md): the paper
+// claims intra-word CF coverage equal to the nontransparent
+// word-oriented test, arguing via four pattern conditions. Under
+// instance-level coupling-fault semantics the ATMarch states
+// {a, a^c_k} give each bit pair only ONE mixed polarity (bit 0 is set
+// in every checkerboard), so a data-dependent fraction of intra-word
+// CF instances goes undetected. The test pins the measured coverage
+// band: substantial (ATMarch is doing real work — see the ablation
+// below) but not 100%.
+func TestTWMarchIntraWordCoverageBand(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: res.TWMarch, Words: 3, Width: 8, Mode: DirectCompare, Seed: 3}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateCFst(3, 8, faults.IntraWordPairs)...)
+	list = append(list, faults.EnumerateCFid(3, 8, faults.IntraWordPairs)...)
+	list = append(list, faults.EnumerateCFin(3, 8, faults.IntraWordPairs)...)
+	rep, err := Run(c, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := rep.Coverage()
+	t.Logf("TWMarch intra-word CF coverage: %.2f%% (%d/%d)", 100*cov, rep.Detected, rep.Total)
+	if cov < 0.70 || cov >= 1 {
+		t.Fatalf("intra-word coverage %.4f outside the expected (0.70, 1) band", cov)
+	}
+	// CFin instances are direction-only (no forced value) and remain
+	// fully covered; the misses concentrate in CFst/CFid.
+	if got := rep.ByClass["CFin"].Coverage(); got != 1 {
+		t.Errorf("intra-word CFin coverage %.4f, want 1", got)
+	}
+}
+
+// Scheme 1 replays the full march for every background b_k AND its
+// complement, so each intra-word bit pair sees both mixed polarities:
+// its intra-word CF coverage is complete. This quantifies the
+// coverage-for-speed trade TWM_TA makes.
+func TestScheme1IntraWordCoverageComplete(t *testing.T) {
+	s1, err := core.Scheme1(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: s1.Test, Words: 3, Width: 4, Mode: DirectCompare, Seed: 3}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateCFst(3, 4, faults.IntraWordPairs)...)
+	list = append(list, faults.EnumerateCFid(3, 4, faults.IntraWordPairs)...)
+	list = append(list, faults.EnumerateCFin(3, 4, faults.IntraWordPairs)...)
+	rep, err := Run(c, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("Scheme 1 intra-word coverage %.4f, missed %v", rep.Coverage(), rep.Missed[:min(4, len(rep.Missed))])
+	}
+}
+
+// Ablation (DESIGN.md E3): TSMarch alone — without ATMarch — misses
+// intra-word coupling faults. This is the paper's motivation for the
+// added test.
+func TestTSMarchAloneMissesIntraWordCF(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: res.TSMarch, Words: 3, Width: 4, Mode: DirectCompare, Seed: 5}
+	list := faults.EnumerateCFid(3, 4, faults.IntraWordPairs)
+	rep, err := Run(c, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() == 1 {
+		t.Fatal("TSMarch alone should not cover intra-word CFs")
+	}
+	// But it must cover the inter-word population in full.
+	inter := faults.EnumerateCFid(3, 4, faults.InterWordPairs)
+	rep2, err := Run(c, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Coverage() != 1 {
+		t.Fatalf("TSMarch inter-word coverage %.4f, missed %v", rep2.Coverage(), rep2.Missed[:min(4, len(rep2.Missed))])
+	}
+}
+
+// Section 5's equivalence statement in its defensible form: the
+// transparent TWMarch running over contents uniformly equal to a
+// detects exactly the faults its nontransparent concretization at a
+// (the SMarch+AMarch word test) detects over the same contents. The
+// two tests perform identical access sequences on fault-free memory,
+// so detection equality over *faulty* memories is the substantive
+// check. Verified at several content points, including non-trivial a.
+func TestCoverageEquivalenceTransparentVsNontransparent(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bits := range []string{"0000", "1011", "0110"} {
+		a := word.MustParseBits(bits)
+		concrete, err := core.Concretize(res.TWMarch, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform := make([]word.Word, 4)
+		for i := range uniform {
+			uniform[i] = a
+		}
+		ca := Campaign{Test: res.TWMarch, Words: 4, Width: 4, Mode: DirectCompare, Initial: uniform}
+		cb := Campaign{Test: concrete, Words: 4, Width: 4, Mode: DirectCompare, Initial: uniform}
+		eq, err := Compare(ca, cb, faults.EnumerateAll(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The transparent test can never detect more: it performs the
+		// same accesses with snapshot-relative expectations.
+		if eq.OnlyA != 0 {
+			t.Fatalf("a=%s: transparent side detected %d faults its concretization missed", bits, eq.OnlyA)
+		}
+		// It can detect less in exactly one circumstance: a CFst whose
+		// trigger matches the aggressor's resting value corrupts the
+		// initial contents *before* the snapshot; the transparent test
+		// absorbs that corruption as legitimate pre-existing data (it
+		// has no reference), while the nontransparent test's absolute
+		// expectations expose it. This is the known blind spot of
+		// transparent testing; every disagreement must be of that
+		// form.
+		for _, d := range eq.Disagreements {
+			cf, ok := d.Fault.(faults.Coupling)
+			if !ok || cf.Model != faults.CFst {
+				t.Fatalf("a=%s: unexpected disagreement on %s", bits, d.Fault)
+			}
+			if a.Bit(cf.Aggressor.Bit) != cf.AggrTrigger {
+				t.Fatalf("a=%s: CFst disagreement %s without standing trigger", bits, d.Fault)
+			}
+		}
+		t.Logf("a=%s: agree on %d faults; %d initial-state-absorbed CFst instances visible only nontransparently",
+			bits, eq.Both+eq.Neither, eq.OnlyB)
+		if eq.Both == 0 {
+			t.Fatalf("a=%s: nothing detected by either side", bits)
+		}
+	}
+}
+
+// Signature mode at a realistic MISR width detects the SAF/TF
+// population in full; the same population compared directly shows the
+// signature path introduces no systematic loss.
+func TestSignatureModeDetectionWidth16(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: res.TWMarch, Words: 4, Width: 16, Mode: Signature, Seed: 17}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(4, 16)...)
+	list = append(list, faults.EnumerateTransition(4, 16)...)
+	rep, err := Run(c, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("signature coverage %.4f, missed %v", rep.Coverage(), rep.Missed)
+	}
+}
+
+// The aliasing problem the paper's introduction attributes to
+// signature-based transparent tests, demonstrated: with a narrow
+// 4-bit MISR (aliasing probability 1/16) some faults detected by the
+// ideal comparator escape the signature comparison.
+func TestSignatureAliasingAtNarrowWidth(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(4, 4)...)
+	list = append(list, faults.EnumerateTransition(4, 4)...)
+	direct := Campaign{Test: res.TWMarch, Words: 4, Width: 4, Mode: DirectCompare, Seed: 17}
+	sig := Campaign{Test: res.TWMarch, Words: 4, Width: 4, Mode: Signature, Seed: 17}
+	eq, err := Compare(direct, sig, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq.OnlyB != 0 {
+		t.Fatalf("signature mode detected %d faults the comparator missed", eq.OnlyB)
+	}
+	if eq.OnlyA == 0 {
+		t.Skip("no aliasing occurred at this seed; the demonstration is probabilistic")
+	}
+	t.Logf("aliasing: %d/%d faults escaped the 4-bit signature", eq.OnlyA, eq.Both+eq.OnlyA)
+}
+
+// Signature and direct-compare must agree on fault-free memory: no
+// false positives in either mode.
+func TestNoFalsePositives(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []DetectMode{DirectCompare, Signature} {
+		c := Campaign{Test: res.TWMarch, Words: 8, Width: 8, Mode: mode, Seed: 29}
+		// A coupling fault whose victim is never disturbed: aggressor
+		// trigger impossible (aggr==victim forbidden, so use a fault on
+		// a pristine memory instead: run with no fault by comparing
+		// Detects on an identity-like fault). Simplest: a CFst whose
+		// forced value equals what the cell always holds cannot be
+		// constructed generically, so instead verify via march.Run on
+		// a clean memory in campaign geometry.
+		mem, err := c.newMemory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := march.Run(c.Test, mem, march.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() {
+			t.Fatalf("mode %v: fault-free run flagged", mode)
+		}
+	}
+}
+
+// The guaranteed classes hold for *every* initial content vector,
+// exhaustively checked on a tiny geometry: SAF, TF, and inter-word
+// CFs are content-independent.
+func TestAllContentsDetectionGuaranteedClasses(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: res.TWMarch, Words: 2, Width: 2, Mode: DirectCompare}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(2, 2)...)
+	list = append(list, faults.EnumerateTransition(2, 2)...)
+	list = append(list, faults.EnumerateCFst(2, 2, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFid(2, 2, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFin(2, 2, faults.InterWordPairs)...)
+	for _, f := range list {
+		ok, counterexample, err := AllContents(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s undetected for contents %v", f, counterexample)
+		}
+	}
+}
+
+// Intra-word CFin is direction-only and content-independent as well:
+// every instance is caught for every content vector.
+func TestAllContentsIntraWordCFin(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Campaign{Test: res.TWMarch, Words: 2, Width: 2, Mode: DirectCompare}
+	for _, f := range faults.EnumerateCFin(2, 2, faults.IntraWordPairs) {
+		ok, counterexample, err := AllContents(c, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("%s undetected for contents %v", f, counterexample)
+		}
+	}
+}
+
+func TestAllContentsRejectsLargeGeometry(t *testing.T) {
+	c := Campaign{Test: march.MustLookup("March C-"), Words: 64, Width: 1}
+	if _, _, err := AllContents(c, faults.StuckAt{Cell: faults.Site{Addr: 0, Bit: 0}, Value: 0}); err == nil {
+		t.Fatal("oversized exhaustive sweep accepted")
+	}
+}
+
+func TestCampaignValidation(t *testing.T) {
+	if _, err := Detects(Campaign{}, faults.StuckAt{}); err == nil {
+		t.Error("empty campaign accepted")
+	}
+	c := Campaign{Test: march.MustLookup("March C-"), Words: 4, Width: 8}
+	if _, err := Detects(c, faults.StuckAt{}); err == nil {
+		t.Error("width mismatch accepted")
+	}
+	bad := Campaign{Test: march.MustLookup("March C-"), Words: 4, Width: 1, Initial: make([]word.Word, 2)}
+	if _, err := Detects(bad, faults.StuckAt{}); err == nil {
+		t.Error("bad initial length accepted")
+	}
+	sig := Campaign{Test: march.MustLookup("March C-"), Words: 4, Width: 1, Mode: Signature}
+	if _, err := Detects(sig, faults.StuckAt{Cell: faults.Site{Addr: 0, Bit: 0}, Value: 1}); err == nil {
+		t.Error("signature mode with nontransparent test accepted")
+	}
+}
+
+func TestReportClassesSorted(t *testing.T) {
+	c := Campaign{Test: march.MustLookup("March C-"), Words: 3, Width: 1, Mode: DirectCompare}
+	rep, err := Run(c, faults.EnumerateAll(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rep.Classes()
+	want := []string{"CFid", "CFin", "CFst", "SAF", "TF"}
+	if len(classes) != len(want) {
+		t.Fatalf("classes = %v", classes)
+	}
+	for i := range want {
+		if classes[i] != want[i] {
+			t.Fatalf("classes = %v, want %v", classes, want)
+		}
+	}
+}
+
+func TestDetectModeString(t *testing.T) {
+	if DirectCompare.String() != "direct-compare" || Signature.String() != "signature" {
+		t.Error("mode strings broken")
+	}
+	if DetectMode(7).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Address decoder faults (extension): the march structure with both
+// address orders catches aliasing and multi-select decoder defects.
+// The bit-oriented March C- is the classical reference.
+func TestMarchCMinusDetectsAddressFaults(t *testing.T) {
+	c := Campaign{Test: march.MustLookup("March C-"), Words: 5, Width: 1, Mode: DirectCompare}
+	rep, err := Run(c, faults.EnumerateAddrFaults(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() != 1 {
+		t.Fatalf("AF coverage %.4f, missed %v", rep.Coverage(), rep.Missed)
+	}
+}
+
+// The transparent word test keeps decoder-fault coverage: aliased and
+// shadowed words diverge from their snapshot-based expectations during
+// the solid phases.
+func TestTWMarchDetectsAddressFaults(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seed := range []int64{1, 42} {
+		c := Campaign{Test: res.TWMarch, Words: 5, Width: 8, Mode: DirectCompare, Seed: seed}
+		rep, err := Run(c, faults.EnumerateAddrFaults(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Coverage() != 1 {
+			t.Fatalf("seed %d: AF coverage %.4f, missed %v", seed, rep.Coverage(), rep.Missed)
+		}
+	}
+}
+
+// MATS (single address order, no descending element) is the classical
+// example of a test with incomplete AF coverage — harness sanity that
+// AFs are not trivially detectable.
+func TestMATSMissesSomeAddressFaults(t *testing.T) {
+	c := Campaign{Test: march.MustLookup("MATS"), Words: 5, Width: 1, Mode: DirectCompare}
+	rep, err := Run(c, faults.EnumerateAddrFaults(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Coverage() == 1 {
+		t.Fatal("MATS should not catch every decoder fault")
+	}
+}
+
+// Linked-fault experiment (extension; the context March U was
+// published in): two coupling faults sharing a victim can mask each
+// other, so no simple march covers the whole linked population. The
+// substantive, semantics-robust checks: masking really escapes the
+// unlinked-complete March C- (coverage < 1), and the two catalog
+// tests disagree on instances — their blind spots differ. (The 1997
+// March U paper claims superiority on a specific linked subclass
+// under its own fault-precedence semantics; under this simulator's
+// last-excitation-wins model the aggregate on the general
+// two-aggressor population lands differently, which the log records.)
+func TestLinkedFaultsMaskingEscapes(t *testing.T) {
+	list := faults.EnumerateLinkedCFid(4, 1)
+	zeros := make([]word.Word, 4)
+	cmC := Campaign{Test: march.MustLookup("March C-"), Words: 4, Width: 1, Mode: DirectCompare, Initial: zeros}
+	cmU := Campaign{Test: march.MustLookup("March U"), Words: 4, Width: 1, Mode: DirectCompare, Initial: zeros}
+	eq, err := Compare(cmC, cmU, list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("linked CFid (%d instances): both %d, onlyC- %d, onlyU %d, neither %d",
+		len(list), eq.Both, eq.OnlyA, eq.OnlyB, eq.Neither)
+	if eq.Neither == 0 {
+		t.Error("some linked CFid pairs should escape both tests")
+	}
+	if eq.OnlyA+eq.OnlyB == 0 {
+		t.Error("the two tests should have different linked-fault blind spots")
+	}
+	cover := func(c Campaign) float64 {
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Coverage()
+	}
+	cm := cover(cmC)
+	cu := cover(cmU)
+	if cm >= 1 || cu >= 1 {
+		t.Errorf("linked population should defeat both tests partially (C-=%.3f, U=%.3f)", cm, cu)
+	}
+
+	// The transparent transforms preserve both coverages exactly *at
+	// the same content point*: linked CFid detection is content-
+	// dependent (the forced victim values are absolute), so the
+	// comparison fixes the contents at zero, where the transparent
+	// test performs its source's accesses.
+	coverZero := func(tst *march.Test) float64 {
+		c := Campaign{Test: tst, Words: 4, Width: 1, Mode: DirectCompare, Initial: make([]word.Word, 4)}
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Coverage()
+	}
+	cmZero := coverZero(march.MustLookup("March C-"))
+	cuZero := coverZero(march.MustLookup("March U"))
+	btC, err := core.TransformBitOriented(march.MustLookup("March C-"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	btU, err := core.TransformBitOriented(march.MustLookup("March U"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coverZero(btC.Transparent); got != cmZero {
+		t.Errorf("transparent March C- linked coverage %.4f != %.4f", got, cmZero)
+	}
+	if got := coverZero(btU.Transparent); got != cuZero {
+		t.Errorf("transparent March U linked coverage %.4f != %.4f", got, cuZero)
+	}
+}
+
+// Dynamic-fault experiment (extension): deceptive read-destructive
+// faults (DRDF) return the correct value while corrupting the cell, so
+// only a read-after-read observes them before a rewrite masks the
+// corruption. March SS (with its r,r pairs) covers them; March C-
+// famously does not. RDF, which returns the wrong value immediately,
+// is caught by both.
+func TestReadDestructiveMarchSSvsMarchCMinus(t *testing.T) {
+	list := faults.EnumerateReadDestructive(4, 1)
+	cover := func(name string) (rdf, drdf float64) {
+		c := Campaign{Test: march.MustLookup(name), Words: 4, Width: 1, Mode: DirectCompare, Initial: make([]word.Word, 4)}
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.ByClass["RDF"].Coverage(), rep.ByClass["DRDF"].Coverage()
+	}
+	rdfC, drdfC := cover("March C-")
+	rdfSS, drdfSS := cover("March SS")
+	t.Logf("RDF: C- %.0f%%, SS %.0f%%; DRDF: C- %.0f%%, SS %.0f%%",
+		100*rdfC, 100*rdfSS, 100*drdfC, 100*drdfSS)
+	if rdfC != 1 || rdfSS != 1 {
+		t.Errorf("RDF should be fully covered by both (C-=%.2f, SS=%.2f)", rdfC, rdfSS)
+	}
+	if drdfSS != 1 {
+		t.Errorf("March SS should cover all DRDF, got %.2f", drdfSS)
+	}
+	if drdfC == 1 {
+		t.Error("March C- should miss deceptive read-destructive faults")
+	}
+}
+
+// The transparent word-oriented transform of March SS keeps its
+// dynamic-fault strength for arbitrary contents: the r,r pairs survive
+// the transformation verbatim.
+func TestTransparentMarchSSKeepsDRDFCoverage(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March SS"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := faults.EnumerateReadDestructive(3, 4)
+	for _, seed := range []int64{2, 77} {
+		c := Campaign{Test: res.TWMarch, Words: 3, Width: 4, Mode: DirectCompare, Seed: seed}
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Coverage() != 1 {
+			t.Fatalf("seed %d: RDF/DRDF coverage %.4f, missed %v", seed, rep.Coverage(), rep.Missed[:min(4, len(rep.Missed))])
+		}
+	}
+}
+
+// NPSF experiment (extension; the context of the paper's references
+// [3,17]): march tests do not target neighborhood pattern-sensitive
+// faults, which is why dedicated transparent PSF tests exist. The
+// measured gap: even the strongest catalog march leaves part of the
+// NPSF population undetected on a 5x5 grid.
+func TestMarchTestsMissNPSF(t *testing.T) {
+	list := faults.EnumerateNPSF(5, 5)
+	if len(list) == 0 {
+		t.Fatal("empty NPSF population")
+	}
+	for _, name := range []string{"March C-", "March SS"} {
+		c := Campaign{Test: march.MustLookup(name), Words: 25, Width: 1, Mode: DirectCompare, Initial: make([]word.Word, 25)}
+		rep, err := Run(c, list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s NPSF coverage: %.1f%% (%d/%d)", name, 100*rep.Coverage(), rep.Detected, rep.Total)
+		if rep.Coverage() >= 1 {
+			t.Errorf("%s should not cover the NPSF population", name)
+		}
+		if rep.Coverage() == 0 {
+			t.Errorf("%s should catch at least the solid-pattern NPSFs", name)
+		}
+	}
+}
+
+// Address-sequencer experiment (extension): march theory only needs a
+// fixed order and its reverse, so a hardware BIST may step addresses
+// with an LFSR or Gray-code sequencer instead of a binary counter.
+// Coverage of the cell-fault classes must be order-independent.
+func TestCoverageUnderHardwareAddressSequencers(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []faults.Fault
+	list = append(list, faults.EnumerateStuckAt(4, 4)...)
+	list = append(list, faults.EnumerateTransition(4, 4)...)
+	list = append(list, faults.EnumerateCFst(4, 4, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFid(4, 4, faults.InterWordPairs)...)
+	list = append(list, faults.EnumerateCFin(4, 4, faults.InterWordPairs)...)
+	for _, kind := range []addrgen.Kind{addrgen.Linear, addrgen.Gray, addrgen.LFSR} {
+		seq, err := addrgen.Sequence(kind, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		missed := 0
+		for _, f := range list {
+			mem := memory.MustNew(4, 4)
+			mem.Randomize(rand.New(rand.NewSource(31)))
+			inj, err := faults.Inject(mem, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := march.Run(res.TWMarch, inj, march.RunOptions{
+				StopAtFirstMismatch: true,
+				AddressSequence:     seq,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !run.Detected() {
+				missed++
+			}
+		}
+		if missed > 0 {
+			t.Errorf("%s sequencer: %d/%d guaranteed-class faults missed", kind, missed, len(list))
+		}
+	}
+}
+
+// Transparency is also sequencer-independent.
+func TestTransparencyUnderHardwareAddressSequencers(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []addrgen.Kind{addrgen.Gray, addrgen.LFSR} {
+		seq, err := addrgen.Sequence(kind, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := memory.MustNew(16, 8)
+		mem.Randomize(rand.New(rand.NewSource(41)))
+		before := mem.Snapshot()
+		run, err := march.Run(res.TWMarch, mem, march.RunOptions{AddressSequence: seq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.Detected() || !mem.Equal(before) {
+			t.Errorf("%s sequencer: transparency broken", kind)
+		}
+	}
+}
+
+// Malformed sequences are rejected.
+func TestBadAddressSequenceRejected(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.MustNew(4, 4)
+	_, err = march.Run(res.TWMarch, mem, march.RunOptions{AddressSequence: []int{0, 0, 1, 2}})
+	if err == nil {
+		t.Fatal("duplicate-address sequence accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package march
+
+import (
+	"testing"
+
+	"twmarch/internal/word"
+)
+
+// FuzzParse hardens the notation parser: arbitrary input must never
+// panic, and anything that parses must re-parse from its own ASCII
+// rendering to a semantically identical test (print/parse round trip).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"{any(w0); up(r0,w1); down(r1,w0); any(r0)}",
+		"{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}",
+		"{up(ra,w~a); up(r~a,wa); any(ra)}",
+		"{any(ra, wa^0101, ra^0101, wa, ra)}",
+		"{any(w0101); up(r0101, w1010); up(r1010)}",
+		"up(r0)",
+		"{up(r0,w1)",
+		"{sideways(r0)}",
+		"{up()}",
+		"",
+		"{any(w0);; up(r0)}",
+		"{up(r~)}",
+		"{up(w0)} trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		tst, err := Parse("fuzz", input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		ascii := tst.ASCII()
+		re, err := Parse("fuzz2", ascii)
+		if err != nil {
+			t.Fatalf("rendering of a parsed test failed to re-parse: %q -> %q: %v", input, ascii, err)
+		}
+		if re.ASCII() != ascii {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, ascii, re.ASCII())
+		}
+		if re.Ops() != tst.Ops() || re.Reads() != tst.Reads() {
+			t.Fatalf("round trip changed op counts for %q", input)
+		}
+	})
+}
+
+// FuzzDatumValue checks the transparent-value algebra on arbitrary
+// inputs: Value is always within width, and XOR-ing the effective mask
+// twice returns the initial content.
+func FuzzDatumValue(f *testing.F) {
+	f.Add(uint64(0), uint64(0), false, uint8(8))
+	f.Add(^uint64(0), uint64(0x55), true, uint8(64))
+	f.Fuzz(func(t *testing.T, a, mask uint64, invert bool, wseed uint8) {
+		width := int(wseed)%128 + 1
+		d := Datum{Transparent: true, Invert: invert, Mask: word.FromUint64(mask).Mask(width)}
+		init := word.FromUint64(a).Mask(width)
+		v := d.Value(init, width)
+		if v != v.Mask(width) {
+			t.Fatalf("value exceeds width: %v at %d", v, width)
+		}
+		if v.Xor(d.EffectiveMask(width)) != init {
+			t.Fatal("effective-mask algebra broken")
+		}
+	})
+}

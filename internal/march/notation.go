@@ -1,0 +1,227 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+
+	"twmarch/internal/word"
+)
+
+// Parse reads a march test from its textual notation.
+//
+// The grammar accepts both the conventional arrow symbols and ASCII
+// keywords for address orders:
+//
+//	test    = [ "{" ] element { ";" element } [ "}" ]
+//	element = order "(" op { "," op } ")"
+//	order   = "⇕" | "⇑" | "⇓" | "any" | "up" | "down" | "asc" | "desc"
+//	op      = ("r" | "w") datum
+//	datum   = "0" | "1"            literal bit (width 1)
+//	        | binary literal       e.g. "0101" (width = len)
+//	        | "a" | "~a"           transparent identity / complement
+//	        | ("a"|"~a") "^" bits  transparent with binary XOR mask
+//
+// Whitespace is insignificant. The width of the parsed test is the
+// maximum width implied by any datum (literal bit data imply width 1).
+// Parse is primarily used for the bit-oriented source tests; generated
+// transparent tests can also be round-tripped through it for widths
+// ≤ 16 where masks print in binary.
+func Parse(name, s string) (*Test, error) {
+	p := &parser{src: s}
+	p.skipSpace()
+	braced := p.eat("{")
+	var elements []Element
+	width := 1
+	for {
+		p.skipSpace()
+		if p.done() {
+			break
+		}
+		if braced && p.peekIs("}") {
+			break
+		}
+		e, w, err := p.element()
+		if err != nil {
+			return nil, fmt.Errorf("march: parsing %q: %v", name, err)
+		}
+		if w > width {
+			width = w
+		}
+		elements = append(elements, e)
+		p.skipSpace()
+		if !p.eat(";") {
+			break
+		}
+	}
+	p.skipSpace()
+	if braced && !p.eat("}") {
+		return nil, fmt.Errorf("march: parsing %q: missing closing brace", name)
+	}
+	p.skipSpace()
+	if !p.done() {
+		return nil, fmt.Errorf("march: parsing %q: trailing input %q", name, p.rest())
+	}
+	if len(elements) == 0 {
+		return nil, fmt.Errorf("march: parsing %q: no elements", name)
+	}
+	return New(name, width, elements...)
+}
+
+// MustParse is Parse for statically known-good notation.
+func MustParse(name, s string) *Test {
+	t, err := Parse(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) done() bool { return p.pos >= len(p.src) }
+
+func (p *parser) rest() string { return p.src[p.pos:] }
+
+func (p *parser) skipSpace() {
+	for !p.done() {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			p.pos++
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) peekIs(tok string) bool {
+	return strings.HasPrefix(p.src[p.pos:], tok)
+}
+
+func (p *parser) eat(tok string) bool {
+	if p.peekIs(tok) {
+		p.pos += len(tok)
+		return true
+	}
+	return false
+}
+
+func (p *parser) element() (Element, int, error) {
+	order, err := p.order()
+	if err != nil {
+		return Element{}, 0, err
+	}
+	p.skipSpace()
+	if !p.eat("(") {
+		return Element{}, 0, fmt.Errorf("expected '(' at %q", p.rest())
+	}
+	var ops []Op
+	width := 1
+	for {
+		p.skipSpace()
+		op, w, err := p.op()
+		if err != nil {
+			return Element{}, 0, err
+		}
+		if w > width {
+			width = w
+		}
+		ops = append(ops, op)
+		p.skipSpace()
+		if p.eat(",") {
+			continue
+		}
+		if p.eat(")") {
+			break
+		}
+		return Element{}, 0, fmt.Errorf("expected ',' or ')' at %q", p.rest())
+	}
+	return Element{Order: order, Ops: ops}, width, nil
+}
+
+func (p *parser) order() (Order, error) {
+	switch {
+	case p.eat("⇕"), p.eat("any"):
+		return Any, nil
+	case p.eat("⇑"), p.eat("up"), p.eat("asc"):
+		return Up, nil
+	case p.eat("⇓"), p.eat("down"), p.eat("desc"):
+		return Down, nil
+	}
+	return Any, fmt.Errorf("expected address order at %q", p.rest())
+}
+
+func (p *parser) op() (Op, int, error) {
+	var kind OpKind
+	switch {
+	case p.eat("r"):
+		kind = Read
+	case p.eat("w"):
+		kind = Write
+	default:
+		return Op{}, 0, fmt.Errorf("expected 'r' or 'w' at %q", p.rest())
+	}
+	p.skipSpace()
+	d, w, err := p.datum()
+	if err != nil {
+		return Op{}, 0, err
+	}
+	return Op{Kind: kind, Data: d}, w, nil
+}
+
+func (p *parser) datum() (Datum, int, error) {
+	invert := false
+	if p.eat("~") {
+		invert = true
+		p.skipSpace()
+	}
+	if p.eat("a") {
+		// Transparent datum, optional ^mask.
+		d := Datum{Transparent: true, Invert: invert}
+		p.skipSpace()
+		if p.eat("^") {
+			p.skipSpace()
+			bits, err := p.binary()
+			if err != nil {
+				return Datum{}, 0, err
+			}
+			m, err := word.ParseBits(bits)
+			if err != nil {
+				return Datum{}, 0, err
+			}
+			d.Mask = m
+			return d, len(bits), nil
+		}
+		return d, 1, nil
+	}
+	if invert {
+		return Datum{}, 0, fmt.Errorf("'~' must precede 'a' at %q", p.rest())
+	}
+	bits, err := p.binary()
+	if err != nil {
+		return Datum{}, 0, err
+	}
+	v, err := word.ParseBits(bits)
+	if err != nil {
+		return Datum{}, 0, err
+	}
+	return Datum{Const: v}, len(bits), nil
+}
+
+func (p *parser) binary() (string, error) {
+	start := p.pos
+	for !p.done() {
+		c := p.src[p.pos]
+		if c == '0' || c == '1' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("expected binary literal at %q", p.rest())
+	}
+	return p.src[start:p.pos], nil
+}

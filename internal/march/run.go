@@ -1,0 +1,191 @@
+package march
+
+import (
+	"fmt"
+
+	"twmarch/internal/word"
+)
+
+// Mem is the memory access contract the runner needs. It is satisfied
+// by *memory.Memory and by the fault-injecting and observing wrappers
+// around it.
+type Mem interface {
+	Read(addr int) word.Word
+	Write(addr int, v word.Word)
+	Words() int
+	Width() int
+}
+
+// Mismatch records a read whose value differed from the expected datum.
+type Mismatch struct {
+	Element int
+	OpIndex int
+	Addr    int
+	Got     word.Word
+	Want    word.Word
+}
+
+// String formats the mismatch for diagnostics.
+func (m Mismatch) String() string {
+	return fmt.Sprintf("element %d op %d addr %d: got %v want %v", m.Element, m.OpIndex, m.Addr, m.Got, m.Want)
+}
+
+// RunOptions configures a test execution.
+type RunOptions struct {
+	// AnyDown runs ⇕ (Any) elements in descending order instead of the
+	// default ascending order.
+	AnyDown bool
+	// Initial supplies the initial-content snapshot that transparent
+	// data expressions are evaluated against. When nil, the runner
+	// takes the snapshot itself by reading every word once before the
+	// test starts — exactly how a transparent BIST's prediction pass
+	// sees the memory. Snapshot reads are not counted in the result
+	// and are not fed to ReadSink.
+	Initial []word.Word
+	// ReadSink, when non-nil, receives the raw data of every read
+	// operation in execution order together with the operation that
+	// produced it. Signature analyzers hang off this: the test phase
+	// feeds the raw value, the prediction phase feeds the value XORed
+	// with the operation's effective mask.
+	ReadSink func(addr int, got word.Word, op Op)
+	// StopAtFirstMismatch aborts the run at the first failing read.
+	StopAtFirstMismatch bool
+	// MaxMismatches bounds the recorded mismatch list (0 means 256).
+	MaxMismatches int
+	// MaxOps, when positive, aborts the run after that many executed
+	// operations. The online BIST scheduler uses this to model idle
+	// windows that close before the test completes.
+	MaxOps int
+	// AddressSequence, when non-nil, replaces the linear address
+	// counter: ⇑ elements walk the sequence, ⇓ elements its reverse.
+	// It must be a permutation of 0..Words-1. March-test theory only
+	// needs a fixed order and its reverse, so hardware BISTs may use
+	// LFSR or Gray sequencers (see internal/addrgen).
+	AddressSequence []int
+}
+
+// Result reports an executed test.
+type Result struct {
+	// Ops, Reads and Writes count executed operations (across all
+	// addresses).
+	Ops, Reads, Writes int
+	// Mismatches lists failing reads, capped at MaxMismatches. The
+	// count in MismatchCount is exact even when the list is capped.
+	Mismatches    []Mismatch
+	MismatchCount int
+	// Aborted is set when StopAtFirstMismatch cut the run short.
+	Aborted bool
+}
+
+// Detected reports whether any read mismatched, i.e. whether a
+// comparator-based BIST would flag the memory as faulty.
+func (r Result) Detected() bool { return r.MismatchCount > 0 }
+
+// Addresses returns the address sequence for an element order over n
+// words. Any resolves to ascending unless anyDown is set.
+func Addresses(order Order, n int, anyDown bool) []int {
+	return elementAddresses(order, n, anyDown, nil)
+}
+
+// elementAddresses resolves an element's address walk, optionally over
+// a custom "up" permutation.
+func elementAddresses(order Order, n int, anyDown bool, up []int) []int {
+	desc := order == Down || (order == Any && anyDown)
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		a := i
+		if up != nil {
+			a = up[i]
+		}
+		if desc {
+			out[n-1-i] = a
+		} else {
+			out[i] = a
+		}
+	}
+	return out
+}
+
+func isPermutation(seq []int, n int) bool {
+	if len(seq) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, a := range seq {
+		if a < 0 || a >= n || seen[a] {
+			return false
+		}
+		seen[a] = true
+	}
+	return true
+}
+
+// Run executes the test against mem. The test width must match the
+// memory width. Reads are compared against the op's datum evaluated on
+// the initial snapshot; writes store the evaluated datum.
+func Run(t *Test, mem Mem, opts RunOptions) (Result, error) {
+	if t.Width != mem.Width() {
+		return Result{}, fmt.Errorf("march: test %q width %d does not match memory width %d", t.Name, t.Width, mem.Width())
+	}
+	if err := t.Validate(); err != nil {
+		return Result{}, err
+	}
+	n := mem.Words()
+	initial := opts.Initial
+	if initial == nil {
+		initial = make([]word.Word, n)
+		for i := 0; i < n; i++ {
+			initial[i] = mem.Read(i)
+		}
+	} else if len(initial) != n {
+		return Result{}, fmt.Errorf("march: initial snapshot has %d words, memory has %d", len(initial), n)
+	}
+	maxMis := opts.MaxMismatches
+	if maxMis == 0 {
+		maxMis = 256
+	}
+	var up []int
+	if opts.AddressSequence != nil {
+		if !isPermutation(opts.AddressSequence, n) {
+			return Result{}, fmt.Errorf("march: address sequence is not a permutation of 0..%d", n-1)
+		}
+		up = opts.AddressSequence
+	}
+	var res Result
+	for ei, e := range t.Elements {
+		for _, addr := range elementAddresses(e.Order, n, opts.AnyDown, up) {
+			for oi, op := range e.Ops {
+				if opts.MaxOps > 0 && res.Ops >= opts.MaxOps {
+					res.Aborted = true
+					return res, nil
+				}
+				res.Ops++
+				val := op.Data.Value(initial[addr], t.Width)
+				switch op.Kind {
+				case Read:
+					res.Reads++
+					got := mem.Read(addr)
+					if opts.ReadSink != nil {
+						opts.ReadSink(addr, got, op)
+					}
+					if got != val {
+						res.MismatchCount++
+						if len(res.Mismatches) < maxMis {
+							res.Mismatches = append(res.Mismatches, Mismatch{
+								Element: ei, OpIndex: oi, Addr: addr, Got: got, Want: val,
+							})
+						}
+						if opts.StopAtFirstMismatch {
+							res.Aborted = true
+							return res, nil
+						}
+					}
+				case Write:
+					res.Writes++
+					mem.Write(addr, val)
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,208 @@
+package march
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+func TestRunNontransparentFaultFree(t *testing.T) {
+	mem := memory.MustNew(16, 1)
+	tst := MustLookup("March C-")
+	res, err := Run(tst, mem, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() {
+		t.Fatalf("fault-free March C- reported %d mismatches: %v", res.MismatchCount, res.Mismatches)
+	}
+	if res.Ops != 10*16 {
+		t.Fatalf("ops = %d, want %d", res.Ops, 10*16)
+	}
+	if res.Reads != 5*16 || res.Writes != 5*16 {
+		t.Fatalf("reads=%d writes=%d", res.Reads, res.Writes)
+	}
+}
+
+func TestRunAllCatalogFaultFree(t *testing.T) {
+	for _, e := range Catalog() {
+		tst := MustLookup(e.Name)
+		mem := memory.MustNew(8, 1)
+		res, err := Run(tst, mem, RunOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		if res.Detected() {
+			t.Errorf("%s: fault-free run detected a fault: %v", e.Name, res.Mismatches)
+		}
+	}
+}
+
+func TestRunTransparentPreservesContents(t *testing.T) {
+	tm := MustParse("tmarch", "{up(ra,w~a); up(r~a,wa); down(ra,w~a); down(r~a,wa); any(ra)}")
+	mem := memory.MustNew(32, 1)
+	r := rand.New(rand.NewSource(1))
+	mem.Randomize(r)
+	before := mem.Snapshot()
+	res, err := Run(tm, mem, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() {
+		t.Fatalf("fault-free transparent run mismatched: %v", res.Mismatches)
+	}
+	if !mem.Equal(before) {
+		t.Fatal("transparent test did not preserve contents")
+	}
+}
+
+func TestRunWidthMismatch(t *testing.T) {
+	mem := memory.MustNew(4, 8)
+	if _, err := Run(MustLookup("MATS+"), mem, RunOptions{}); err == nil {
+		t.Fatal("width mismatch not rejected")
+	}
+}
+
+func TestRunBadInitialLength(t *testing.T) {
+	mem := memory.MustNew(4, 1)
+	_, err := Run(MustLookup("MATS+"), mem, RunOptions{Initial: make([]word.Word, 3)})
+	if err == nil {
+		t.Fatal("bad snapshot length not rejected")
+	}
+}
+
+func TestRunDetectsStuckCell(t *testing.T) {
+	mem := memory.MustNew(8, 1)
+	// Simulate a stuck-at-1 cell by wrapping the memory.
+	stuck := &stuckMem{Mem: mem, addr: 3}
+	res, err := Run(MustLookup("March C-"), stuck, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("March C- missed a stuck-at-1 cell")
+	}
+	for _, m := range res.Mismatches {
+		if m.Addr != 3 {
+			t.Fatalf("mismatch at wrong address: %v", m)
+		}
+	}
+}
+
+// stuckMem forces one address to read 1 regardless of writes.
+type stuckMem struct {
+	Mem  *memory.Memory
+	addr int
+}
+
+func (s *stuckMem) Read(addr int) word.Word {
+	if addr == s.addr {
+		return word.FromUint64(1)
+	}
+	return s.Mem.Read(addr)
+}
+func (s *stuckMem) Write(addr int, v word.Word) { s.Mem.Write(addr, v) }
+func (s *stuckMem) Words() int                  { return s.Mem.Words() }
+func (s *stuckMem) Width() int                  { return s.Mem.Width() }
+
+func TestRunStopAtFirstMismatch(t *testing.T) {
+	mem := memory.MustNew(8, 1)
+	stuck := &stuckMem{Mem: mem, addr: 0}
+	res, err := Run(MustLookup("March C-"), stuck, RunOptions{StopAtFirstMismatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || res.MismatchCount != 1 {
+		t.Fatalf("aborted=%v count=%d, want aborted after 1", res.Aborted, res.MismatchCount)
+	}
+}
+
+func TestRunMismatchCap(t *testing.T) {
+	mem := memory.MustNew(64, 1)
+	stuck := &allOnesMem{Mem: mem}
+	res, err := Run(MustLookup("March C-"), stuck, RunOptions{MaxMismatches: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mismatches) != 4 {
+		t.Fatalf("recorded %d mismatches, want cap 4", len(res.Mismatches))
+	}
+	if res.MismatchCount <= 4 {
+		t.Fatalf("MismatchCount = %d, should exceed the cap", res.MismatchCount)
+	}
+}
+
+// allOnesMem reads 1 everywhere.
+type allOnesMem struct{ Mem *memory.Memory }
+
+func (s *allOnesMem) Read(addr int) word.Word     { return word.FromUint64(1) }
+func (s *allOnesMem) Write(addr int, v word.Word) { s.Mem.Write(addr, v) }
+func (s *allOnesMem) Words() int                  { return s.Mem.Words() }
+func (s *allOnesMem) Width() int                  { return s.Mem.Width() }
+
+func TestRunReadSinkSeesRawData(t *testing.T) {
+	mem := memory.MustNew(4, 1)
+	var seen []word.Word
+	tst := MustLookup("MATS++")
+	_, err := Run(tst, mem, RunOptions{ReadSink: func(addr int, got word.Word, op Op) {
+		if op.Kind != Read {
+			t.Errorf("sink received non-read op %v", op)
+		}
+		seen = append(seen, got)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != tst.Reads()*4 {
+		t.Fatalf("sink saw %d reads, want %d", len(seen), tst.Reads()*4)
+	}
+}
+
+func TestRunAnyDownDirection(t *testing.T) {
+	// A test whose only element is Any; observe first accessed address.
+	tst := MustNew("probe", 1, Elem(Any, W(LitBit(0))))
+	mem := memory.MustNew(4, 1)
+	var first = -1
+	obs := memory.NewObserved(mem, memory.ObserverFunc(func(a memory.Access) {
+		if first < 0 && a.Kind == memory.AccessWrite {
+			first = a.Addr
+		}
+	}))
+	// Supply the snapshot explicitly so the runner's own snapshot
+	// reads do not reach the observer.
+	if _, err := Run(tst, obs, RunOptions{AnyDown: true, Initial: make([]word.Word, 4)}); err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 {
+		t.Fatalf("AnyDown first address = %d, want 3", first)
+	}
+}
+
+func TestRunMismatchString(t *testing.T) {
+	m := Mismatch{Element: 1, OpIndex: 2, Addr: 3, Got: word.FromUint64(1), Want: word.Zero}
+	s := m.String()
+	if s == "" {
+		t.Fatal("empty mismatch string")
+	}
+}
+
+func TestRunWordWideTransparent(t *testing.T) {
+	// 8-bit transparent test with a mask background.
+	tm := MustParse("tmask", "{any(ra, wa^01010101, ra^01010101, wa, ra)}")
+	mem := memory.MustNew(16, 8)
+	r := rand.New(rand.NewSource(9))
+	mem.Randomize(r)
+	before := mem.Snapshot()
+	res, err := Run(tm, mem, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() {
+		t.Fatalf("mismatches: %v", res.Mismatches)
+	}
+	if !mem.Equal(before) {
+		t.Fatal("contents not preserved")
+	}
+}

@@ -1,0 +1,203 @@
+// Package memory provides a functional simulator for embedded
+// word-oriented random-access memories.
+//
+// The simulator models a memory core at the level march tests are
+// defined on: an array of N words of W bits each with single-cycle
+// read and write, no timing. Fault behaviour is layered on top by
+// wrapping a *Memory in the injectors from internal/faults, and
+// observation hooks allow the state-coverage analysis of
+// internal/statecover to watch every access without disturbing it.
+package memory
+
+import (
+	"fmt"
+	"math/rand"
+
+	"twmarch/internal/word"
+)
+
+// Accessor is the read/write view of a memory shared by the plain
+// simulator, fault injectors, and observers. Addresses are word
+// addresses in [0, Words()).
+type Accessor interface {
+	// Read returns the word stored at addr.
+	Read(addr int) word.Word
+	// Write stores v (masked to the memory width) at addr.
+	Write(addr int, v word.Word)
+	// Words returns the number of words.
+	Words() int
+	// Width returns the word width in bits.
+	Width() int
+}
+
+// Memory is a fault-free word-oriented RAM model.
+type Memory struct {
+	width int
+	cells []word.Word
+}
+
+var _ Accessor = (*Memory)(nil)
+
+// New creates a memory with the given number of words and word width.
+func New(words, width int) (*Memory, error) {
+	if words <= 0 {
+		return nil, fmt.Errorf("memory: word count %d must be positive", words)
+	}
+	if width < 1 || width > word.MaxWidth {
+		return nil, fmt.Errorf("memory: width %d out of range [1,%d]", width, word.MaxWidth)
+	}
+	return &Memory{width: width, cells: make([]word.Word, words)}, nil
+}
+
+// MustNew is New for statically valid geometry.
+func MustNew(words, width int) *Memory {
+	m, err := New(words, width)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Words returns the number of words.
+func (m *Memory) Words() int { return len(m.cells) }
+
+// Width returns the word width in bits.
+func (m *Memory) Width() int { return m.width }
+
+func (m *Memory) checkAddr(addr int) {
+	if addr < 0 || addr >= len(m.cells) {
+		panic(fmt.Sprintf("memory: address %d out of range [0,%d)", addr, len(m.cells)))
+	}
+}
+
+// Read returns the word at addr.
+func (m *Memory) Read(addr int) word.Word {
+	m.checkAddr(addr)
+	return m.cells[addr]
+}
+
+// Write stores v at addr, masked to the memory width.
+func (m *Memory) Write(addr int, v word.Word) {
+	m.checkAddr(addr)
+	m.cells[addr] = v.Mask(m.width)
+}
+
+// Fill sets every word to v.
+func (m *Memory) Fill(v word.Word) {
+	v = v.Mask(m.width)
+	for i := range m.cells {
+		m.cells[i] = v
+	}
+}
+
+// Randomize fills the memory with pseudo-random contents from r. It is
+// the standard way to model the unknown pre-existing data a transparent
+// test must preserve.
+func (m *Memory) Randomize(r *rand.Rand) {
+	for i := range m.cells {
+		m.cells[i] = word.Word{Hi: r.Uint64(), Lo: r.Uint64()}.Mask(m.width)
+	}
+}
+
+// Snapshot returns a copy of the current contents.
+func (m *Memory) Snapshot() []word.Word {
+	out := make([]word.Word, len(m.cells))
+	copy(out, m.cells)
+	return out
+}
+
+// Restore overwrites the contents from a snapshot taken on a memory of
+// identical geometry.
+func (m *Memory) Restore(snapshot []word.Word) error {
+	if len(snapshot) != len(m.cells) {
+		return fmt.Errorf("memory: snapshot has %d words, memory has %d", len(snapshot), len(m.cells))
+	}
+	for i, v := range snapshot {
+		m.cells[i] = v.Mask(m.width)
+	}
+	return nil
+}
+
+// Equal reports whether the contents match the snapshot exactly.
+func (m *Memory) Equal(snapshot []word.Word) bool {
+	if len(snapshot) != len(m.cells) {
+		return false
+	}
+	for i, v := range snapshot {
+		if m.cells[i] != v.Mask(m.width) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the memory.
+func (m *Memory) Clone() *Memory {
+	return &Memory{width: m.width, cells: m.Snapshot()}
+}
+
+// AccessKind tags observed operations.
+type AccessKind int
+
+const (
+	// AccessRead is a read access.
+	AccessRead AccessKind = iota
+	// AccessWrite is a write access.
+	AccessWrite
+)
+
+// Access describes one observed memory operation. For reads, Value is
+// the value returned; for writes, Value is the value stored and Old the
+// value it replaced.
+type Access struct {
+	Kind  AccessKind
+	Addr  int
+	Value word.Word
+	Old   word.Word
+}
+
+// Observer receives every access performed through an Observed
+// wrapper.
+type Observer interface {
+	Observe(Access)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Access)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(a Access) { f(a) }
+
+// Observed wraps an Accessor and reports every access to an Observer.
+// The wrapper itself never modifies data.
+type Observed struct {
+	Base Accessor
+	Obs  Observer
+}
+
+var _ Accessor = (*Observed)(nil)
+
+// NewObserved wraps base so that obs sees every access.
+func NewObserved(base Accessor, obs Observer) *Observed {
+	return &Observed{Base: base, Obs: obs}
+}
+
+// Read implements Accessor.
+func (o *Observed) Read(addr int) word.Word {
+	v := o.Base.Read(addr)
+	o.Obs.Observe(Access{Kind: AccessRead, Addr: addr, Value: v})
+	return v
+}
+
+// Write implements Accessor.
+func (o *Observed) Write(addr int, v word.Word) {
+	old := o.Base.Read(addr)
+	o.Base.Write(addr, v)
+	o.Obs.Observe(Access{Kind: AccessWrite, Addr: addr, Value: v.Mask(o.Base.Width()), Old: old})
+}
+
+// Words implements Accessor.
+func (o *Observed) Words() int { return o.Base.Words() }
+
+// Width implements Accessor.
+func (o *Observed) Width() int { return o.Base.Width() }

@@ -1,0 +1,180 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/word"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 8); err == nil {
+		t.Error("zero words accepted")
+	}
+	if _, err := New(-4, 8); err == nil {
+		t.Error("negative words accepted")
+	}
+	if _, err := New(8, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := New(8, 129); err == nil {
+		t.Error("width beyond 128 accepted")
+	}
+	m, err := New(8, 128)
+	if err != nil {
+		t.Fatalf("New(8,128): %v", err)
+	}
+	if m.Words() != 8 || m.Width() != 128 {
+		t.Fatalf("geometry: %d x %d", m.Words(), m.Width())
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := MustNew(4, 8)
+	v := word.FromUint64(0xa5)
+	m.Write(2, v)
+	if got := m.Read(2); got != v {
+		t.Fatalf("Read(2) = %v, want %v", got, v)
+	}
+	if got := m.Read(0); !got.IsZero() {
+		t.Fatalf("untouched word = %v", got)
+	}
+}
+
+func TestWriteMasksToWidth(t *testing.T) {
+	m := MustNew(2, 4)
+	m.Write(0, word.FromUint64(0xff))
+	if got := m.Read(0); got != word.FromUint64(0xf) {
+		t.Fatalf("write not masked: %v", got)
+	}
+}
+
+func TestAddressBoundsPanic(t *testing.T) {
+	m := MustNew(2, 4)
+	for _, f := range []func(){
+		func() { m.Read(-1) },
+		func() { m.Read(2) },
+		func() { m.Write(5, word.Zero) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range access did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := MustNew(4, 8)
+	m.Fill(word.FromUint64(0x3c))
+	for i := 0; i < 4; i++ {
+		if m.Read(i) != word.FromUint64(0x3c) {
+			t.Fatalf("word %d not filled", i)
+		}
+	}
+}
+
+func TestSnapshotRestoreEqual(t *testing.T) {
+	m := MustNew(16, 32)
+	r := rand.New(rand.NewSource(5))
+	m.Randomize(r)
+	snap := m.Snapshot()
+	if !m.Equal(snap) {
+		t.Fatal("memory should equal its own snapshot")
+	}
+	m.Write(7, m.Read(7).FlipBit(3))
+	if m.Equal(snap) {
+		t.Fatal("Equal missed a modified word")
+	}
+	if err := m.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(snap) {
+		t.Fatal("Restore did not reinstate the snapshot")
+	}
+}
+
+func TestRestoreLengthMismatch(t *testing.T) {
+	m := MustNew(4, 8)
+	if err := m.Restore(make([]word.Word, 3)); err == nil {
+		t.Fatal("short snapshot accepted")
+	}
+	if m.Equal(make([]word.Word, 3)) {
+		t.Fatal("Equal accepted short snapshot")
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	m := MustNew(2, 8)
+	snap := m.Snapshot()
+	m.Write(0, word.FromUint64(0xff))
+	if !snap[0].IsZero() {
+		t.Fatal("snapshot aliases memory storage")
+	}
+}
+
+func TestRandomizeRespectsWidth(t *testing.T) {
+	m := MustNew(64, 5)
+	r := rand.New(rand.NewSource(11))
+	m.Randomize(r)
+	for i := 0; i < m.Words(); i++ {
+		v := m.Read(i)
+		if v != v.Mask(5) {
+			t.Fatalf("word %d exceeds width: %v", i, v)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := MustNew(4, 8)
+	m.Write(1, word.FromUint64(0x7e))
+	c := m.Clone()
+	c.Write(1, word.Zero)
+	if m.Read(1) != word.FromUint64(0x7e) {
+		t.Fatal("Clone shares storage")
+	}
+	if c.Words() != m.Words() || c.Width() != m.Width() {
+		t.Fatal("Clone geometry differs")
+	}
+}
+
+func TestObservedReportsAccesses(t *testing.T) {
+	m := MustNew(4, 8)
+	var log []Access
+	o := NewObserved(m, ObserverFunc(func(a Access) { log = append(log, a) }))
+	o.Write(2, word.FromUint64(0x11))
+	_ = o.Read(2)
+	o.Write(2, word.FromUint64(0x22))
+	if len(log) != 3 {
+		t.Fatalf("observed %d accesses, want 3", len(log))
+	}
+	if log[0].Kind != AccessWrite || !log[0].Old.IsZero() || log[0].Value != word.FromUint64(0x11) {
+		t.Fatalf("first access: %+v", log[0])
+	}
+	if log[1].Kind != AccessRead || log[1].Value != word.FromUint64(0x11) {
+		t.Fatalf("second access: %+v", log[1])
+	}
+	if log[2].Old != word.FromUint64(0x11) || log[2].Value != word.FromUint64(0x22) {
+		t.Fatalf("third access old/value: %+v", log[2])
+	}
+	if o.Words() != 4 || o.Width() != 8 {
+		t.Fatal("Observed geometry passthrough broken")
+	}
+}
+
+func TestObservedDoesNotAlterData(t *testing.T) {
+	m := MustNew(8, 16)
+	o := NewObserved(m, ObserverFunc(func(Access) {}))
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		addr := r.Intn(8)
+		v := word.FromUint64(r.Uint64()).Mask(16)
+		o.Write(addr, v)
+		if got := o.Read(addr); got != v {
+			t.Fatalf("observed memory corrupted data at %d: %v != %v", addr, got, v)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+// Package misr implements the multiple-input signature register a
+// transparent memory BIST compresses its read stream with.
+//
+// A MISR is a Galois LFSR whose state is XORed with one input word per
+// clock. The transparent test scheme runs two passes over the memory:
+// the signature-prediction pass (reads only) computes the reference
+// signature, the test pass compresses the actual read data, and a
+// final comparison flags the memory as faulty when they differ.
+// Because the compression is lossy, distinct error streams can map to
+// the same signature — the aliasing problem the paper's introduction
+// discusses; Aliasing helpers make that concrete.
+package misr
+
+import (
+	"fmt"
+
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// primitivePolys maps register width to the low-order coefficients of
+// a primitive characteristic polynomial over GF(2) (the x^width term
+// is implicit). A primitive polynomial gives the register its maximal
+// cycle length of 2^width − 1, which minimizes aliasing for random
+// error streams. Sources: Peterson & Weldon, "Error-Correcting Codes";
+// the widths match the memory word widths this library simulates.
+var primitivePolys = map[int]word.Word{
+	1:  word.FromUint64(0x1),    // x + 1
+	2:  word.FromUint64(0x3),    // x^2 + x + 1
+	3:  word.FromUint64(0x3),    // x^3 + x + 1
+	4:  word.FromUint64(0x3),    // x^4 + x + 1
+	5:  word.FromUint64(0x5),    // x^5 + x^2 + 1
+	6:  word.FromUint64(0x3),    // x^6 + x + 1
+	7:  word.FromUint64(0x9),    // x^7 + x^3 + 1
+	8:  word.FromUint64(0x1d),   // x^8 + x^4 + x^3 + x^2 + 1
+	9:  word.FromUint64(0x11),   // x^9 + x^4 + 1
+	10: word.FromUint64(0x9),    // x^10 + x^3 + 1
+	11: word.FromUint64(0x5),    // x^11 + x^2 + 1
+	12: word.FromUint64(0x53),   // x^12 + x^6 + x^4 + x + 1
+	13: word.FromUint64(0x1b),   // x^13 + x^4 + x^3 + x + 1
+	14: word.FromUint64(0x443),  // x^14 + x^10 + x^6 + x + 1
+	15: word.FromUint64(0x3),    // x^15 + x + 1
+	16: word.FromUint64(0x100b), // x^16 + x^12 + x^3 + x + 1
+	20: word.FromUint64(0x9),    // x^20 + x^3 + 1
+	// Widths below are too long for an exhaustive period check; the
+	// polynomials are the published low-weight primitive polynomials
+	// (Seroussi, "Table of low-weight binary irreducible polynomials",
+	// HP Labs HPL-98-135).
+	24:  word.FromUint64(0x1b),     // x^24 + x^4 + x^3 + x + 1
+	32:  word.FromUint64(0x400007), // x^32 + x^22 + x^2 + x + 1
+	64:  word.FromUint64(0x1b),     // x^64 + x^4 + x^3 + x + 1
+	128: word.FromUint64(0x87),     // x^128 + x^7 + x^2 + x + 1
+}
+
+// LookupPoly returns the library's primitive characteristic polynomial
+// for the width (low-order coefficient mask, implicit x^width term).
+func LookupPoly(width int) (word.Word, error) {
+	p, ok := primitivePolys[width]
+	if !ok {
+		return word.Word{}, fmt.Errorf("misr: no primitive polynomial tabulated for width %d", width)
+	}
+	return p, nil
+}
+
+// Widths lists the register widths with tabulated polynomials.
+func Widths() []int {
+	out := make([]int, 0, len(primitivePolys))
+	for w := range primitivePolys {
+		out = append(out, w)
+	}
+	// Deterministic order for display.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// MISR is a Galois-configuration multiple-input signature register.
+// The zero value is not usable; construct with New or NewWithPoly.
+type MISR struct {
+	width  int
+	poly   word.Word
+	state  word.Word
+	clocks int
+}
+
+// New creates a MISR of the given width using the tabulated primitive
+// polynomial, seeded with zero.
+func New(width int) (*MISR, error) {
+	p, err := LookupPoly(width)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithPoly(width, p)
+}
+
+// MustNew is New for widths known to be tabulated.
+func MustNew(width int) *MISR {
+	m, err := New(width)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NewWithPoly creates a MISR with an explicit characteristic
+// polynomial (low-order coefficient mask; the x^width term is
+// implicit).
+func NewWithPoly(width int, poly word.Word) (*MISR, error) {
+	if width < 1 || width > word.MaxWidth {
+		return nil, fmt.Errorf("misr: width %d out of range [1,%d]", width, word.MaxWidth)
+	}
+	if poly != poly.Mask(width) {
+		return nil, fmt.Errorf("misr: polynomial %v exceeds width %d", poly, width)
+	}
+	return &MISR{width: width, poly: poly}, nil
+}
+
+// Width returns the register width.
+func (m *MISR) Width() int { return m.width }
+
+// Poly returns the characteristic polynomial mask.
+func (m *MISR) Poly() word.Word { return m.poly }
+
+// Reset loads the seed into the register and clears the clock count.
+func (m *MISR) Reset(seed word.Word) {
+	m.state = seed.Mask(m.width)
+	m.clocks = 0
+}
+
+// step advances the LFSR one clock without input.
+func (m *MISR) step() {
+	msb := m.state.Bit(m.width - 1)
+	m.state = m.state.Shl(1).Mask(m.width)
+	if msb == 1 {
+		m.state = m.state.Xor(m.poly)
+	}
+}
+
+// Feed clocks the register once, compressing one input word.
+func (m *MISR) Feed(d word.Word) {
+	m.step()
+	m.state = m.state.Xor(d.Mask(m.width))
+	m.clocks++
+}
+
+// Shift clocks the register once with no input (pure LFSR step).
+func (m *MISR) Shift() {
+	m.step()
+	m.clocks++
+}
+
+// Signature returns the current register state.
+func (m *MISR) Signature() word.Word { return m.state }
+
+// Clocks returns the number of Feed/Shift operations since Reset.
+func (m *MISR) Clocks() int { return m.clocks }
+
+// TestSink adapts the MISR to the march runner's ReadSink for the
+// *test* phase: raw read data are compressed.
+func (m *MISR) TestSink() func(addr int, got word.Word, op march.Op) {
+	return func(_ int, got word.Word, _ march.Op) { m.Feed(got) }
+}
+
+// PredictSink adapts the MISR to the march runner's ReadSink for the
+// *prediction* phase: each read of the untouched memory is XORed with
+// the operation's effective mask before compression, producing the
+// value the fault-free test phase will read at the corresponding
+// operation.
+func (m *MISR) PredictSink() func(addr int, got word.Word, op march.Op) {
+	return func(_ int, got word.Word, op march.Op) {
+		m.Feed(got.Xor(op.Data.EffectiveMask(m.width)))
+	}
+}
+
+// SignatureOf compresses a sequence of words from a zero seed; a
+// convenience for tests and aliasing analysis.
+func SignatureOf(width int, poly word.Word, seq []word.Word) (word.Word, error) {
+	m, err := NewWithPoly(width, poly)
+	if err != nil {
+		return word.Word{}, err
+	}
+	for _, d := range seq {
+		m.Feed(d)
+	}
+	return m.Signature(), nil
+}
+
+// AliasingErrorStream constructs a non-zero error stream of the given
+// length that a MISR of this width and polynomial compresses to the
+// zero signature — i.e. superimposing it on any data stream leaves the
+// signature unchanged (aliasing). By linearity it suffices to inject
+// the polynomial pattern and let the register absorb it: an error e
+// fed at clock i and its LFSR image fed at clock i+1 cancel. Returns
+// an error when length < 2 (single-error streams never alias, which is
+// also asserted in the tests).
+func AliasingErrorStream(width int, poly word.Word, length int) ([]word.Word, error) {
+	if length < 2 {
+		return nil, fmt.Errorf("misr: aliasing needs at least 2 clocks; single errors never alias")
+	}
+	// Error e at clock 0 evolves to step(e) at clock 1; feeding
+	// step(e) as the clock-1 error cancels the register difference.
+	e := word.FromUint64(1)
+	m, err := NewWithPoly(width, poly)
+	if err != nil {
+		return nil, err
+	}
+	m.Reset(e)
+	m.Shift()
+	cancel := m.Signature()
+	stream := make([]word.Word, length)
+	stream[0] = e
+	stream[1] = cancel
+	return stream, nil
+}
+
+// AliasingProbability returns the asymptotic probability 2^-width that
+// a random non-zero error stream aliases in a maximal-length MISR.
+func AliasingProbability(width int) float64 {
+	p := 1.0
+	for i := 0; i < width; i++ {
+		p /= 2
+	}
+	return p
+}

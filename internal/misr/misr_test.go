@@ -1,0 +1,248 @@
+package misr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"twmarch/internal/word"
+)
+
+func TestLookupPolyKnownWidths(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		if _, err := LookupPoly(w); err != nil {
+			t.Errorf("LookupPoly(%d): %v", w, err)
+		}
+	}
+	if _, err := LookupPoly(17); err == nil {
+		t.Error("untabulated width accepted")
+	}
+}
+
+func TestWidthsSorted(t *testing.T) {
+	ws := Widths()
+	if len(ws) == 0 {
+		t.Fatal("no widths")
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i-1] >= ws[i] {
+			t.Fatalf("widths not sorted: %v", ws)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := NewWithPoly(0, word.Zero); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := NewWithPoly(129, word.Zero); err == nil {
+		t.Error("width 129 accepted")
+	}
+	if _, err := NewWithPoly(4, word.FromUint64(0x10)); err == nil {
+		t.Error("polynomial exceeding width accepted")
+	}
+}
+
+// A primitive polynomial gives the pure LFSR (no input) its maximal
+// period 2^w − 1 from any non-zero seed. Exhaustively checked for the
+// small widths; this validates the tabulated polynomials.
+func TestMaximalPeriodSmallWidths(t *testing.T) {
+	for _, w := range []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16} {
+		m := MustNew(w)
+		seed := word.FromUint64(1)
+		m.Reset(seed)
+		period := 0
+		for {
+			m.Shift()
+			period++
+			if m.Signature() == seed {
+				break
+			}
+			if period > 1<<uint(w) {
+				t.Fatalf("width %d: no cycle within 2^w steps", w)
+			}
+		}
+		want := 1<<uint(w) - 1
+		if period != want {
+			t.Errorf("width %d: period %d, want %d (polynomial not primitive)", w, period, want)
+		}
+	}
+}
+
+func TestMaximalPeriodMediumWidths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("period check for width 20 is ~1M steps")
+	}
+	for _, w := range []int{14, 20} {
+		m := MustNew(w)
+		seed := word.FromUint64(1)
+		m.Reset(seed)
+		period := 0
+		for {
+			m.Shift()
+			period++
+			if m.Signature() == seed {
+				break
+			}
+			if period > 1<<uint(w) {
+				t.Fatalf("width %d: no cycle within 2^w steps", w)
+			}
+		}
+		if want := 1<<uint(w) - 1; period != want {
+			t.Errorf("width %d: period %d, want %d", w, period, want)
+		}
+	}
+}
+
+func TestFeedChangesState(t *testing.T) {
+	m := MustNew(8)
+	m.Feed(word.FromUint64(0xa5))
+	if m.Signature().IsZero() {
+		t.Fatal("state still zero after feeding nonzero word")
+	}
+	if m.Clocks() != 1 {
+		t.Fatalf("clocks = %d", m.Clocks())
+	}
+	m.Reset(word.Zero)
+	if !m.Signature().IsZero() || m.Clocks() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	seq := []word.Word{word.FromUint64(1), word.FromUint64(0xff), word.Zero, word.FromUint64(0x3c)}
+	p, _ := LookupPoly(8)
+	s1, err := SignatureOf(8, p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := SignatureOf(8, p, seq)
+	if s1 != s2 {
+		t.Fatal("MISR not deterministic")
+	}
+}
+
+// Linearity over GF(2): sig(a ⊕ b) == sig(a) ⊕ sig(b) from zero seed.
+// This is the property aliasing analysis rests on.
+func TestQuickLinearity(t *testing.T) {
+	p, _ := LookupPoly(16)
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		a := make([]word.Word, len(raw))
+		b := make([]word.Word, len(raw))
+		x := make([]word.Word, len(raw))
+		r := rand.New(rand.NewSource(int64(len(raw))))
+		for i, v := range raw {
+			a[i] = word.FromUint64(uint64(v))
+			b[i] = word.FromUint64(uint64(r.Uint32() & 0xffff))
+			x[i] = a[i].Xor(b[i])
+		}
+		sa, _ := SignatureOf(16, p, a)
+		sb, _ := SignatureOf(16, p, b)
+		sx, _ := SignatureOf(16, p, x)
+		return sx == sa.Xor(sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A single corrupted word in a stream always changes the signature
+// (single errors never alias in an LFSR-based MISR).
+func TestSingleErrorNeverAliases(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	p, _ := LookupPoly(8)
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + r.Intn(40)
+		seq := make([]word.Word, n)
+		for i := range seq {
+			seq[i] = word.FromUint64(r.Uint64() & 0xff)
+		}
+		base, _ := SignatureOf(8, p, seq)
+		pos := r.Intn(n)
+		bad := make([]word.Word, n)
+		copy(bad, seq)
+		errw := word.FromUint64(uint64(1 + r.Intn(255)))
+		bad[pos] = bad[pos].Xor(errw)
+		got, _ := SignatureOf(8, p, bad)
+		if got == base {
+			t.Fatalf("single error %v at %d aliased (n=%d)", errw, pos, n)
+		}
+	}
+}
+
+// The constructed aliasing stream really does alias: superimposing it
+// on any data stream leaves the signature unchanged.
+func TestAliasingErrorStream(t *testing.T) {
+	p, _ := LookupPoly(8)
+	es, err := AliasingErrorStream(8, p, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonzero := 0
+	for _, e := range es {
+		if !e.IsZero() {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("aliasing stream is all zero")
+	}
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 50; trial++ {
+		seq := make([]word.Word, len(es))
+		for i := range seq {
+			seq[i] = word.FromUint64(r.Uint64() & 0xff)
+		}
+		bad := make([]word.Word, len(es))
+		for i := range seq {
+			bad[i] = seq[i].Xor(es[i])
+		}
+		sGood, _ := SignatureOf(8, p, seq)
+		sBad, _ := SignatureOf(8, p, bad)
+		if sGood != sBad {
+			t.Fatalf("trial %d: constructed stream did not alias", trial)
+		}
+	}
+	if _, err := AliasingErrorStream(8, p, 1); err == nil {
+		t.Error("length-1 aliasing stream accepted")
+	}
+}
+
+func TestAliasingProbability(t *testing.T) {
+	if got := AliasingProbability(1); got != 0.5 {
+		t.Errorf("P(1) = %v", got)
+	}
+	if got := AliasingProbability(8); got != 1.0/256 {
+		t.Errorf("P(8) = %v", got)
+	}
+	if got := AliasingProbability(32); got != 1.0/(1<<32) {
+		t.Errorf("P(32) = %v", got)
+	}
+}
+
+func TestWideMISR128(t *testing.T) {
+	m := MustNew(128)
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 1000; i++ {
+		m.Feed(word.Word{Hi: r.Uint64(), Lo: r.Uint64()})
+	}
+	if m.Signature().IsZero() {
+		t.Fatal("128-bit MISR collapsed to zero on random input")
+	}
+	if m.Clocks() != 1000 {
+		t.Fatalf("clocks = %d", m.Clocks())
+	}
+}
+
+func TestPolyAccessors(t *testing.T) {
+	m := MustNew(8)
+	if m.Width() != 8 {
+		t.Error("Width broken")
+	}
+	if m.Poly() != word.FromUint64(0x1d) {
+		t.Errorf("Poly = %v", m.Poly())
+	}
+}

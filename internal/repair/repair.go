@@ -1,0 +1,178 @@
+// Package repair allocates redundancy for a faulty embedded memory
+// from a diagnosis report: given spare rows (word lines) and spare
+// columns (bit lines), it decides which defective resources to
+// replace. Built-in self-repair (BISR) sits directly downstream of the
+// BIST diagnosis this library produces; the allocation problem is the
+// classical spare-row/spare-column assignment (NP-hard in general;
+// solved here with the standard must-repair reduction followed by a
+// greedy cover, which is what hardware BISR state machines implement).
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"twmarch/internal/diagnose"
+)
+
+// Assignment is the chosen redundancy mapping.
+type Assignment struct {
+	// Rows lists word addresses replaced by spare rows.
+	Rows []int
+	// Cols lists bit positions replaced by spare columns.
+	Cols []int
+}
+
+// Plan is the outcome of an allocation.
+type Plan struct {
+	Assignment Assignment
+	// Repairable is false when the defect pattern exceeds the spares;
+	// Uncovered then lists the cells left unrepaired.
+	Repairable bool
+	Uncovered  []diagnose.SiteEvidence
+}
+
+// String summarizes the plan.
+func (p *Plan) String() string {
+	if !p.Repairable {
+		return fmt.Sprintf("unrepairable: %d cells uncovered (rows %v, cols %v assigned)",
+			len(p.Uncovered), p.Assignment.Rows, p.Assignment.Cols)
+	}
+	return fmt.Sprintf("repairable: spare rows -> %v, spare columns -> %v",
+		p.Assignment.Rows, p.Assignment.Cols)
+}
+
+// Allocate maps the suspect cells of a diagnosis onto the available
+// spares. The algorithm is the textbook two-phase repair:
+//
+//  1. Must-repair: a row with more defective cells than the remaining
+//     spare columns can only be fixed by a spare row, and vice versa;
+//     iterate until stable.
+//  2. Greedy cover: repeatedly spend whichever spare kind covers the
+//     most remaining defects (ties prefer rows, the cheaper resource
+//     in most embedded SRAM layouts).
+func Allocate(sites []diagnose.SiteEvidence, spareRows, spareCols int) (*Plan, error) {
+	if spareRows < 0 || spareCols < 0 {
+		return nil, fmt.Errorf("repair: negative spare counts")
+	}
+	type cell struct{ row, col int }
+	remaining := map[cell]diagnose.SiteEvidence{}
+	for _, s := range sites {
+		remaining[cell{s.Addr, s.Bit}] = s
+	}
+	plan := &Plan{Repairable: true}
+	usedRows := map[int]bool{}
+	usedCols := map[int]bool{}
+
+	countByRow := func() map[int]int {
+		m := map[int]int{}
+		for c := range remaining {
+			m[c.row]++
+		}
+		return m
+	}
+	countByCol := func() map[int]int {
+		m := map[int]int{}
+		for c := range remaining {
+			m[c.col]++
+		}
+		return m
+	}
+	spendRow := func(row int) {
+		usedRows[row] = true
+		plan.Assignment.Rows = append(plan.Assignment.Rows, row)
+		for c := range remaining {
+			if c.row == row {
+				delete(remaining, c)
+			}
+		}
+		spareRows--
+	}
+	spendCol := func(col int) {
+		usedCols[col] = true
+		plan.Assignment.Cols = append(plan.Assignment.Cols, col)
+		for c := range remaining {
+			if c.col == col {
+				delete(remaining, c)
+			}
+		}
+		spareCols--
+	}
+
+	// Phase 1: must-repair fixed point.
+	for {
+		changed := false
+		for row, n := range countByRow() {
+			if n > spareCols && spareRows > 0 && !usedRows[row] {
+				spendRow(row)
+				changed = true
+			}
+		}
+		for col, n := range countByCol() {
+			if n > spareRows && spareCols > 0 && !usedCols[col] {
+				spendCol(col)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 2: greedy cover.
+	for len(remaining) > 0 && (spareRows > 0 || spareCols > 0) {
+		bestRow, bestRowN := -1, 0
+		for row, n := range countByRow() {
+			if n > bestRowN || (n == bestRowN && row < bestRow) {
+				bestRow, bestRowN = row, n
+			}
+		}
+		bestCol, bestColN := -1, 0
+		for col, n := range countByCol() {
+			if n > bestColN || (n == bestColN && col < bestCol) {
+				bestCol, bestColN = col, n
+			}
+		}
+		switch {
+		case spareRows > 0 && (bestRowN >= bestColN || spareCols == 0):
+			spendRow(bestRow)
+		case spareCols > 0:
+			spendCol(bestCol)
+		}
+	}
+
+	if len(remaining) > 0 {
+		plan.Repairable = false
+		for _, s := range remaining {
+			plan.Uncovered = append(plan.Uncovered, s)
+		}
+		sort.Slice(plan.Uncovered, func(i, j int) bool {
+			if plan.Uncovered[i].Addr != plan.Uncovered[j].Addr {
+				return plan.Uncovered[i].Addr < plan.Uncovered[j].Addr
+			}
+			return plan.Uncovered[i].Bit < plan.Uncovered[j].Bit
+		})
+	}
+	sort.Ints(plan.Assignment.Rows)
+	sort.Ints(plan.Assignment.Cols)
+	return plan, nil
+}
+
+// Covers reports whether the plan's assignment repairs every given
+// site (used to verify plans independently of how they were found).
+func Covers(a Assignment, sites []diagnose.SiteEvidence) bool {
+	rows := map[int]bool{}
+	for _, r := range a.Rows {
+		rows[r] = true
+	}
+	cols := map[int]bool{}
+	for _, c := range a.Cols {
+		cols[c] = true
+	}
+	for _, s := range sites {
+		if !rows[s.Addr] && !cols[s.Bit] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package repair
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"twmarch/internal/core"
+	"twmarch/internal/diagnose"
+	"twmarch/internal/faults"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+)
+
+func site(addr, bit int) diagnose.SiteEvidence {
+	return diagnose.SiteEvidence{Addr: addr, Bit: bit, Count: 1}
+}
+
+func TestSingleCellUsesOneSpare(t *testing.T) {
+	plan, err := Allocate([]diagnose.SiteEvidence{site(3, 5)}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable {
+		t.Fatal("single cell should be repairable")
+	}
+	if len(plan.Assignment.Rows)+len(plan.Assignment.Cols) != 1 {
+		t.Fatalf("used more than one spare: %+v", plan.Assignment)
+	}
+	if !Covers(plan.Assignment, []diagnose.SiteEvidence{site(3, 5)}) {
+		t.Fatal("plan does not cover the defect")
+	}
+}
+
+func TestRowDefectForcesSpareRow(t *testing.T) {
+	// Four cells in one word with only one spare column available: the
+	// must-repair phase has to spend the spare row.
+	sites := []diagnose.SiteEvidence{site(2, 0), site(2, 1), site(2, 2), site(2, 3)}
+	plan, err := Allocate(sites, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable {
+		t.Fatal("row defect with a spare row should be repairable")
+	}
+	if len(plan.Assignment.Rows) != 1 || plan.Assignment.Rows[0] != 2 {
+		t.Fatalf("expected spare row at 2, got %+v", plan.Assignment)
+	}
+}
+
+func TestColumnDefectForcesSpareColumn(t *testing.T) {
+	sites := []diagnose.SiteEvidence{site(0, 6), site(1, 6), site(2, 6), site(3, 6)}
+	plan, err := Allocate(sites, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable || len(plan.Assignment.Cols) != 1 || plan.Assignment.Cols[0] != 6 {
+		t.Fatalf("expected spare column at 6, got %+v", plan)
+	}
+}
+
+func TestUnrepairablePattern(t *testing.T) {
+	// A diagonal of 3 defects needs 3 spares in any mix; give 2.
+	sites := []diagnose.SiteEvidence{site(0, 0), site(1, 1), site(2, 2)}
+	plan, err := Allocate(sites, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Repairable {
+		t.Fatal("diagonal of 3 with 2 spares should be unrepairable")
+	}
+	if len(plan.Uncovered) == 0 {
+		t.Fatal("uncovered cells not reported")
+	}
+	if !strings.Contains(plan.String(), "unrepairable") {
+		t.Fatalf("plan string: %s", plan.String())
+	}
+}
+
+func TestZeroSpares(t *testing.T) {
+	plan, err := Allocate([]diagnose.SiteEvidence{site(0, 0)}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Repairable {
+		t.Fatal("no spares cannot repair anything")
+	}
+	if _, err := Allocate(nil, -1, 0); err == nil {
+		t.Fatal("negative spares accepted")
+	}
+}
+
+func TestEmptyDiagnosisNeedsNothing(t *testing.T) {
+	plan, err := Allocate(nil, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable || len(plan.Assignment.Rows)+len(plan.Assignment.Cols) != 0 {
+		t.Fatalf("empty diagnosis should use no spares: %+v", plan)
+	}
+	if !strings.Contains(plan.String(), "repairable") {
+		t.Fatal("plan string broken")
+	}
+}
+
+// Property: whenever Allocate says repairable, the assignment really
+// covers all sites and respects the spare budget.
+func TestAllocatePropertyRandomPatterns(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 300; trial++ {
+		n := r.Intn(8)
+		var sites []diagnose.SiteEvidence
+		seen := map[[2]int]bool{}
+		for i := 0; i < n; i++ {
+			k := [2]int{r.Intn(6), r.Intn(6)}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			sites = append(sites, site(k[0], k[1]))
+		}
+		sr, sc := r.Intn(3), r.Intn(3)
+		plan, err := Allocate(sites, sr, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plan.Assignment.Rows) > sr || len(plan.Assignment.Cols) > sc {
+			t.Fatalf("budget exceeded: %+v with %d/%d", plan.Assignment, sr, sc)
+		}
+		if plan.Repairable {
+			if !Covers(plan.Assignment, sites) {
+				t.Fatalf("claimed repairable but uncovered: %+v / %+v", plan.Assignment, sites)
+			}
+		} else if len(plan.Uncovered) == 0 {
+			t.Fatal("unrepairable without uncovered cells")
+		}
+	}
+}
+
+// End-to-end: BIST detects, diagnosis localizes, repair allocates —
+// the full embedded self-repair pipeline.
+func TestPipelineFromDiagnosis(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := memory.MustNew(16, 8)
+	mem.Randomize(rand.New(rand.NewSource(2)))
+	inj := faults.MustInject(mem, faults.StuckAt{Cell: faults.Site{Addr: 9, Bit: 4}, Value: 0})
+	rep, err := diagnose.Locate(res.TWMarch, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Allocate(rep.Sites, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.Repairable {
+		t.Fatalf("single stuck cell should be repairable: %s", plan)
+	}
+	if !Covers(plan.Assignment, rep.Sites) {
+		t.Fatal("plan does not cover the diagnosed cell")
+	}
+}

@@ -1,0 +1,82 @@
+// Package report renders aligned text tables for the command-line
+// tools and EXPERIMENTS.md. Stdlib-only, no external tabwriter quirks:
+// columns are padded to their widest cell, headers are underlined, and
+// an optional title precedes the table.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// widths returns the per-column display widths.
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if l := len([]rune(c)); l > w[i] {
+				w[i] = l
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	return w
+}
+
+// Render formats the table.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i := 0; i < len(w); i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := w[i] - len([]rune(cell)); pad > 0 && i < len(w)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		line(t.Header)
+		rule := make([]string, len(w))
+		for i := range rule {
+			rule[i] = strings.Repeat("-", w[i])
+		}
+		line(rule)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}

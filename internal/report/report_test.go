@@ -1,0 +1,64 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("x", "1")
+	tb.AddRow("longer", "22")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("rule = %q", lines[2])
+	}
+	// Value column alignment: "x" padded to the width of "longer".
+	if !strings.Contains(lines[3], "x       1") {
+		t.Fatalf("row not aligned: %q", lines[3])
+	}
+}
+
+func TestRenderNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("a", "b")
+	out := tb.Render()
+	if strings.Contains(out, "-") {
+		t.Fatalf("headerless table has a rule: %q", out)
+	}
+	if !strings.Contains(out, "a  b") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"a", "b", "c"}}
+	tb.AddRow("1")
+	tb.AddRow("1", "2", "3")
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Fatalf("wide row lost: %q", out)
+	}
+}
+
+func TestRenderUnicodeWidths(t *testing.T) {
+	tb := &Table{Header: []string{"op", "note"}}
+	tb.AddRow("⇑(r0,w1)", "ascending")
+	out := tb.Render()
+	if !strings.Contains(out, "⇑(r0,w1)") {
+		t.Fatalf("unicode row mangled: %q", out)
+	}
+}

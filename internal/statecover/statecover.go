@@ -1,0 +1,314 @@
+// Package statecover instruments march-test executions to reproduce
+// the state-coverage analysis of the paper's Figure 1.
+//
+// Figure 1(a) shows all states two arbitrary cells (or words) traverse
+// while a coupling-fault-complete march test runs: both cells must
+// visit all four joint values, every single-cell transition must occur
+// against both values of the partner, and every cell must be read in
+// every joint state. Figure 1(b) shows the written-then-read data
+// patterns any two bits *within* a word must exhibit.
+//
+// The trackers work in the relative data domain of transparent
+// testing: a cell's value is recorded as 0 while it equals its initial
+// content and 1 while complemented, so the same machinery analyzes
+// nontransparent runs (zero-initialized memory) and transparent runs
+// (arbitrary contents) and reproduces the paper's D/D̄ notation.
+package statecover
+
+import (
+	"fmt"
+	"strings"
+
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Site names one bit cell.
+type Site struct {
+	Addr int
+	Bit  int
+}
+
+// String formats the site as addr.bit.
+func (s Site) String() string { return fmt.Sprintf("%d.%d", s.Addr, s.Bit) }
+
+// EventKind distinguishes tracked events.
+type EventKind int
+
+const (
+	// WriteEvent: one of the pair's words was written.
+	WriteEvent EventKind = iota
+	// ReadEvent: one of the pair's words was read.
+	ReadEvent
+)
+
+// Event records one access touching the tracked pair, in the relative
+// (0 = initial, 1 = complemented) domain.
+type Event struct {
+	Kind EventKind
+	// Cell is 0 or 1 (which tracked site's word was accessed); for
+	// intra-word pairs both cells share the word and Cell is 0.
+	Cell int
+	// VI, VJ are the pair's relative values after the event.
+	VI, VJ int
+}
+
+// String renders the event like "w0:(1,0)".
+func (e Event) String() string {
+	k := "r"
+	if e.Kind == WriteEvent {
+		k = "w"
+	}
+	return fmt.Sprintf("%s%d:(%d,%d)", k, e.Cell, e.VI, e.VJ)
+}
+
+// PairCoverage accumulates the Figure 1(a) conditions for an ordered
+// cell pair (i, j).
+type PairCoverage struct {
+	// I, J are the tracked sites.
+	I, J Site
+	// Events is the full event sequence (the state traversal).
+	Events []Event
+
+	statesVisited map[[2]int]bool
+	// transitions: [cell, newValue, partnerValue]
+	transitions map[[3]int]bool
+	// readsInState: [cell, vi, vj]
+	readsInState map[[3]int]bool
+
+	vi, vj int
+	initI  int
+	initJ  int
+	baseI  word.Word
+	baseJ  word.Word
+}
+
+// NewPairCoverage builds a tracker for sites i and j given the
+// memory's initial contents (the reference for the relative domain).
+func NewPairCoverage(i, j Site, initial []word.Word) (*PairCoverage, error) {
+	if i == j {
+		return nil, fmt.Errorf("statecover: pair sites coincide: %s", i)
+	}
+	if i.Addr >= len(initial) || j.Addr >= len(initial) || i.Addr < 0 || j.Addr < 0 {
+		return nil, fmt.Errorf("statecover: site address out of range")
+	}
+	return &PairCoverage{
+		I: i, J: j,
+		statesVisited: map[[2]int]bool{{0, 0}: true},
+		transitions:   make(map[[3]int]bool),
+		readsInState:  make(map[[3]int]bool),
+		baseI:         initial[i.Addr],
+		baseJ:         initial[j.Addr],
+	}, nil
+}
+
+// Observe implements memory.Observer.
+func (p *PairCoverage) Observe(a memory.Access) {
+	touchesI := a.Addr == p.I.Addr
+	touchesJ := a.Addr == p.J.Addr
+	if !touchesI && !touchesJ {
+		return
+	}
+	switch a.Kind {
+	case memory.AccessWrite:
+		cell := 0
+		if touchesI {
+			nv := a.Value.Bit(p.I.Bit) ^ p.baseI.Bit(p.I.Bit)
+			if nv != p.vi {
+				p.transitions[[3]int{0, nv, p.vj}] = true
+			}
+			p.vi = nv
+		}
+		if touchesJ {
+			nv := a.Value.Bit(p.J.Bit) ^ p.baseJ.Bit(p.J.Bit)
+			if nv != p.vj {
+				p.transitions[[3]int{1, nv, p.vi}] = true
+			}
+			p.vj = nv
+			cell = 1
+		}
+		if touchesI {
+			cell = 0
+		}
+		p.statesVisited[[2]int{p.vi, p.vj}] = true
+		p.Events = append(p.Events, Event{Kind: WriteEvent, Cell: cell, VI: p.vi, VJ: p.vj})
+	case memory.AccessRead:
+		if touchesI {
+			p.readsInState[[3]int{0, p.vi, p.vj}] = true
+			p.Events = append(p.Events, Event{Kind: ReadEvent, Cell: 0, VI: p.vi, VJ: p.vj})
+		}
+		if touchesJ {
+			p.readsInState[[3]int{1, p.vi, p.vj}] = true
+			if !touchesI {
+				p.Events = append(p.Events, Event{Kind: ReadEvent, Cell: 1, VI: p.vi, VJ: p.vj})
+			}
+		}
+	}
+}
+
+// AllStatesVisited reports whether the pair visited all four joint
+// values.
+func (p *PairCoverage) AllStatesVisited() bool {
+	for _, s := range [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if !p.statesVisited[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllTransitionsCovered reports whether each cell transitioned in both
+// directions against both partner values (8 combinations) — the
+// excitation conditions for CFid/CFin in both roles.
+func (p *PairCoverage) AllTransitionsCovered() bool {
+	for cell := 0; cell <= 1; cell++ {
+		for nv := 0; nv <= 1; nv++ {
+			for pv := 0; pv <= 1; pv++ {
+				if !p.transitions[[3]int{cell, nv, pv}] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// AllReadsCovered reports whether each cell was read in all four joint
+// states — the observation conditions for CFst in both roles.
+func (p *PairCoverage) AllReadsCovered() bool {
+	for cell := 0; cell <= 1; cell++ {
+		for vi := 0; vi <= 1; vi++ {
+			for vj := 0; vj <= 1; vj++ {
+				if !p.readsInState[[3]int{cell, vi, vj}] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Complete reports the full Figure 1(a) condition set.
+func (p *PairCoverage) Complete() bool {
+	return p.AllStatesVisited() && p.AllTransitionsCovered() && p.AllReadsCovered()
+}
+
+// Traversal renders the numbered state sequence, the textual analogue
+// of Figure 1(a)'s 1..18 edge walk.
+func (p *PairCoverage) Traversal() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pair (%s,%s):", p.I, p.J)
+	for n, e := range p.Events {
+		fmt.Fprintf(&b, " %d:%s", n+1, e)
+	}
+	return b.String()
+}
+
+// TrackPair runs the test on mem while tracking the pair, returning
+// the coverage record. The memory is modified by the run exactly as a
+// normal execution would.
+func TrackPair(t *march.Test, mem *memory.Memory, i, j Site) (*PairCoverage, error) {
+	initial := mem.Snapshot()
+	pc, err := NewPairCoverage(i, j, initial)
+	if err != nil {
+		return nil, err
+	}
+	obs := memory.NewObserved(mem, pc)
+	if _, err := march.Run(t, obs, march.RunOptions{Initial: initial}); err != nil {
+		return nil, err
+	}
+	return pc, nil
+}
+
+// IntraPattern is a written-then-read data pattern of a bit pair
+// within one word, in the relative domain: (0,0) means both bits at
+// initial value, (1,0) means the first complemented, and so on —
+// the conditions of Figure 1(b).
+type IntraPattern [2]int
+
+// IntraCoverage tracks the Figure 1(b) conditions for two bits p and q
+// of one word.
+type IntraCoverage struct {
+	Addr int
+	P, Q int
+
+	written     map[IntraPattern]bool
+	writtenRead map[IntraPattern]bool
+	base        word.Word
+	cur         IntraPattern
+	pending     bool
+}
+
+// NewIntraCoverage builds a tracker for bits p and q of the word at
+// addr, with the memory's initial contents as reference.
+func NewIntraCoverage(addr, p, q int, initial []word.Word) (*IntraCoverage, error) {
+	if p == q {
+		return nil, fmt.Errorf("statecover: intra-word bits coincide: %d", p)
+	}
+	if addr < 0 || addr >= len(initial) {
+		return nil, fmt.Errorf("statecover: address %d out of range", addr)
+	}
+	return &IntraCoverage{
+		Addr: addr, P: p, Q: q,
+		written:     make(map[IntraPattern]bool),
+		writtenRead: make(map[IntraPattern]bool),
+		base:        initial[addr],
+	}, nil
+}
+
+// Observe implements memory.Observer.
+func (c *IntraCoverage) Observe(a memory.Access) {
+	if a.Addr != c.Addr {
+		return
+	}
+	pat := IntraPattern{
+		a.Value.Bit(c.P) ^ c.base.Bit(c.P),
+		a.Value.Bit(c.Q) ^ c.base.Bit(c.Q),
+	}
+	switch a.Kind {
+	case memory.AccessWrite:
+		c.written[pat] = true
+		c.cur = pat
+		c.pending = true
+	case memory.AccessRead:
+		if c.pending && pat == c.cur {
+			c.writtenRead[pat] = true
+			c.pending = false
+		}
+	}
+}
+
+// Written reports whether the pattern was ever written.
+func (c *IntraCoverage) Written(p IntraPattern) bool { return c.written[p] }
+
+// WrittenThenRead reports whether the pattern was written and
+// subsequently read back — the (w xy; r xy) condition of Figure 1(b).
+func (c *IntraCoverage) WrittenThenRead(p IntraPattern) bool { return c.writtenRead[p] }
+
+// ConditionsMet counts how many of the four Figure 1(b) conditions
+// hold.
+func (c *IntraCoverage) ConditionsMet() int {
+	n := 0
+	for _, p := range []IntraPattern{{0, 0}, {0, 1}, {1, 0}, {1, 1}} {
+		if c.writtenRead[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// TrackIntraPair runs the test on mem while tracking bits p and q of
+// the word at addr.
+func TrackIntraPair(t *march.Test, mem *memory.Memory, addr, p, q int) (*IntraCoverage, error) {
+	initial := mem.Snapshot()
+	ic, err := NewIntraCoverage(addr, p, q, initial)
+	if err != nil {
+		return nil, err
+	}
+	obs := memory.NewObserved(mem, ic)
+	if _, err := march.Run(t, obs, march.RunOptions{Initial: initial}); err != nil {
+		return nil, err
+	}
+	return ic, nil
+}

@@ -1,0 +1,197 @@
+// Package symmetric implements the symmetric transparent BIST idea of
+// Yarmolik and Hellebrand (DATE 1999, the paper's reference [18]) on
+// top of the word-oriented transparent tests of internal/core.
+//
+// A transparent test is *symmetric* when, for every address, the data
+// expressions of its read operations cancel under XOR: each word is
+// read an even number of times and the effective masks XOR to zero.
+// Compacting the read stream with a pure XOR accumulator then yields a
+// zero signature on a fault-free memory regardless of its contents —
+// the signature-prediction pass disappears entirely.
+//
+// The catch, demonstrated by the tests and recorded as finding E4 in
+// EXPERIMENTS.md: the same cancellation makes the XOR compactor
+// provably blind to any fault that corrupts a cell's reads uniformly
+// (every stuck-at fault), because the per-read errors inherit the
+// symmetry and cancel too. [18] therefore pairs symmetric tests with
+// a time-dependent (MISR-style) compactor; this package keeps the
+// plain accumulator to make the trade measurable, and the comparator
+// path shows the symmetrized *test* loses nothing — only the
+// compactor does.
+//
+// MakeSymmetric upgrades any transparent march test into a symmetric
+// one by appending at most one short element; Session runs the
+// one-pass flow.
+package symmetric
+
+import (
+	"fmt"
+
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// IsSymmetric reports whether the transparent test's reads cancel:
+// an even number of reads per address whose effective masks XOR to
+// zero. Since march tests apply the same element sequence to every
+// address, the check is per-test, not per-address.
+func IsSymmetric(t *march.Test) (bool, error) {
+	even, x, err := readBalance(t)
+	if err != nil {
+		return false, err
+	}
+	return even && x.IsZero(), nil
+}
+
+// readBalance returns whether the read count is even and the XOR of
+// all read masks.
+func readBalance(t *march.Test) (bool, word.Word, error) {
+	if !t.IsTransparent() {
+		return false, word.Word{}, fmt.Errorf("symmetric: %q is not transparent", t.Name)
+	}
+	count := 0
+	x := word.Zero
+	for _, e := range t.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == march.Read {
+				count++
+				x = x.Xor(op.Data.EffectiveMask(t.Width))
+			}
+		}
+	}
+	return count%2 == 0, x, nil
+}
+
+// MakeSymmetric returns a symmetric version of a transparent march
+// test, following [18]: when the reads do not already cancel, one
+// additional march element is appended whose reads supply exactly the
+// missing parity and XOR mass. With m the test's final content mask
+// (zero for the tests generated in this library, i.e. contents equal
+// the initial data), c the read count and s the XOR of all read
+// masks, the appended element is:
+//
+//	c even, s ≠ 0:  ⇕(r a^m, w a^(m^s), r a^(m^s), w a^m)
+//	                 reads {m, m^s}: +2 reads, XOR s — balances s.
+//	c odd,  s = 0:  ⇕(r a^m, r a^m, r a^m) when m = 0, else
+//	                 ⇕(r a^m, w a^(m^1), r a^(m^1), w a^1, r a^1, w a^m)
+//	                 (1 = all-ones): 3 reads XORing to zero.
+//	c odd,  s ≠ 0:  ⇕(r a^m, r a^m, w a^s, r a^s, w a^m)
+//	                 reads {m, m, s}: +3 reads, XOR s.
+//
+// Every variant starts by reading the current content, leaves the
+// final content unchanged, and keeps the test transparent. The result
+// is validated to be symmetric and read-consistent.
+func MakeSymmetric(t *march.Test) (*march.Test, error) {
+	even, s, err := readBalance(t)
+	if err != nil {
+		return nil, err
+	}
+	out := t.Clone()
+	out.Name = "Sym(" + t.Name + ")"
+	fc := t.FinalContent()
+	if !fc.Known || !fc.Datum.Transparent {
+		return nil, fmt.Errorf("symmetric: %q has no transparent final content", t.Name)
+	}
+	m := fc.Datum.EffectiveMask(t.Width)
+	ones := word.Ones(t.Width)
+
+	r := func(mask word.Word) march.Op { return march.R(march.Transp(mask)) }
+	w := func(mask word.Word) march.Op { return march.W(march.Transp(mask)) }
+
+	switch {
+	case even && s.IsZero():
+		// Already symmetric.
+	case even && !s.IsZero():
+		out.Elements = append(out.Elements, march.Elem(march.Any,
+			r(m), w(m.Xor(s)), r(m.Xor(s)), w(m),
+		))
+	case !even && s.IsZero():
+		if m.IsZero() {
+			out.Elements = append(out.Elements, march.Elem(march.Any,
+				r(m), r(m), r(m),
+			))
+		} else {
+			out.Elements = append(out.Elements, march.Elem(march.Any,
+				r(m), w(m.Xor(ones)), r(m.Xor(ones)), w(ones), r(ones), w(m),
+			))
+		}
+	default: // odd count, s != 0
+		out.Elements = append(out.Elements, march.Elem(march.Any,
+			r(m), r(m), w(s), r(s), w(m),
+		))
+	}
+
+	ok, err := IsSymmetric(out)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("symmetric: internal error: %q not symmetric after fix", t.Name)
+	}
+	if err := out.CheckReadConsistency(); err != nil {
+		return nil, err
+	}
+	if final := out.FinalContent().Datum.EffectiveMask(out.Width); final != m {
+		return nil, fmt.Errorf("symmetric: symmetrization changed the final content")
+	}
+	return out, nil
+}
+
+// Accumulator is the XOR compactor of the symmetric scheme: the
+// signature is the XOR of all read data. Fault-free symmetric tests
+// produce a zero signature for any memory contents.
+type Accumulator struct {
+	width int
+	acc   word.Word
+	reads int
+}
+
+// NewAccumulator creates an XOR compactor for the word width.
+func NewAccumulator(width int) *Accumulator { return &Accumulator{width: width} }
+
+// Sink adapts the accumulator to the march runner.
+func (a *Accumulator) Sink() func(addr int, got word.Word, op march.Op) {
+	return func(_ int, got word.Word, _ march.Op) {
+		a.acc = a.acc.Xor(got.Mask(a.width))
+		a.reads++
+	}
+}
+
+// Signature returns the accumulated XOR.
+func (a *Accumulator) Signature() word.Word { return a.acc }
+
+// Reads returns the number of compacted reads.
+func (a *Accumulator) Reads() int { return a.reads }
+
+// Reset clears the accumulator.
+func (a *Accumulator) Reset() { a.acc = word.Zero; a.reads = 0 }
+
+// Outcome reports one symmetric-BIST session.
+type Outcome struct {
+	// Signature is the final accumulator value; zero means pass.
+	Signature word.Word
+	// Pass is Signature == 0.
+	Pass bool
+	// Ops counts the executed operations — the whole session, since
+	// there is no prediction pass.
+	Ops int
+}
+
+// Session runs the one-pass symmetric flow: execute the test, compact
+// reads, compare against zero.
+func Session(t *march.Test, mem march.Mem) (Outcome, error) {
+	ok, err := IsSymmetric(t)
+	if err != nil {
+		return Outcome{}, err
+	}
+	if !ok {
+		return Outcome{}, fmt.Errorf("symmetric: %q is not symmetric; run MakeSymmetric first", t.Name)
+	}
+	acc := NewAccumulator(t.Width)
+	res, err := march.Run(t, mem, march.RunOptions{ReadSink: acc.Sink()})
+	if err != nil {
+		return Outcome{}, err
+	}
+	sig := acc.Signature()
+	return Outcome{Signature: sig, Pass: sig.IsZero(), Ops: res.Ops}, nil
+}

@@ -1,0 +1,326 @@
+package tomt
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/ecc"
+	"twmarch/internal/faults"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// setup builds an ECC-protected memory holding n random data words of
+// the given data width, returning the codec, the codeword memory and
+// the data snapshot.
+func setup(t *testing.T, n, dataWidth int, seed int64) (*ecc.Hamming, *memory.Memory, []word.Word) {
+	t.Helper()
+	codec := ecc.MustNewHamming(dataWidth, true)
+	data := memory.MustNew(n, dataWidth)
+	data.Randomize(rand.New(rand.NewSource(seed)))
+	code := memory.MustNew(n, codec.CodewordWidth())
+	if err := EncodeMemory(codec, data, code); err != nil {
+		t.Fatal(err)
+	}
+	return codec, code, data.Snapshot()
+}
+
+func TestOpsPerWordMatchesPaper(t *testing.T) {
+	// The paper's Table 2 assigns TOMT a test length of 8·W·N; the
+	// constructive procedure adds one verification read per word.
+	for _, w := range []int{4, 8, 16, 32} {
+		if got := OpsPerWord(w); got != 8*w+1 {
+			t.Errorf("OpsPerWord(%d) = %d, want %d", w, got, 8*w+1)
+		}
+	}
+}
+
+func TestFaultFreeRunIsCleanAndTransparent(t *testing.T) {
+	codec, code, dataBefore := setup(t, 8, 8, 1)
+	before := code.Snapshot()
+	r := NewRunner(codec)
+	res, err := r.Run(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected() {
+		t.Fatalf("fault-free TOMT detected: %v", res.Detections)
+	}
+	if !code.Equal(before) {
+		t.Fatal("TOMT did not preserve codeword contents")
+	}
+	for i, want := range dataBefore {
+		if got := codec.Data(code.Read(i)); got != want {
+			t.Fatalf("word %d data changed: %v != %v", i, got, want)
+		}
+	}
+	// Exactly 8·W+1 ops per word: 4W reads + 4W writes in the walks
+	// plus the verification read.
+	wantOps := OpsPerWord(8) * 8
+	if res.Ops != wantOps {
+		t.Fatalf("ops = %d, want %d", res.Ops, wantOps)
+	}
+	if res.Reads != (4*8+1)*8 || res.Writes != 4*8*8 {
+		t.Fatalf("reads=%d writes=%d", res.Reads, res.Writes)
+	}
+}
+
+func TestDetectsStuckAtInDataBit(t *testing.T) {
+	codec, code, _ := setup(t, 4, 8, 2)
+	// Stuck-at on a stored bit that carries data bit 0: codeword
+	// position 3 (first non-power-of-two), stored bit index 3 for the
+	// extended layout.
+	inj := faults.MustInject(code, faults.StuckAt{Cell: faults.Site{Addr: 2, Bit: 3}, Value: 1})
+	res, err := NewRunner(codec).Run(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("TOMT missed a stuck-at fault in a data bit")
+	}
+}
+
+func TestDetectsStuckAtInCheckBit(t *testing.T) {
+	codec, code, _ := setup(t, 4, 8, 3)
+	// Stored bit 1 is codeword position 1, a Hamming parity bit.
+	inj := faults.MustInject(code, faults.StuckAt{Cell: faults.Site{Addr: 1, Bit: 1}, Value: 0})
+	res, err := NewRunner(codec).Run(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected() {
+		t.Fatal("TOMT missed a stuck-at fault in a check bit")
+	}
+}
+
+func TestDetectsAllStuckAtFaults(t *testing.T) {
+	const n, dw = 4, 4
+	codec := ecc.MustNewHamming(dw, true)
+	cwWidth := codec.CodewordWidth()
+	for _, f := range faults.EnumerateStuckAt(n, cwWidth) {
+		data := memory.MustNew(n, dw)
+		data.Randomize(rand.New(rand.NewSource(42)))
+		code := memory.MustNew(n, cwWidth)
+		if err := EncodeMemory(codec, data, code); err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.MustInject(code, f)
+		res, err := NewRunner(codec).Run(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			t.Errorf("TOMT missed %s", f)
+		}
+	}
+}
+
+func TestDetectsTransitionFaults(t *testing.T) {
+	const n, dw = 4, 4
+	codec := ecc.MustNewHamming(dw, true)
+	cwWidth := codec.CodewordWidth()
+	for _, f := range faults.EnumerateTransition(n, cwWidth) {
+		data := memory.MustNew(n, dw)
+		data.Randomize(rand.New(rand.NewSource(11)))
+		code := memory.MustNew(n, cwWidth)
+		if err := EncodeMemory(codec, data, code); err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.MustInject(code, f)
+		res, err := NewRunner(codec).Run(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			t.Errorf("TOMT missed %s", f)
+		}
+	}
+}
+
+// couplingPopulation enumerates all CFid/CFin/CFst instances over the
+// given bit-cell sites.
+func couplingPopulation(n int, bits []int) []faults.Fault {
+	var sites []faults.Site
+	for a := 0; a < n; a++ {
+		for _, b := range bits {
+			sites = append(sites, faults.Site{Addr: a, Bit: b})
+		}
+	}
+	var out []faults.Fault
+	for _, ag := range sites {
+		for _, vi := range sites {
+			if ag == vi {
+				continue
+			}
+			for tr := 0; tr <= 1; tr++ {
+				for v := 0; v <= 1; v++ {
+					out = append(out, faults.Coupling{Model: faults.CFid, Aggressor: ag, Victim: vi, AggrTrigger: tr, VictimValue: v})
+					out = append(out, faults.Coupling{Model: faults.CFst, Aggressor: ag, Victim: vi, AggrTrigger: tr, VictimValue: v})
+				}
+				out = append(out, faults.Coupling{Model: faults.CFin, Aggressor: ag, Victim: vi, AggrTrigger: tr})
+			}
+		}
+	}
+	return out
+}
+
+// The march-like pass structure must catch every coupling fault among
+// the *data* bit cells, intra- and inter-word, for arbitrary memory
+// contents. (Coupling faults whose victim is a check bit can be
+// structurally masked: the walks only apply prefix/suffix inversion
+// masks, under which a parity bit can stay correlated with its
+// aggressor; see TestCheckBitCouplingCoverage.)
+func TestDetectsAllDataCellCouplingFaults(t *testing.T) {
+	const n, dw = 3, 4
+	codec := ecc.MustNewHamming(dw, true)
+	cwWidth := codec.CodewordWidth()
+	missed := 0
+	population := couplingPopulation(n, codec.DataBitPositions())
+	for _, f := range population {
+		data := memory.MustNew(n, dw)
+		data.Randomize(rand.New(rand.NewSource(5)))
+		code := memory.MustNew(n, cwWidth)
+		if err := EncodeMemory(codec, data, code); err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.MustInject(code, f)
+		res, err := NewRunner(codec).Run(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Detected() {
+			missed++
+			if missed <= 5 {
+				t.Logf("missed: %s", f)
+			}
+		}
+	}
+	if missed > 0 {
+		t.Errorf("TOMT missed %d/%d data-cell coupling faults", missed, len(population))
+	}
+}
+
+// Coupling faults involving check-bit cells: document the measured
+// coverage and require it to stay high; exact 100% is structurally out
+// of reach for a bit-walking test (the reconstruction note in the
+// package comment).
+func TestCheckBitCouplingCoverage(t *testing.T) {
+	const n, dw = 3, 4
+	codec := ecc.MustNewHamming(dw, true)
+	cwWidth := codec.CodewordWidth()
+	all := make(map[int]bool)
+	for _, b := range codec.DataBitPositions() {
+		all[b] = true
+	}
+	var bits []int
+	for b := 0; b < cwWidth; b++ {
+		bits = append(bits, b)
+	}
+	missed, total := 0, 0
+	for _, f := range couplingPopulation(n, bits) {
+		c := f.(faults.Coupling)
+		if all[c.Aggressor.Bit] && all[c.Victim.Bit] {
+			continue // data-cell pairs covered by the test above
+		}
+		data := memory.MustNew(n, dw)
+		data.Randomize(rand.New(rand.NewSource(5)))
+		code := memory.MustNew(n, cwWidth)
+		if err := EncodeMemory(codec, data, code); err != nil {
+			t.Fatal(err)
+		}
+		inj := faults.MustInject(code, f)
+		res, err := NewRunner(codec).Run(inj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if !res.Detected() {
+			missed++
+		}
+	}
+	coverage := 1 - float64(missed)/float64(total)
+	t.Logf("check-bit coupling coverage: %.2f%% (%d/%d missed)", 100*coverage, missed, total)
+	if coverage < 0.95 {
+		t.Errorf("check-bit coupling coverage %.2f%% below 95%%", 100*coverage)
+	}
+}
+
+// Transparency must hold regardless of pass structure: contents after
+// a fault-free run equal contents before, for many random contents.
+func TestTransparencyProperty(t *testing.T) {
+	codec := ecc.MustNewHamming(4, true)
+	for seed := int64(0); seed < 10; seed++ {
+		data := memory.MustNew(5, 4)
+		data.Randomize(rand.New(rand.NewSource(seed)))
+		code := memory.MustNew(5, codec.CodewordWidth())
+		if err := EncodeMemory(codec, data, code); err != nil {
+			t.Fatal(err)
+		}
+		before := code.Snapshot()
+		res, err := NewRunner(codec).Run(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Detected() {
+			t.Fatalf("seed %d: false positive: %v", seed, res.Detections)
+		}
+		if !code.Equal(before) {
+			t.Fatalf("seed %d: contents changed", seed)
+		}
+	}
+}
+
+func TestRunRejectsWrongWidth(t *testing.T) {
+	codec := ecc.MustNewHamming(8, true)
+	mem := memory.MustNew(4, 8) // data width, not codeword width
+	if _, err := NewRunner(codec).Run(mem); err == nil {
+		t.Fatal("wrong-width memory accepted")
+	}
+}
+
+func TestEncodeMemoryValidation(t *testing.T) {
+	codec := ecc.MustNewHamming(8, true)
+	data := memory.MustNew(4, 8)
+	badData := memory.MustNew(4, 4)
+	code := memory.MustNew(4, codec.CodewordWidth())
+	badCode := memory.MustNew(4, 8)
+	shortCode := memory.MustNew(2, codec.CodewordWidth())
+	if err := EncodeMemory(codec, badData, code); err == nil {
+		t.Error("bad data width accepted")
+	}
+	if err := EncodeMemory(codec, data, badCode); err == nil {
+		t.Error("bad code width accepted")
+	}
+	if err := EncodeMemory(codec, data, shortCode); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+	if err := EncodeMemory(codec, data, code); err != nil {
+		t.Errorf("valid encode failed: %v", err)
+	}
+}
+
+func TestDetectionCapAndStrings(t *testing.T) {
+	codec, code, _ := setup(t, 8, 8, 9)
+	// A stuck word line: every bit of word 0 stuck via many injections
+	// is overkill; instead a single stuck-at generates many detections
+	// across sweeps. Cap at 2.
+	inj := faults.MustInject(code, faults.StuckAt{Cell: faults.Site{Addr: 0, Bit: 3}, Value: 1})
+	r := NewRunner(codec)
+	r.MaxDetections = 2
+	res, err := r.Run(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) > 2 {
+		t.Fatalf("cap ignored: %d recorded", len(res.Detections))
+	}
+	if res.DetectionCount <= 2 {
+		t.Fatalf("DetectionCount = %d, expected more than cap", res.DetectionCount)
+	}
+	if res.Detections[0].String() == "" {
+		t.Error("empty detection string")
+	}
+	if SyndromeError.String() != "syndrome" || ReadbackMismatch.String() != "readback" {
+		t.Error("kind strings broken")
+	}
+}

@@ -1,0 +1,99 @@
+// Package trace reproduces the paper's Table 1: the content of a
+// memory word while the ATMarch elements execute, written in the
+// symbolic d_{W-1} … d_0 notation (d for an unchanged bit, ~d for a
+// complemented bit).
+//
+// Alongside the symbolic table a concrete trace is available: the
+// recorded contents of a real word in the simulator after every
+// ATMarch operation, which the tests cross-check against the symbolic
+// rows.
+package trace
+
+import (
+	"fmt"
+
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/word"
+)
+
+// Row is one line of the content table: the operation performed and
+// the symbolic word content after it, one cell per bit, most
+// significant first.
+type Row struct {
+	Op      string
+	Content []string
+}
+
+// SymbolicContents walks a transparent test applied to a single word
+// and returns the content after every operation. The content of bit j
+// renders as "dj" while it equals its initial value and "~dj" once
+// complemented — the paper's overbar notation in ASCII.
+func SymbolicContents(t *march.Test) ([]Row, error) {
+	if !t.IsTransparent() {
+		return nil, fmt.Errorf("trace: %q is not transparent", t.Name)
+	}
+	width := t.Width
+	mask := word.Zero // content = initial ^ mask
+	var rows []Row
+	render := func() []string {
+		cells := make([]string, width)
+		for j := 0; j < width; j++ {
+			bit := width - 1 - j // MSB first, like the paper
+			if mask.Bit(bit) == 1 {
+				cells[j] = fmt.Sprintf("~d%d", bit)
+			} else {
+				cells[j] = fmt.Sprintf("d%d", bit)
+			}
+		}
+		return cells
+	}
+	for _, e := range t.Elements {
+		for _, op := range e.Ops {
+			if op.Kind == march.Write {
+				mask = op.Data.EffectiveMask(width)
+			}
+			rows = append(rows, Row{Op: op.Format(width), Content: render()})
+		}
+	}
+	return rows, nil
+}
+
+// ConcreteContents runs the transparent test on a single-word memory
+// holding initial and records the stored word after every operation.
+func ConcreteContents(t *march.Test, initial word.Word) ([]word.Word, error) {
+	mem := memory.MustNew(1, t.Width)
+	mem.Write(0, initial)
+	var out []word.Word
+	obs := memory.NewObserved(mem, memory.ObserverFunc(func(memory.Access) {
+		out = append(out, mem.Read(0))
+	}))
+	if _, err := march.Run(t, obs, march.RunOptions{Initial: []word.Word{initial.Mask(t.Width)}}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// CheckAgainstSymbolic verifies that a concrete per-op content log
+// matches the symbolic rows for the given initial value. It returns
+// the first mismatching index, or -1.
+func CheckAgainstSymbolic(rows []Row, contents []word.Word, initial word.Word, width int) int {
+	if len(rows) != len(contents) {
+		return 0
+	}
+	for i, row := range rows {
+		var want word.Word
+		for j, cell := range row.Content {
+			bit := width - 1 - j
+			v := initial.Bit(bit)
+			if len(cell) > 0 && cell[0] == '~' {
+				v ^= 1
+			}
+			want = want.SetBit(bit, v)
+		}
+		if contents[i] != want {
+			return i
+		}
+	}
+	return -1
+}

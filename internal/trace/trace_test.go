@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"twmarch/internal/core"
+	"twmarch/internal/march"
+	"twmarch/internal/word"
+)
+
+// Table 1 of the paper: word contents while the first three ATMarch
+// elements run on an 8-bit word. The first element (c1=01010101)
+// complements d6,d4,d2,d0; the second (c2=00110011) complements
+// d5,d4,d1,d0; the third (c3=00001111) complements d3..d0.
+func TestTable1Reproduction(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SymbolicContents(res.ATMarch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 elements x 5 ops + closing read.
+	if len(rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(rows))
+	}
+	join := func(r Row) string { return strings.Join(r.Content, " ") }
+	initial := "d7 d6 d5 d4 d3 d2 d1 d0"
+	// Row 0: after r a, content unchanged.
+	if join(rows[0]) != initial {
+		t.Fatalf("row 0 = %q", join(rows[0]))
+	}
+	// Row 1: after w a^c1.
+	if want := "d7 ~d6 d5 ~d4 d3 ~d2 d1 ~d0"; join(rows[1]) != want {
+		t.Fatalf("row 1 = %q, want %q", join(rows[1]), want)
+	}
+	// Row 3: after w a, restored.
+	if join(rows[3]) != initial {
+		t.Fatalf("row 3 = %q", join(rows[3]))
+	}
+	// Row 6: after w a^c2.
+	if want := "d7 d6 ~d5 ~d4 d3 d2 ~d1 ~d0"; join(rows[6]) != want {
+		t.Fatalf("row 6 = %q, want %q", join(rows[6]), want)
+	}
+	// Row 11: after w a^c3.
+	if want := "d7 d6 d5 d4 ~d3 ~d2 ~d1 ~d0"; join(rows[11]) != want {
+		t.Fatalf("row 11 = %q, want %q", join(rows[11]), want)
+	}
+	// Final row: closing read leaves the initial content.
+	if join(rows[15]) != initial {
+		t.Fatalf("final row = %q", join(rows[15]))
+	}
+	// Operation labels render in the paper's style.
+	if rows[1].Op != "wa^c1" {
+		t.Fatalf("row 1 op = %q", rows[1].Op)
+	}
+}
+
+func TestSymbolicRejectsNontransparent(t *testing.T) {
+	if _, err := SymbolicContents(march.MustLookup("March C-")); err == nil {
+		t.Fatal("nontransparent test accepted")
+	}
+}
+
+// The concrete simulator trace matches the symbolic table for an
+// arbitrary initial value.
+func TestConcreteMatchesSymbolic(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March U"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SymbolicContents(res.ATMarch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := word.FromUint64(0b1011_0010)
+	contents, err := ConcreteContents(res.ATMarch, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := CheckAgainstSymbolic(rows, contents, initial, 8); idx != -1 {
+		t.Fatalf("concrete trace diverges from Table 1 at row %d: got %s", idx, contents[idx].Bits(8))
+	}
+}
+
+// The whole TWMarch is traceable too, and ends at the initial content.
+func TestFullTestTrace(t *testing.T) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := SymbolicContents(res.TWMarch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != res.TWMarch.Ops() {
+		t.Fatalf("rows = %d, want %d", len(rows), res.TWMarch.Ops())
+	}
+	last := strings.Join(rows[len(rows)-1].Content, " ")
+	if last != "d3 d2 d1 d0" {
+		t.Fatalf("final content %q not initial", last)
+	}
+	initial := word.MustParseBits("1010")
+	contents, err := ConcreteContents(res.TWMarch, initial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx := CheckAgainstSymbolic(rows, contents, initial, 4); idx != -1 {
+		t.Fatalf("trace diverges at row %d", idx)
+	}
+}
+
+func TestCheckAgainstSymbolicDetectsMismatch(t *testing.T) {
+	rows := []Row{{Op: "ra", Content: []string{"d1", "d0"}}}
+	contents := []word.Word{word.MustParseBits("01")}
+	// initial 00 → expected content 00, got 01 → mismatch at 0.
+	if idx := CheckAgainstSymbolic(rows, contents, word.Zero, 2); idx != 0 {
+		t.Fatalf("mismatch index = %d", idx)
+	}
+	// Length mismatch reports index 0.
+	if idx := CheckAgainstSymbolic(rows, nil, word.Zero, 2); idx != 0 {
+		t.Fatalf("length mismatch index = %d", idx)
+	}
+}

@@ -1,0 +1,258 @@
+// Package word provides a fixed-width bit-vector value type used to
+// model the data words of a word-oriented memory.
+//
+// The paper's evaluation (Table 3) covers word widths up to 128 bits,
+// beyond what a single uint64 can hold, so Word packs 128 bits into two
+// machine words. A Word does not carry its own width; the memory model
+// and the march-test data expressions track width explicitly and mask
+// results to it. All operations are pure value operations: Words are
+// small, comparable, and usable as map keys.
+package word
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MaxWidth is the widest word supported by the library.
+const MaxWidth = 128
+
+// Word is a 128-bit little-endian bit vector: bit 0 is the least
+// significant bit of Lo, bit 64 is the least significant bit of Hi.
+type Word struct {
+	Hi, Lo uint64
+}
+
+// Zero is the all-zero word.
+var Zero = Word{}
+
+// FromUint64 returns a Word holding v in its low 64 bits.
+func FromUint64(v uint64) Word { return Word{Lo: v} }
+
+// Uint64 returns the low 64 bits of w.
+func (w Word) Uint64() uint64 { return w.Lo }
+
+// Ones returns a word with the low width bits set.
+// It panics if width is not in [0, MaxWidth].
+func Ones(width int) Word {
+	checkWidth(width)
+	switch {
+	case width == 0:
+		return Word{}
+	case width < 64:
+		return Word{Lo: (uint64(1) << uint(width)) - 1}
+	case width == 64:
+		return Word{Lo: ^uint64(0)}
+	case width < 128:
+		return Word{Hi: (uint64(1) << uint(width-64)) - 1, Lo: ^uint64(0)}
+	default:
+		return Word{Hi: ^uint64(0), Lo: ^uint64(0)}
+	}
+}
+
+func checkWidth(width int) {
+	if width < 0 || width > MaxWidth {
+		panic(fmt.Sprintf("word: width %d out of range [0,%d]", width, MaxWidth))
+	}
+}
+
+// checkBit panics if i is not a valid bit index.
+func checkBit(i int) {
+	if i < 0 || i >= MaxWidth {
+		panic(fmt.Sprintf("word: bit index %d out of range [0,%d)", i, MaxWidth))
+	}
+}
+
+// Xor returns w ^ v.
+func (w Word) Xor(v Word) Word { return Word{Hi: w.Hi ^ v.Hi, Lo: w.Lo ^ v.Lo} }
+
+// And returns w & v.
+func (w Word) And(v Word) Word { return Word{Hi: w.Hi & v.Hi, Lo: w.Lo & v.Lo} }
+
+// Or returns w | v.
+func (w Word) Or(v Word) Word { return Word{Hi: w.Hi | v.Hi, Lo: w.Lo | v.Lo} }
+
+// AndNot returns w &^ v.
+func (w Word) AndNot(v Word) Word { return Word{Hi: w.Hi &^ v.Hi, Lo: w.Lo &^ v.Lo} }
+
+// Not returns the complement of w restricted to the low width bits.
+func (w Word) Not(width int) Word {
+	m := Ones(width)
+	return Word{Hi: ^w.Hi & m.Hi, Lo: ^w.Lo & m.Lo}
+}
+
+// Mask returns w restricted to the low width bits.
+func (w Word) Mask(width int) Word { return w.And(Ones(width)) }
+
+// IsZero reports whether every bit of w is zero.
+func (w Word) IsZero() bool { return w.Hi == 0 && w.Lo == 0 }
+
+// Bit returns bit i of w (0 or 1).
+func (w Word) Bit(i int) int {
+	checkBit(i)
+	if i < 64 {
+		return int((w.Lo >> uint(i)) & 1)
+	}
+	return int((w.Hi >> uint(i-64)) & 1)
+}
+
+// SetBit returns a copy of w with bit i set to b (0 or 1).
+func (w Word) SetBit(i, b int) Word {
+	checkBit(i)
+	if b != 0 && b != 1 {
+		panic(fmt.Sprintf("word: bit value %d not 0 or 1", b))
+	}
+	if i < 64 {
+		if b == 1 {
+			w.Lo |= uint64(1) << uint(i)
+		} else {
+			w.Lo &^= uint64(1) << uint(i)
+		}
+		return w
+	}
+	i -= 64
+	if b == 1 {
+		w.Hi |= uint64(1) << uint(i)
+	} else {
+		w.Hi &^= uint64(1) << uint(i)
+	}
+	return w
+}
+
+// FlipBit returns a copy of w with bit i inverted.
+func (w Word) FlipBit(i int) Word {
+	checkBit(i)
+	if i < 64 {
+		w.Lo ^= uint64(1) << uint(i)
+		return w
+	}
+	w.Hi ^= uint64(1) << uint(i-64)
+	return w
+}
+
+// OnesCount returns the number of set bits in w.
+func (w Word) OnesCount() int {
+	return popcount(w.Hi) + popcount(w.Lo)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Parity returns the XOR of all bits of w (0 or 1).
+func (w Word) Parity() int { return w.OnesCount() & 1 }
+
+// Shl returns w shifted left by n bits (bits shifted past bit 127 are
+// discarded).
+func (w Word) Shl(n int) Word {
+	if n < 0 {
+		panic("word: negative shift")
+	}
+	switch {
+	case n == 0:
+		return w
+	case n >= 128:
+		return Word{}
+	case n >= 64:
+		return Word{Hi: w.Lo << uint(n-64)}
+	default:
+		return Word{Hi: w.Hi<<uint(n) | w.Lo>>uint(64-n), Lo: w.Lo << uint(n)}
+	}
+}
+
+// Shr returns w shifted right by n bits.
+func (w Word) Shr(n int) Word {
+	if n < 0 {
+		panic("word: negative shift")
+	}
+	switch {
+	case n == 0:
+		return w
+	case n >= 128:
+		return Word{}
+	case n >= 64:
+		return Word{Lo: w.Hi >> uint(n-64)}
+	default:
+		return Word{Hi: w.Hi >> uint(n), Lo: w.Lo>>uint(n) | w.Hi<<uint(64-n)}
+	}
+}
+
+// String formats w as a hexadecimal literal covering 128 bits.
+// For width-aware formatting use Bits or Hex.
+func (w Word) String() string { return fmt.Sprintf("%016x%016x", w.Hi, w.Lo) }
+
+// Hex formats the low width bits of w as a minimal hexadecimal string.
+func (w Word) Hex(width int) string {
+	checkWidth(width)
+	digits := (width + 3) / 4
+	if digits == 0 {
+		digits = 1
+	}
+	s := fmt.Sprintf("%016x%016x", w.Hi, w.Lo)
+	return s[len(s)-digits:]
+}
+
+// Bits formats the low width bits of w MSB-first, e.g. "01010101" for
+// the paper's c1 background at width 8.
+func (w Word) Bits(width int) string {
+	checkWidth(width)
+	var b strings.Builder
+	for i := width - 1; i >= 0; i-- {
+		if w.Bit(i) == 1 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParseBits parses an MSB-first binary string such as "00110011" into a
+// Word. Underscores are ignored as visual separators.
+func ParseBits(s string) (Word, error) {
+	var w Word
+	n := 0
+	for _, r := range s {
+		switch r {
+		case '_':
+			continue
+		case '0', '1':
+			if n >= MaxWidth {
+				return Word{}, fmt.Errorf("word: binary literal %q longer than %d bits", s, MaxWidth)
+			}
+			w = w.Shl(1)
+			if r == '1' {
+				w.Lo |= 1
+			}
+			n++
+		default:
+			return Word{}, fmt.Errorf("word: invalid binary digit %q in %q", r, s)
+		}
+	}
+	if n == 0 {
+		return Word{}, fmt.Errorf("word: empty binary literal")
+	}
+	return w, nil
+}
+
+// MustParseBits is like ParseBits but panics on error. It is intended
+// for constants in tests and tables.
+func MustParseBits(s string) Word {
+	w, err := ParseBits(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Equal reports whether two words are identical on all 128 bits.
+func (w Word) Equal(v Word) bool { return w == v }
+
+// Random-ish utility: Fold mixes the word into a single uint64; used by
+// hashing helpers in tests. It is not cryptographic.
+func (w Word) Fold() uint64 { return w.Hi*0x9e3779b97f4a7c15 ^ w.Lo }

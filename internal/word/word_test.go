@@ -1,0 +1,317 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnes(t *testing.T) {
+	cases := []struct {
+		width int
+		want  Word
+	}{
+		{0, Word{}},
+		{1, Word{Lo: 1}},
+		{4, Word{Lo: 0xf}},
+		{8, Word{Lo: 0xff}},
+		{63, Word{Lo: 0x7fffffffffffffff}},
+		{64, Word{Lo: ^uint64(0)}},
+		{65, Word{Hi: 1, Lo: ^uint64(0)}},
+		{127, Word{Hi: 0x7fffffffffffffff, Lo: ^uint64(0)}},
+		{128, Word{Hi: ^uint64(0), Lo: ^uint64(0)}},
+	}
+	for _, c := range cases {
+		if got := Ones(c.width); got != c.want {
+			t.Errorf("Ones(%d) = %v, want %v", c.width, got, c.want)
+		}
+	}
+}
+
+func TestOnesPanicsOutOfRange(t *testing.T) {
+	for _, w := range []int{-1, 129} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Ones(%d) did not panic", w)
+				}
+			}()
+			Ones(w)
+		}()
+	}
+}
+
+func TestBitSetBit(t *testing.T) {
+	var w Word
+	for _, i := range []int{0, 1, 31, 63, 64, 65, 100, 127} {
+		if got := w.Bit(i); got != 0 {
+			t.Fatalf("zero word bit %d = %d", i, got)
+		}
+		w2 := w.SetBit(i, 1)
+		if got := w2.Bit(i); got != 1 {
+			t.Fatalf("after SetBit(%d,1), bit = %d", i, got)
+		}
+		// Other bits untouched.
+		for _, j := range []int{0, 63, 64, 127} {
+			if j == i {
+				continue
+			}
+			if got := w2.Bit(j); got != 0 {
+				t.Fatalf("SetBit(%d,1) disturbed bit %d", i, j)
+			}
+		}
+		if got := w2.SetBit(i, 0); !got.IsZero() {
+			t.Fatalf("SetBit(%d,0) = %v, want zero", i, got)
+		}
+	}
+}
+
+func TestSetBitPanicsOnBadValue(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetBit with value 2 did not panic")
+		}
+	}()
+	Zero.SetBit(0, 2)
+}
+
+func TestFlipBit(t *testing.T) {
+	w := Zero
+	for _, i := range []int{0, 63, 64, 127} {
+		w = w.FlipBit(i)
+		if w.Bit(i) != 1 {
+			t.Fatalf("flip set bit %d failed", i)
+		}
+		w = w.FlipBit(i)
+		if w.Bit(i) != 0 {
+			t.Fatalf("flip clear bit %d failed", i)
+		}
+	}
+}
+
+func TestNotRespectsWidth(t *testing.T) {
+	w := FromUint64(0b0101)
+	got := w.Not(4)
+	if got != FromUint64(0b1010) {
+		t.Fatalf("Not(4) = %v, want 1010", got.Bits(4))
+	}
+	// High bits must remain clear.
+	if got.Hi != 0 || got.Lo>>4 != 0 {
+		t.Fatalf("Not(4) leaked outside width: %v", got)
+	}
+	w65 := Word{Hi: 1, Lo: 0}
+	if got := w65.Not(65); got != (Word{Hi: 0, Lo: ^uint64(0)}) {
+		t.Fatalf("Not(65) = %v", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	one := FromUint64(1)
+	for i := 0; i < 128; i++ {
+		w := one.Shl(i)
+		if w.Bit(i) != 1 || w.OnesCount() != 1 {
+			t.Fatalf("Shl(%d): got %v", i, w)
+		}
+		back := w.Shr(i)
+		if back != one {
+			t.Fatalf("Shr(%d) round trip: got %v", i, back)
+		}
+	}
+	if !one.Shl(128).IsZero() {
+		t.Fatal("Shl(128) should clear the word")
+	}
+	if !Ones(128).Shr(128).IsZero() {
+		t.Fatal("Shr(128) should clear the word")
+	}
+}
+
+func TestOnesCountAndParity(t *testing.T) {
+	cases := []struct {
+		w      Word
+		count  int
+		parity int
+	}{
+		{Zero, 0, 0},
+		{FromUint64(1), 1, 1},
+		{FromUint64(0b0101_0101), 4, 0},
+		{Ones(64), 64, 0},
+		{Ones(65), 65, 1},
+		{Ones(128), 128, 0},
+	}
+	for _, c := range cases {
+		if got := c.w.OnesCount(); got != c.count {
+			t.Errorf("OnesCount(%v) = %d, want %d", c.w, got, c.count)
+		}
+		if got := c.w.Parity(); got != c.parity {
+			t.Errorf("Parity(%v) = %d, want %d", c.w, got, c.parity)
+		}
+	}
+}
+
+func TestBitsFormatting(t *testing.T) {
+	w := MustParseBits("01010101")
+	if got := w.Bits(8); got != "01010101" {
+		t.Fatalf("Bits(8) = %q", got)
+	}
+	if got := w.Hex(8); got != "55" {
+		t.Fatalf("Hex(8) = %q", got)
+	}
+	w2 := MustParseBits("0011_0011")
+	if got := w2.Bits(8); got != "00110011" {
+		t.Fatalf("Bits with separators = %q", got)
+	}
+}
+
+func TestParseBitsErrors(t *testing.T) {
+	for _, s := range []string{"", "___", "012", "abc"} {
+		if _, err := ParseBits(s); err == nil {
+			t.Errorf("ParseBits(%q) succeeded, want error", s)
+		}
+	}
+	long := make([]byte, 129)
+	for i := range long {
+		long[i] = '1'
+	}
+	if _, err := ParseBits(string(long)); err == nil {
+		t.Error("ParseBits of 129-bit literal succeeded, want error")
+	}
+}
+
+func TestParseBitsRoundTripWide(t *testing.T) {
+	w := Word{Hi: 0xdeadbeefcafebabe, Lo: 0x0123456789abcdef}
+	s := w.Bits(128)
+	got := MustParseBits(s)
+	if got != w {
+		t.Fatalf("round trip: got %v, want %v", got, w)
+	}
+}
+
+func randWord(r *rand.Rand) Word {
+	return Word{Hi: r.Uint64(), Lo: r.Uint64()}
+}
+
+// Property: XOR is self-inverse, i.e. (a^b)^b == a.
+func TestQuickXorSelfInverse(t *testing.T) {
+	f := func(ahi, alo, bhi, blo uint64) bool {
+		a := Word{Hi: ahi, Lo: alo}
+		b := Word{Hi: bhi, Lo: blo}
+		return a.Xor(b).Xor(b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Not is an involution under any width and stays in width.
+func TestQuickNotInvolution(t *testing.T) {
+	f := func(hi, lo uint64, wseed uint8) bool {
+		width := int(wseed)%MaxWidth + 1
+		a := Word{Hi: hi, Lo: lo}.Mask(width)
+		n := a.Not(width)
+		return n.Not(width) == a && n.Mask(width) == n && a.Xor(n) == Ones(width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bit view agrees with algebraic view — flipping every bit
+// individually equals Not.
+func TestQuickBitwiseNot(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		width := r.Intn(MaxWidth) + 1
+		a := randWord(r).Mask(width)
+		got := a
+		for i := 0; i < width; i++ {
+			got = got.FlipBit(i)
+		}
+		if got != a.Not(width) {
+			t.Fatalf("width %d: bitwise flips %v != Not %v", width, got, a.Not(width))
+		}
+	}
+}
+
+// Property: OnesCount(a xor b) == OnesCount(a)+OnesCount(b) - 2*OnesCount(a and b).
+func TestQuickOnesCountXor(t *testing.T) {
+	f := func(ahi, alo, bhi, blo uint64) bool {
+		a := Word{Hi: ahi, Lo: alo}
+		b := Word{Hi: bhi, Lo: blo}
+		return a.Xor(b).OnesCount() == a.OnesCount()+b.OnesCount()-2*a.And(b).OnesCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Bits/ParseBits round trip at random widths.
+func TestQuickBitsRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		width := r.Intn(MaxWidth) + 1
+		a := randWord(r).Mask(width)
+		s := a.Bits(width)
+		if len(s) != width {
+			t.Fatalf("Bits(%d) length %d", width, len(s))
+		}
+		got, err := ParseBits(s)
+		if err != nil {
+			t.Fatalf("ParseBits(%q): %v", s, err)
+		}
+		if got != a {
+			t.Fatalf("round trip width %d: %v != %v", width, got, a)
+		}
+	}
+}
+
+func TestHexWidths(t *testing.T) {
+	w := FromUint64(0xabc)
+	if got := w.Hex(12); got != "abc" {
+		t.Fatalf("Hex(12) = %q", got)
+	}
+	if got := w.Hex(16); got != "0abc" {
+		t.Fatalf("Hex(16) = %q", got)
+	}
+	if got := Zero.Hex(1); got != "0" {
+		t.Fatalf("Hex(1) of zero = %q", got)
+	}
+}
+
+func TestAndOrAndNot(t *testing.T) {
+	a := MustParseBits("1100")
+	b := MustParseBits("1010")
+	if got := a.And(b); got != MustParseBits("1000") {
+		t.Errorf("And = %s", got.Bits(4))
+	}
+	if got := a.Or(b); got != MustParseBits("1110") {
+		t.Errorf("Or = %s", got.Bits(4))
+	}
+	if got := a.AndNot(b); got != MustParseBits("0100") {
+		t.Errorf("AndNot = %s", got.Bits(4))
+	}
+}
+
+func TestShiftPanicsOnNegative(t *testing.T) {
+	for _, f := range []func(){func() { Zero.Shl(-1) }, func() { Zero.Shr(-1) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("negative shift did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShlCrossesBoundary(t *testing.T) {
+	w := FromUint64(0x8000000000000000)
+	got := w.Shl(1)
+	if got != (Word{Hi: 1}) {
+		t.Fatalf("Shl crossing 64-bit boundary: %v", got)
+	}
+	back := got.Shr(1)
+	if back != w {
+		t.Fatalf("Shr crossing boundary: %v", back)
+	}
+}

@@ -1,0 +1,309 @@
+// Package twmarch implements the transparent word-oriented memory
+// test scheme of Li, Tseng and Wey, "An Efficient Transparent Test
+// Scheme for Embedded Word-Oriented Memories" (DATE 2005), together
+// with everything needed to use and evaluate it: a march-test model
+// and catalog, a word-oriented memory simulator with functional fault
+// injection, the classical transparent-test transformations it
+// improves on, MISR-based signature analysis, and a periodic online
+// BIST controller.
+//
+// # Overview
+//
+// A transparent march test reads the current content a of each word
+// and performs XOR-relative writes (a, ~a, a^c), restoring the
+// original contents when it completes; faults are observed by
+// comparing a MISR signature of the read stream against a predicted
+// signature computed beforehand. The paper's algorithm TWM_TA
+// transforms any bit-oriented march test into a transparent
+// word-oriented test in two parts:
+//
+//   - TSMarch: the source test run with solid all-0/all-1 data,
+//     transformed by the classical Nicolaidis rules — it covers
+//     stuck-at, transition and all inter-word coupling faults;
+//   - ATMarch: a short added test walking log2(W) checkerboard
+//     backgrounds c_k through every word to excite intra-word
+//     coupling faults.
+//
+// The resulting length is (M + 5·log2 W)·N operations versus
+// M·(log2 W + 1)·N for the prior per-background scheme and 8W·N for
+// the TOMT online test — about 56% and 19% respectively for March C-
+// on 32-bit words.
+//
+// # Quick start
+//
+//	bm, _ := twmarch.Lookup("March C-")
+//	res, _ := twmarch.Transform(bm, 32) // TWM_TA
+//	fmt.Println(res.TWMarch)            // the transparent word test
+//	fmt.Println(res.Prediction)         // its signature prediction
+//
+//	mem := twmarch.NewMemory(1024, 32)  // 1K x 32 simulated SRAM
+//	ctl, _ := twmarch.NewBIST(res.TWMarch)
+//	out, _ := ctl.Run(mem)              // prediction + test + compare
+//	fmt.Println(out.Pass)               // true on a fault-free memory
+//
+// The deeper machinery lives in the internal packages; this package
+// re-exports the stable surface.
+package twmarch
+
+import (
+	"twmarch/internal/bistctl"
+	"twmarch/internal/complexity"
+	"twmarch/internal/core"
+	"twmarch/internal/diagnose"
+	"twmarch/internal/faults"
+	"twmarch/internal/faultsim"
+	"twmarch/internal/march"
+	"twmarch/internal/memory"
+	"twmarch/internal/misr"
+	"twmarch/internal/symmetric"
+	"twmarch/internal/word"
+)
+
+// Word is a memory word of up to 128 bits.
+type Word = word.Word
+
+// Test is a march test: a sequence of march elements applying
+// read/write operations to every address in a prescribed order.
+type Test = march.Test
+
+// Element is one march element.
+type Element = march.Element
+
+// Op is a single read or write operation.
+type Op = march.Op
+
+// Datum is an operation's data expression — a literal for
+// conventional tests, an XOR-expression over the initial contents for
+// transparent tests.
+type Datum = march.Datum
+
+// CatalogEntry describes one of the shipped bit-oriented march tests.
+type CatalogEntry = march.CatalogEntry
+
+// Memory is the word-oriented RAM simulator.
+type Memory = memory.Memory
+
+// Fault is a functional memory fault (stuck-at, transition or
+// coupling).
+type Fault = faults.Fault
+
+// StuckAt, Transition and Coupling are the Section 2 fault models;
+// AddrAlias/AddrShadow model address-decoder defects, ReadDestructive
+// the dynamic RDF/DRDF faults, and Linked a masking pair of coupling
+// faults.
+type (
+	StuckAt         = faults.StuckAt
+	Transition      = faults.Transition
+	Coupling        = faults.Coupling
+	AddrAlias       = faults.AddrAlias
+	AddrShadow      = faults.AddrShadow
+	ReadDestructive = faults.ReadDestructive
+	Linked          = faults.Linked
+)
+
+// Site identifies a bit cell by word address and bit position.
+type Site = faults.Site
+
+// TransformResult carries every artifact of the TWM_TA transformation
+// (SMarch, TSMarch, ATMarch, the combined TWMarch, and the signature
+// prediction test).
+type TransformResult = core.TWMResult
+
+// Scheme1Result carries the artifacts of the prior-art per-background
+// transformation used as the comparison baseline.
+type Scheme1Result = core.Scheme1Result
+
+// BIST is the transparent-BIST controller: one Run performs the
+// prediction pass, the test pass and the signature comparison.
+type BIST = bistctl.Controller
+
+// BISTOutcome reports one BIST session.
+type BISTOutcome = bistctl.Outcome
+
+// MISR is the multiple-input signature register.
+type MISR = misr.MISR
+
+// Cost is a (TCM, TCP) complexity pair in operations per word.
+type Cost = complexity.Cost
+
+// Lookup returns a catalog march test by name ("March C-", "March U",
+// "MATS+", …); the lookup is case- and spacing-insensitive.
+func Lookup(name string) (*Test, error) { return march.Lookup(name) }
+
+// Catalog lists the shipped bit-oriented march tests.
+func Catalog() []CatalogEntry { return march.Catalog() }
+
+// ParseTest reads a march test from textual notation, e.g.
+// "{any(w0); up(r0,w1); down(r1,w0)}" or the arrow form with ⇑⇓⇕.
+func ParseTest(name, notation string) (*Test, error) { return march.Parse(name, notation) }
+
+// Transform applies the paper's TWM_TA (Algorithm 1) to a bit-oriented
+// march test, producing the transparent word-oriented test for the
+// given power-of-two word width.
+func Transform(bm *Test, width int) (*TransformResult, error) { return core.TWMTA(bm, width) }
+
+// TransformScheme1 applies the prior-art per-background transparent
+// transformation of Nicolaidis [12], the paper's Scheme 1 baseline.
+func TransformScheme1(bm *Test, width int) (*Scheme1Result, error) { return core.Scheme1(bm, width) }
+
+// TransformBit applies the classical bit-oriented transparent
+// transformation (Section 3) and returns the transparent test and its
+// signature prediction.
+func TransformBit(bm *Test) (transparent, prediction *Test, err error) {
+	bt, err := core.TransformBitOriented(bm)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bt.Transparent, bt.Prediction, nil
+}
+
+// WordOriented builds the conventional nontransparent word-oriented
+// march test from data backgrounds (Section 3).
+func WordOriented(bm *Test, width int) (*Test, error) { return core.WordOriented(bm, width) }
+
+// NewMemory creates a fault-free memory simulator with the given
+// geometry. It panics on invalid geometry; use memory sizes of at
+// least one word and widths within 1..128.
+func NewMemory(words, width int) *Memory { return memory.MustNew(words, width) }
+
+// Inject wraps a memory with a single injected fault; the result
+// satisfies the same access interface and can be passed to RunTest or
+// a BIST controller.
+func Inject(mem *Memory, f Fault) (march.Mem, error) {
+	inj, err := faults.Inject(mem, f)
+	if err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// AllFaults enumerates the complete Section 2 single-fault population
+// for a geometry: stuck-at, transition, and coupling faults over all
+// cell pairs.
+func AllFaults(words, width int) []Fault { return faults.EnumerateAll(words, width) }
+
+// RunResult reports an executed march test.
+type RunResult = march.Result
+
+// RunOptions configures RunTest.
+type RunOptions = march.RunOptions
+
+// RunTest executes a march test against a memory (or an injected
+// fault wrapper), comparing every read against its expected value.
+func RunTest(t *Test, mem march.Mem, opts RunOptions) (RunResult, error) {
+	return march.Run(t, mem, opts)
+}
+
+// NewBIST builds a transparent-BIST controller for a transparent march
+// test; its Run method performs the full prediction/test/compare flow.
+func NewBIST(test *Test) (*BIST, error) { return bistctl.New(test) }
+
+// ClosedFormCost evaluates the paper's Table 2 complexity formulas for
+// the scheme names "scheme1", "scheme2"/"tomt", and "proposed".
+func ClosedFormCost(scheme string, bm *Test, width int) (Cost, error) {
+	s, err := schemeByName(scheme)
+	if err != nil {
+		return Cost{}, err
+	}
+	return complexity.ClosedFormFor(s, bm, width)
+}
+
+// MeasuredCost returns the constructive complexity of the actually
+// generated tests for the same scheme names.
+func MeasuredCost(scheme string, bm *Test, width int) (Cost, error) {
+	s, err := schemeByName(scheme)
+	if err != nil {
+		return Cost{}, err
+	}
+	return complexity.Constructive(s, bm, width)
+}
+
+func schemeByName(name string) (complexity.Scheme, error) {
+	switch name {
+	case "scheme1":
+		return complexity.Scheme1, nil
+	case "scheme2", "tomt":
+		return complexity.Scheme2, nil
+	case "proposed", "twmta", "this work":
+		return complexity.Proposed, nil
+	}
+	return 0, errUnknownScheme(name)
+}
+
+type errUnknownScheme string
+
+func (e errUnknownScheme) Error() string {
+	return "twmarch: unknown scheme " + string(e) + ` (want "scheme1", "scheme2" or "proposed")`
+}
+
+// OnlineStats summarizes a periodic online-BIST simulation.
+type OnlineStats = bistctl.OnlineStats
+
+// WindowSource yields idle-window lengths (in memory operations) for
+// the online simulation.
+type WindowSource = bistctl.WindowSource
+
+// GeometricWindows draws idle-window lengths from a geometric
+// distribution — the discrete analogue of exponential idle times.
+type GeometricWindows = bistctl.GeometricWindows
+
+// FixedWindows yields a constant idle-window length.
+type FixedWindows = bistctl.FixedWindows
+
+// SimulateOnline runs periodic transparent-BIST sessions in idle
+// windows until targetRuns sessions complete; sessions that do not fit
+// their window are preempted, roll back their partial writes, and
+// retry. See the paper's motivation: shorter tests interfere less.
+func SimulateOnline(ctl *BIST, mem *Memory, windows WindowSource, targetRuns int) (OnlineStats, error) {
+	return bistctl.SimulateOnline(ctl, mem, windows, targetRuns)
+}
+
+// NewMISR creates a multiple-input signature register of the given
+// width using the library's primitive characteristic polynomial.
+func NewMISR(width int) (*MISR, error) { return misr.New(width) }
+
+// AliasingErrorStream constructs a non-zero error stream the MISR of
+// this width compresses to zero — superimposed on any read stream it
+// leaves the signature unchanged. It demonstrates the aliasing
+// limitation of signature-based transparent testing.
+func AliasingErrorStream(width, length int) ([]Word, error) {
+	p, err := misr.LookupPoly(width)
+	if err != nil {
+		return nil, err
+	}
+	return misr.AliasingErrorStream(width, p, length)
+}
+
+// Diagnosis is a fault-localization report derived from a failed run.
+type Diagnosis = diagnose.Report
+
+// Diagnose runs the test against the memory and localizes/classifies
+// any observed failure (see the diagnosis example).
+func Diagnose(t *Test, mem march.Mem) (*Diagnosis, error) { return diagnose.Locate(t, mem) }
+
+// MakeSymmetric upgrades a transparent march test so that its reads
+// cancel under XOR, enabling the one-pass zero-signature flow of the
+// symmetric transparent BIST ([18]); see RunSymmetric and the
+// E4 finding in EXPERIMENTS.md for the compaction trade-off.
+func MakeSymmetric(t *Test) (*Test, error) { return symmetric.MakeSymmetric(t) }
+
+// SymmetricOutcome reports a one-pass symmetric BIST session.
+type SymmetricOutcome = symmetric.Outcome
+
+// RunSymmetric executes the one-pass symmetric flow: run the (already
+// symmetric) test, XOR-compact the reads, compare against zero.
+func RunSymmetric(t *Test, mem march.Mem) (SymmetricOutcome, error) {
+	return symmetric.Session(t, mem)
+}
+
+// CoverageReport summarizes a fault-injection campaign.
+type CoverageReport = faultsim.Report
+
+// Coverage runs a fault-injection campaign: each fault in the list is
+// injected into a fresh memory with pseudo-random contents and the
+// test's detection verdict recorded. Transparent and nontransparent
+// tests are both supported.
+func Coverage(t *Test, words int, list []Fault, seed int64) (*CoverageReport, error) {
+	c := faultsim.Campaign{Test: t, Words: words, Width: t.Width, Mode: faultsim.DirectCompare, Seed: seed}
+	return faultsim.Run(c, list)
+}
