@@ -17,11 +17,14 @@
 package twmarch_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"twmarch/internal/bistctl"
+	"twmarch/internal/campaign"
 	"twmarch/internal/complexity"
 	"twmarch/internal/core"
 	"twmarch/internal/diagnose"
@@ -452,6 +455,50 @@ func BenchmarkE9Diagnosis(b *testing.B) {
 		}
 	}
 }
+
+// campaignBenchSpec is the grid both campaign benchmarks run: 4 tests
+// × 2 widths × 2 sizes × 2 schemes = 32 cells of fault injection.
+func campaignBenchSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:    "bench",
+		Tests:   []string{"MATS", "MATS+", "March C-", "March U"},
+		Widths:  []int{2, 4},
+		Words:   []int{2, 3},
+		Classes: []string{"SAF", "TF"},
+		Seed:    1,
+	}
+}
+
+func benchCampaign(b *testing.B, workers int) {
+	spec := campaignBenchSpec()
+	spec.Workers = workers
+	ctx := context.Background()
+	var agg *campaign.Aggregate
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err = campaign.Engine{}.Run(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Errors != 0 {
+			b.Fatalf("%d cells errored", agg.Errors)
+		}
+	}
+	b.ReportMetric(float64(len(agg.Cells)), "cells")
+	b.ReportMetric(float64(agg.Faults), "fault_injections")
+	b.ReportMetric(100*agg.CoverageFraction(), "coverage_pct")
+}
+
+// BenchmarkCampaignSerial runs the campaign grid on one worker — the
+// baseline the parallel engine is measured against.
+func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
+
+// BenchmarkCampaignParallel runs the same grid with workers=GOMAXPROCS;
+// the per-op speedup over BenchmarkCampaignSerial is the engine's
+// scaling headline (the two aggregates are byte-identical, see
+// internal/campaign TestParallelMatchesSerial).
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkE10Characterization times one row of the catalog coverage
 // matrix (E10).

@@ -8,15 +8,25 @@
 // Every enumerated fault is injected into a fresh memory with
 // pseudo-random contents; the report shows per-class coverage of the
 // generated TWMarch and, for comparison, of the Scheme 1 baseline.
+//
+// With -grid the single simulation becomes a campaign: the comma lists
+// in -tests, -widths and -sizes span a grid that is fanned out over the
+// internal/campaign worker-pool engine (the same engine cmd/twmd
+// serves over HTTP):
+//
+//	faultsim -grid -tests "March C-,March U" -widths 4,8 -sizes 3,4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
+	"twmarch/internal/campaign"
 	"twmarch/internal/core"
 	"twmarch/internal/faults"
 	"twmarch/internal/faultsim"
@@ -42,12 +52,26 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "initial-contents seed")
 	baseline := fs.Bool("baseline", true, "also run the Scheme 1 baseline")
 	characterize := fs.Bool("characterize", false, "print the catalog-wide coverage matrix and exit")
+	grid := fs.Bool("grid", false, "run a campaign grid on the internal/campaign engine")
+	tests := fs.String("tests", "", "with -grid: comma-separated catalog tests (default: -test)")
+	widths := fs.String("widths", "", "with -grid: comma-separated word widths (default: -width)")
+	sizes := fs.String("sizes", "", "with -grid: comma-separated memory sizes in words (default: -words)")
+	workers := fs.Int("workers", 0, "with -grid: worker-pool size (0 = GOMAXPROCS)")
+	asJSON := fs.Bool("json", false, "with -grid: print the canonical JSON aggregate instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *characterize {
 		return characterizeCatalog(out, *words)
+	}
+
+	if *grid {
+		return runGrid(out, gridFlags{
+			tests: orDefault(*tests, *testName), widths: orDefault(*widths, strconv.Itoa(*width)),
+			sizes: orDefault(*sizes, strconv.Itoa(*words)), classes: *classes, scope: *scope,
+			mode: *mode, seed: *seed, baseline: *baseline, workers: *workers, asJSON: *asJSON,
+		})
 	}
 
 	bm, err := march.Lookup(*testName)
@@ -74,7 +98,7 @@ func run(args []string, out io.Writer) error {
 			len(list), *words, *width, dm, *seed),
 		Header: []string{"test", "class", "detected", "total", "coverage"},
 	}
-	if err := campaign(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, list); err != nil {
+	if err := coverageRows(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, list); err != nil {
 		return err
 	}
 	if *baseline {
@@ -82,7 +106,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := campaign(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, list); err != nil {
+		if err := coverageRows(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, list); err != nil {
 			return err
 		}
 	}
@@ -117,7 +141,7 @@ func characterizeCatalog(out io.Writer, words int) error {
 	return err
 }
 
-func campaign(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, list []faults.Fault) error {
+func coverageRows(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, list []faults.Fault) error {
 	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed}
 	rep, err := faultsim.Run(c, list)
 	if err != nil {
@@ -133,42 +157,94 @@ func campaign(tb *report.Table, label string, t *march.Test, mode faultsim.Detec
 	return nil
 }
 
+// buildList delegates fault enumeration to the campaign package so the
+// single-run and grid paths agree on class names and scopes.
 func buildList(classes, scope string, words, width int) ([]faults.Fault, error) {
-	var ps faults.PairScope
-	switch scope {
-	case "all":
-		ps = faults.AllPairs
-	case "intra":
-		ps = faults.IntraWordPairs
-	case "inter":
-		ps = faults.InterWordPairs
-	default:
-		return nil, fmt.Errorf("unknown scope %q", scope)
+	ps, err := campaign.PairScope(scope)
+	if err != nil {
+		return nil, err
 	}
-	var out []faults.Fault
-	for _, c := range strings.Split(classes, ",") {
-		switch strings.TrimSpace(c) {
-		case "SAF":
-			out = append(out, faults.EnumerateStuckAt(words, width)...)
-		case "TF":
-			out = append(out, faults.EnumerateTransition(words, width)...)
-		case "CFst":
-			out = append(out, faults.EnumerateCFst(words, width, ps)...)
-		case "CFid":
-			out = append(out, faults.EnumerateCFid(words, width, ps)...)
-		case "CFin":
-			out = append(out, faults.EnumerateCFin(words, width, ps)...)
-		case "AF":
-			out = append(out, faults.EnumerateAddrFaults(words)...)
-		case "Linked":
-			out = append(out, faults.EnumerateLinkedCFid(words, width)...)
-		case "":
-		default:
-			return nil, fmt.Errorf("unknown fault class %q", c)
+	return campaign.FaultList(splitList(classes), ps, words, width)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
 		}
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty fault list")
+	return out
+}
+
+func orDefault(v, def string) string {
+	if strings.TrimSpace(v) == "" {
+		return def
+	}
+	return v
+}
+
+// gridFlags carries the parsed -grid flag set to runGrid.
+type gridFlags struct {
+	tests, widths, sizes string
+	classes, scope, mode string
+	seed                 int64
+	baseline             bool
+	workers              int
+	asJSON               bool
+}
+
+// runGrid expands the comma lists into a campaign.Spec and hands it to
+// the shared worker-pool engine.
+func runGrid(out io.Writer, f gridFlags) error {
+	widths, err := intList(f.widths)
+	if err != nil {
+		return fmt.Errorf("-widths: %v", err)
+	}
+	sizes, err := intList(f.sizes)
+	if err != nil {
+		return fmt.Errorf("-sizes: %v", err)
+	}
+	classes := splitList(f.classes)
+	if len(classes) == 0 {
+		return fmt.Errorf("empty fault class list")
+	}
+	schemes := []string{campaign.SchemeTWM}
+	if f.baseline {
+		schemes = append(schemes, campaign.SchemeOne)
+	}
+	// Mode names match the campaign package's ("compare", "signature");
+	// Spec.Validate rejects anything else.
+	spec := campaign.Spec{
+		Name:    "faultsim grid",
+		Tests:   splitList(f.tests),
+		Widths:  widths,
+		Words:   sizes,
+		Schemes: schemes,
+		Modes:   []string{f.mode},
+		Classes: classes,
+		Scope:   f.scope,
+		Seed:    f.seed,
+		Workers: f.workers,
+	}
+	agg, err := campaign.Engine{}.Run(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	return campaign.WriteAggregate(out, agg, f.asJSON)
+}
+
+func intList(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		if p == "" {
+			continue
+		}
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, n)
 	}
 	return out, nil
 }

@@ -80,6 +80,44 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestGridMode(t *testing.T) {
+	out := render(t, "-grid", "-tests", "MATS,March C-", "-widths", "2,4", "-sizes", "2,3",
+		"-classes", "SAF,TF", "-seed", "9")
+	for _, want := range []string{"16 cells", "twm", "scheme1", "TOTAL", "op counts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("grid output missing %q:\n%s", want, out)
+		}
+	}
+	// Without -baseline the scheme1 column disappears.
+	solo := render(t, "-grid", "-baseline=false", "-classes", "SAF", "-sizes", "2")
+	if strings.Contains(solo, "scheme1") {
+		t.Errorf("-baseline=false grid still runs scheme1:\n%s", solo)
+	}
+}
+
+func TestGridModeJSON(t *testing.T) {
+	out := render(t, "-grid", "-json", "-classes", "SAF", "-sizes", "2", "-widths", "2")
+	if !strings.Contains(out, `"spec"`) || !strings.Contains(out, `"coverage"`) {
+		t.Errorf("grid JSON aggregate malformed:\n%s", out)
+	}
+}
+
+func TestGridModeErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-grid", "-widths", "nope"}, &b); err == nil {
+		t.Error("bad -widths accepted")
+	}
+	if err := run([]string{"-grid", "-sizes", "1.5"}, &b); err == nil {
+		t.Error("bad -sizes accepted")
+	}
+	if err := run([]string{"-grid", "-mode", "psychic"}, &b); err == nil {
+		t.Error("bad grid mode accepted")
+	}
+	if err := run([]string{"-grid", "-tests", "March Z"}, &b); err == nil {
+		t.Error("unknown grid test accepted")
+	}
+}
+
 func TestCharacterizeFlag(t *testing.T) {
 	out := render(t, "-characterize", "-words", "3")
 	for _, want := range []string{"characterization", "March SS", "DRDF", "Linked", "100"} {

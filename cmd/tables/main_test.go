@@ -1,10 +1,13 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"strings"
 	"testing"
 )
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
 
 func render(t *testing.T, args ...string) string {
 	t.Helper()
@@ -95,17 +98,25 @@ func TestBadWidthErrors(t *testing.T) {
 // generated tables (op counts, formulas, ratios) must be reviewed
 // against the paper. Regenerate with:
 //
-//	go run ./cmd/tables -all > cmd/tables/testdata/all.golden
+//	go test ./cmd/tables -run TestGoldenAll -update
 func TestGoldenAll(t *testing.T) {
-	want, err := os.ReadFile("testdata/all.golden")
-	if err != nil {
-		t.Fatal(err)
-	}
 	var b strings.Builder
 	if err := run([]string{"-all"}, &b); err != nil {
 		t.Fatal(err)
 	}
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/all.golden", []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile("testdata/all.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if b.String() != string(want) {
-		t.Errorf("output diverged from testdata/all.golden:\n%s", b.String())
+		t.Errorf("output diverged from testdata/all.golden (regenerate with -update):\n%s", b.String())
 	}
 }

@@ -1,0 +1,359 @@
+// Command twmd is the campaign job server: an HTTP/JSON daemon that
+// runs test campaigns (grids over march tests, word widths, memory
+// sizes, schemes and detection modes) on the internal/campaign engine.
+//
+//	twmd -addr :8080            serve the job API
+//	twmd -once -spec c.json     run one campaign and print the report
+//	twmd -once -spec c.json -json   ... printing canonical JSON instead
+//
+// At most -maxjobs campaigns run concurrently; further submissions are
+// accepted and queue in FIFO-by-slot order (state "queued").
+//
+// API (all bodies JSON):
+//
+//	POST   /campaigns            submit a campaign.Spec, returns {id}
+//	GET    /campaigns            list all campaigns with status
+//	GET    /campaigns/{id}       poll status and progress
+//	GET    /campaigns/{id}/results   fetch the aggregate (canonical
+//	                             JSON; ?format=text for the table)
+//	POST   /campaigns/{id}/cancel    cancel a running campaign
+//	DELETE /campaigns/{id}       cancel (if running) and evict the job,
+//	                             freeing its results
+//	GET    /healthz              liveness probe
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+func main() {
+	fs := flag.NewFlagSet("twmd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	once := fs.Bool("once", false, "run one campaign from -spec and exit")
+	specPath := fs.String("spec", "", "campaign spec file (JSON) for -once")
+	asJSON := fs.Bool("json", false, "with -once, print canonical JSON instead of the text report")
+	workers := fs.Int("workers", 0, "default worker count when the spec leaves it 0 (0 = GOMAXPROCS)")
+	maxJobs := fs.Int("maxjobs", 2, "campaigns run concurrently; submissions beyond this queue")
+	fs.Parse(os.Args[1:])
+
+	eng := campaign.Engine{Workers: *workers}
+	if *once {
+		if err := runOnce(context.Background(), eng, *specPath, *asJSON, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "twmd:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newServer(eng, *maxJobs),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bounds the whole request read including the body, so a
+		// trickled POST cannot hold a handler goroutine open.
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+	log.Printf("twmd: serving campaign API on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}
+
+// runOnce is the scriptable batch mode: load a spec, run it to
+// completion, write the aggregate.
+func runOnce(ctx context.Context, eng campaign.Engine, specPath string, asJSON bool, out io.Writer) error {
+	if specPath == "" {
+		return fmt.Errorf("-once needs -spec file.json")
+	}
+	raw, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	var spec campaign.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return fmt.Errorf("parse %s: %v", specPath, err)
+	}
+	agg, err := eng.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	return campaign.WriteAggregate(out, agg, asJSON)
+}
+
+// Job states reported by the status endpoints.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// job is one submitted campaign and its lifecycle.
+type job struct {
+	id     string
+	spec   campaign.Spec
+	cells  int
+	prog   *campaign.Progress
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	agg      *campaign.Aggregate
+	started  time.Time
+	finished time.Time
+}
+
+// Status is the wire form of a job's state.
+type Status struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name,omitempty"`
+	State    string  `json:"state"`
+	Cells    int     `json:"cells"`
+	Done     int64   `json:"done"`
+	Fraction float64 `json:"fraction"`
+	Error    string  `json:"error,omitempty"`
+	// ElapsedNS is wall-clock time since submission (until finish for
+	// terminal states).
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	fraction := j.prog.Fraction()
+	if j.state == StateQueued {
+		// Progress.Fraction reads 1 while the total is still unset;
+		// a queued job hasn't done anything.
+		fraction = 0
+	}
+	return Status{
+		ID:        j.id,
+		Name:      j.spec.Name,
+		State:     j.state,
+		Cells:     j.cells,
+		Done:      j.prog.Done(),
+		Fraction:  fraction,
+		Error:     j.errMsg,
+		ElapsedNS: end.Sub(j.started).Nanoseconds(),
+	}
+}
+
+// server owns the job table and implements the HTTP API.
+type server struct {
+	engine campaign.Engine
+	mux    *http.ServeMux
+	// slots bounds concurrently running campaigns; a submitted job
+	// stays queued until it acquires a slot.
+	slots chan struct{}
+
+	mu   sync.Mutex
+	seq  int
+	jobs map[string]*job
+}
+
+func newServer(eng campaign.Engine, maxJobs int) *server {
+	if maxJobs < 1 {
+		maxJobs = 1
+	}
+	s := &server{
+		engine: eng,
+		jobs:   make(map[string]*job),
+		mux:    http.NewServeMux(),
+		slots:  make(chan struct{}, maxJobs),
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	s.mux.HandleFunc("/campaigns", s.campaigns)
+	s.mux.HandleFunc("/campaigns/", s.campaign)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// campaigns handles the collection: POST submits, GET lists.
+func (s *server) campaigns(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		s.submit(w, r)
+	case http.MethodGet:
+		s.mu.Lock()
+		list := make([]*job, 0, len(s.jobs))
+		for _, j := range s.jobs {
+			list = append(list, j)
+		}
+		s.mu.Unlock()
+		out := make([]Status, 0, len(list))
+		for _, j := range list {
+			out = append(out, j.status())
+		}
+		// Job ids are c1, c2, ... — sort by submission order.
+		sort.Slice(out, func(a, b int) bool {
+			if len(out[a].ID) != len(out[b].ID) {
+				return len(out[a].ID) < len(out[b].ID)
+			}
+			return out[a].ID < out[b].ID
+		})
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+	}
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse spec: %v", err)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		spec:    spec,
+		cells:   spec.CellCount(),
+		prog:    &campaign.Progress{},
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   StateQueued,
+		started: time.Now(),
+	}
+	s.mu.Lock()
+	s.seq++
+	j.id = fmt.Sprintf("c%d", s.seq)
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		defer close(j.done)
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			j.finished = time.Now()
+			j.state, j.errMsg = StateCanceled, ctx.Err().Error()
+			return
+		}
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+		agg, err := s.engine.RunProgress(ctx, spec, j.prog)
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		j.finished = time.Now()
+		switch {
+		case err == nil:
+			j.state, j.agg = StateDone, agg
+		case ctx.Err() != nil:
+			j.state, j.errMsg = StateCanceled, err.Error()
+		default:
+			j.state, j.errMsg = StateFailed, err.Error()
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":      j.id,
+		"cells":   j.cells,
+		"status":  path.Join("/campaigns", j.id),
+		"results": path.Join("/campaigns", j.id, "results"),
+	})
+}
+
+// campaign routes /campaigns/{id}[/results|/cancel].
+func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
+	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/campaigns/"), "/")
+	id, sub, _ := strings.Cut(rest, "/")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil {
+		writeErr(w, http.StatusNotFound, "no campaign %q", id)
+		return
+	}
+	switch {
+	case sub == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, j.status())
+	case sub == "cancel" && r.Method == http.MethodPost:
+		j.cancel()
+		<-j.done // state is terminal once the runner goroutine exits
+		writeJSON(w, http.StatusOK, j.status())
+	case sub == "" && r.Method == http.MethodDelete:
+		// Evict: cancel if still running, then drop the job (and its
+		// aggregate) so a long-lived daemon doesn't accumulate results.
+		j.cancel()
+		<-j.done
+		s.mu.Lock()
+		delete(s.jobs, id)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, j.status())
+	case sub == "results" && r.Method == http.MethodGet:
+		s.results(w, r, j)
+	default:
+		writeErr(w, http.StatusMethodNotAllowed, "%s /campaigns/%s/%s not supported", r.Method, id, sub)
+	}
+}
+
+func (s *server) results(w http.ResponseWriter, r *http.Request, j *job) {
+	j.mu.Lock()
+	state, agg, errMsg := j.state, j.agg, j.errMsg
+	j.mu.Unlock()
+	switch state {
+	case StateQueued, StateRunning:
+		writeErr(w, http.StatusConflict, "campaign %s still %s (%d/%d cells)",
+			j.id, state, j.prog.Done(), j.prog.Total())
+	case StateDone:
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, agg.Render())
+			return
+		}
+		b, err := agg.Canonical()
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "encode aggregate: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(b, '\n'))
+	default:
+		writeErr(w, http.StatusGone, "campaign %s %s: %s", j.id, state, errMsg)
+	}
+}

@@ -1,0 +1,69 @@
+// Campaign: run a characterization grid on the internal/campaign
+// engine — the fleet-scale counterpart of the single faultcoverage
+// run. The spec spans march tests × word widths × memory sizes ×
+// schemes; the engine fans the cells out over a worker pool with a
+// deterministic per-cell seed, so the aggregate below is identical no
+// matter how many workers run it (try Workers: 1).
+//
+// The same spec, POSTed as JSON to a running `twmd` daemon, produces
+// the same canonical aggregate over HTTP:
+//
+//	go run ./cmd/twmd &
+//	curl -s -X POST localhost:8080/campaigns -d '{
+//	  "name": "example", "tests": ["March C-", "March U"],
+//	  "widths": [4, 8], "words": [4, 8], "seed": 42
+//	}'
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+func main() {
+	spec := campaign.Spec{
+		Name:    "example",
+		Tests:   []string{"March C-", "March U"},
+		Widths:  []int{4, 8},
+		Words:   []int{4, 8},
+		Classes: []string{"SAF", "TF", "CFst", "CFid", "CFin"},
+		Seed:    42,
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campaign %q: %d cells on %d workers\n\n", spec.Name, len(cells), runtime.GOMAXPROCS(0))
+
+	// Poll progress from a second goroutine while the engine runs —
+	// the same counters cmd/twmd serves on GET /campaigns/{id}.
+	prog := &campaign.Progress{}
+	quit := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				fmt.Printf("  progress: %d/%d (%.0f%%)\n", prog.Done(), prog.Total(), 100*prog.Fraction())
+			}
+		}
+	}()
+	agg, err := campaign.Engine{}.RunProgress(context.Background(), spec, prog)
+	close(quit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(agg.Render())
+	fmt.Printf("\nwall clock: %s for %d fault injections\n",
+		time.Duration(agg.WallClockNS).Round(time.Millisecond), agg.Faults)
+}

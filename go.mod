@@ -1,0 +1,3 @@
+module twmarch
+
+go 1.21

@@ -1,0 +1,209 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"twmarch/internal/report"
+)
+
+// OpStats accumulates op-count accounting (in operations per address)
+// across the cells of one scheme.
+type OpStats struct {
+	// Cells counts the grid cells folded in.
+	Cells int `json:"cells"`
+	// MinTotal and MaxTotal bound TCM+TCP over the cells.
+	MinTotal int `json:"min_total"`
+	MaxTotal int `json:"max_total"`
+	// SumTCM and SumTCP total the measured lengths, for mean
+	// computation without float drift.
+	SumTCM int `json:"sum_tcm"`
+	SumTCP int `json:"sum_tcp"`
+}
+
+func (o *OpStats) add(r CellResult) {
+	total := r.TCM + r.TCP
+	if o.Cells == 0 || total < o.MinTotal {
+		o.MinTotal = total
+	}
+	if total > o.MaxTotal {
+		o.MaxTotal = total
+	}
+	o.Cells++
+	o.SumTCM += r.TCM
+	o.SumTCP += r.TCP
+}
+
+// MeanTotal returns the mean TCM+TCP per cell.
+func (o OpStats) MeanTotal() float64 {
+	if o.Cells == 0 {
+		return 0
+	}
+	return float64(o.SumTCM+o.SumTCP) / float64(o.Cells)
+}
+
+// Aggregate is the folded outcome of a campaign: every cell result in
+// grid order plus coverage matrices and op-count stats per scheme.
+// Everything except the wall-clock fields is a pure function of the
+// spec, so Canonical gives a byte-stable fingerprint.
+type Aggregate struct {
+	// Spec is the normalized spec the campaign ran.
+	Spec Spec `json:"spec"`
+	// Cells holds one result per grid cell, in grid order.
+	Cells []CellResult `json:"cells"`
+	// Coverage maps scheme → fault class → detection tally, folded
+	// over every cell of that scheme.
+	Coverage map[string]map[string]ClassCount `json:"coverage"`
+	// Ops maps scheme → op-count stats.
+	Ops map[string]OpStats `json:"ops"`
+	// Faults and Detected total the fault population and detections
+	// across the whole grid.
+	Faults   int `json:"faults"`
+	Detected int `json:"detected"`
+	// Errors counts cells that failed (CellResult.Err non-empty).
+	Errors int `json:"errors"`
+	// WallClockNS is total campaign wall-clock time; excluded from
+	// Canonical.
+	WallClockNS int64 `json:"wall_clock_ns,omitempty"`
+}
+
+// NewAggregate folds cell results (in grid order) into an Aggregate.
+func NewAggregate(spec Spec, cells []CellResult) *Aggregate {
+	a := &Aggregate{
+		Spec:     spec,
+		Cells:    cells,
+		Coverage: make(map[string]map[string]ClassCount),
+		Ops:      make(map[string]OpStats),
+	}
+	for _, r := range cells {
+		if r.Err != "" {
+			a.Errors++
+			continue
+		}
+		a.Faults += r.Faults
+		a.Detected += r.Detected
+		m := a.Coverage[r.Scheme]
+		if m == nil {
+			m = make(map[string]ClassCount)
+			a.Coverage[r.Scheme] = m
+		}
+		for cls, c := range r.ByClass {
+			t := m[cls]
+			t.Total += c.Total
+			t.Detected += c.Detected
+			m[cls] = t
+		}
+		os := a.Ops[r.Scheme]
+		os.add(r)
+		a.Ops[r.Scheme] = os
+	}
+	return a
+}
+
+// CoverageFraction returns the grid-wide detected fraction (1 for an
+// empty grid).
+func (a *Aggregate) CoverageFraction() float64 {
+	if a.Faults == 0 {
+		return 1
+	}
+	return float64(a.Detected) / float64(a.Faults)
+}
+
+// Canonical returns the deterministic JSON encoding of the aggregate:
+// indented, with wall-clock and scheduling fields zeroed. Two campaigns
+// over the same grid produce byte-identical Canonical output regardless
+// of worker count, batch size, scheduling or host speed.
+func (a *Aggregate) Canonical() ([]byte, error) {
+	c := *a
+	c.WallClockNS = 0
+	c.Spec.Workers = 0
+	c.Spec.Batch = 0
+	c.Cells = make([]CellResult, len(a.Cells))
+	copy(c.Cells, a.Cells)
+	for i := range c.Cells {
+		c.Cells[i].DurationNS = 0
+	}
+	return json.MarshalIndent(&c, "", "  ")
+}
+
+// WriteAggregate writes the aggregate to w — canonical JSON or the
+// text report — and returns an error when every cell failed, so
+// scripted callers (twmd -once, faultsim -grid) exit nonzero when
+// nothing simulated.
+func WriteAggregate(w io.Writer, a *Aggregate, asJSON bool) error {
+	if asJSON {
+		b, err := a.Canonical()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	} else if _, err := io.WriteString(w, a.Render()); err != nil {
+		return err
+	}
+	if a.Errors == len(a.Cells) && len(a.Cells) > 0 {
+		return fmt.Errorf("campaign: all %d cells failed (first: %s)", a.Errors, a.firstErr())
+	}
+	return nil
+}
+
+func (a *Aggregate) firstErr() string {
+	for _, c := range a.Cells {
+		if c.Err != "" {
+			return c.Err
+		}
+	}
+	return ""
+}
+
+// Schemes returns the scheme labels present in the aggregate, sorted.
+func (a *Aggregate) Schemes() []string {
+	out := make([]string, 0, len(a.Coverage))
+	for s := range a.Coverage {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render formats the per-scheme coverage matrix and op-count stats as
+// a text table.
+func (a *Aggregate) Render() string {
+	tb := &report.Table{
+		Title: fmt.Sprintf("campaign %q: %d cells, %d faults, %.2f%% detected, %d errors",
+			a.Spec.Name, len(a.Cells), a.Faults, 100*a.CoverageFraction(), a.Errors),
+		Header: []string{"scheme", "class", "detected", "total", "coverage"},
+	}
+	for _, scheme := range a.Schemes() {
+		m := a.Coverage[scheme]
+		classes := make([]string, 0, len(m))
+		for cls := range m {
+			classes = append(classes, cls)
+		}
+		sort.Strings(classes)
+		var tot ClassCount
+		for _, cls := range classes {
+			c := m[cls]
+			tot.Total += c.Total
+			tot.Detected += c.Detected
+			tb.AddRow(scheme, cls, fmt.Sprintf("%d", c.Detected), fmt.Sprintf("%d", c.Total),
+				fmt.Sprintf("%.2f%%", 100*c.Coverage()))
+		}
+		tb.AddRow(scheme, "TOTAL", fmt.Sprintf("%d", tot.Detected), fmt.Sprintf("%d", tot.Total),
+			fmt.Sprintf("%.2f%%", 100*tot.Coverage()))
+	}
+	out := tb.Render()
+	ops := &report.Table{
+		Title:  "op counts (per address, measured TCM+TCP)",
+		Header: []string{"scheme", "cells", "min", "mean", "max"},
+	}
+	for _, scheme := range a.Schemes() {
+		o := a.Ops[scheme]
+		ops.AddRow(scheme, fmt.Sprintf("%d", o.Cells), fmt.Sprintf("%dN", o.MinTotal),
+			fmt.Sprintf("%.1fN", o.MeanTotal()), fmt.Sprintf("%dN", o.MaxTotal))
+	}
+	return out + "\n" + ops.Render()
+}

@@ -1,0 +1,139 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress exposes a campaign's completion counters for polling while
+// the engine runs. All methods are safe for concurrent use.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+}
+
+// Total returns the number of grid cells in the running campaign.
+func (p *Progress) Total() int64 { return p.total.Load() }
+
+// Done returns the number of cells simulated so far.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Fraction returns completion in [0, 1] (1 when the grid is empty).
+func (p *Progress) Fraction() float64 {
+	t := p.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(p.Done()) / float64(t)
+}
+
+// Engine executes campaign grids over a worker pool. The zero value
+// runs with GOMAXPROCS workers and an automatic batch size; Spec
+// fields override both.
+type Engine struct {
+	// Workers bounds pool size when the spec doesn't; 0 means
+	// GOMAXPROCS.
+	Workers int
+	// Batch is the shard size when the spec doesn't set one; 0 picks a
+	// size that gives every worker several shards for load balancing.
+	Batch int
+}
+
+// Run executes the campaign and returns its aggregate. It is
+// equivalent to RunProgress with a throwaway Progress.
+func (e Engine) Run(ctx context.Context, spec Spec) (*Aggregate, error) {
+	return e.RunProgress(ctx, spec, &Progress{})
+}
+
+// RunProgress executes the campaign, publishing completion counters
+// into prog. The grid is expanded in deterministic order, sharded into
+// batches, fanned out to the worker pool, and the batched results are
+// slotted by cell index — so the aggregate is identical for any worker
+// count. Cancellation via ctx returns ctx's error; per-cell failures
+// do not abort the run (they land in CellResult.Err).
+func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Aggregate, error) {
+	start := time.Now()
+	spec = spec.Normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	prog.total.Store(int64(len(cells)))
+
+	workers := spec.Workers
+	if workers == 0 {
+		workers = e.Workers
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cells) && len(cells) > 0 {
+		workers = len(cells)
+	}
+	batch := spec.Batch
+	if batch == 0 {
+		batch = e.Batch
+	}
+	if batch <= 0 {
+		// Several shards per worker so a slow cell doesn't strand the
+		// pool on one oversized batch.
+		batch = len(cells)/(4*workers) + 1
+	}
+	shards := Shard(cells, batch)
+
+	jobs := make(chan []Cell)
+	results := make(chan []CellResult, workers)
+	cache := &faultCache{}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range jobs {
+				out := make([]CellResult, 0, len(shard))
+				for _, c := range shard {
+					if ctx.Err() != nil {
+						return
+					}
+					out = append(out, runCell(ctx, spec, c, cache))
+					prog.done.Add(1)
+				}
+				select {
+				case results <- out:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, s := range shards {
+			select {
+			case jobs <- s:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	slots := make([]CellResult, len(cells))
+	for batch := range results {
+		for _, r := range batch {
+			slots[r.Index] = r
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	agg := NewAggregate(spec, slots)
+	agg.WallClockNS = time.Since(start).Nanoseconds()
+	return agg, nil
+}
