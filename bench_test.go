@@ -1,5 +1,5 @@
 // Benchmark harness: one benchmark family per table and figure of the
-// paper (IDs follow the experiment index in DESIGN.md). Each benchmark
+// paper (IDs mirror the paper's artifacts). Each benchmark
 // does the work the corresponding artifact reports and attaches the
 // headline quantity as a custom metric, so `go test -bench .`
 // regenerates the paper's numbers alongside wall-clock costs:
@@ -13,7 +13,7 @@
 //	X1  Sec. 4    — March U worked example (29N at W=8)
 //	S5  Sec. 5    — fault-injection coverage campaigns
 //	E1–E3         — online interference, signature flow and aliasing,
-//	                ablations (extensions recorded in DESIGN.md)
+//	                ablations (extensions beyond the paper's artifacts)
 package twmarch_test
 
 import (
@@ -499,6 +499,43 @@ func BenchmarkCampaignSerial(b *testing.B) { benchCampaign(b, 1) }
 // scaling headline (the two aggregates are byte-identical, see
 // internal/campaign TestParallelMatchesSerial).
 func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkCampaignYield runs the campaign grid with the
+// diagnosis-and-repair pipeline enabled: every fault additionally gets
+// a full-syndrome diagnostic run, spare allocation and field-ECC
+// classification. The per-op overhead versus BenchmarkCampaignParallel
+// is the pipeline stage's cost; the custom metrics report the
+// campaign's yield headline numbers.
+func BenchmarkCampaignYield(b *testing.B) {
+	spec := campaignBenchSpec()
+	spec.Workers = runtime.GOMAXPROCS(0)
+	spec.Pipeline = &campaign.PipelineSpec{
+		Enabled:   true,
+		SpareRows: 1,
+		SpareCols: 1,
+		ECC:       campaign.ECCSECDED,
+	}
+	ctx := context.Background()
+	var agg *campaign.Aggregate
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err = campaign.Engine{}.Run(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Errors != 0 {
+			b.Fatalf("%d cells errored", agg.Errors)
+		}
+	}
+	y := agg.YieldTotal
+	if y == nil || y.Analyzed == 0 {
+		b.Fatal("pipeline produced no yield stats")
+	}
+	b.ReportMetric(float64(y.Analyzed), "faults_analyzed")
+	b.ReportMetric(100*y.RepairabilityRate(), "repairability_pct")
+	b.ReportMetric(100*y.PostECCEscapeRate(), "post_ecc_escape_pct")
+}
 
 // BenchmarkE10Characterization times one row of the catalog coverage
 // matrix (E10).

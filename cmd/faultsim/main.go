@@ -15,6 +15,13 @@
 // serves over HTTP):
 //
 //	faultsim -grid -tests "March C-,March U" -widths 4,8 -sizes 3,4
+//
+// With -pipeline the grid additionally runs the diagnosis-and-repair
+// stage per fault: mismatch syndromes are diagnosed, suspect sites
+// mapped onto spare rows/columns, and test escapes classified against
+// a field-ECC model; the aggregate gains a yield section:
+//
+//	faultsim -grid -pipeline -spare-rows 1 -spare-cols 1 -ecc secded
 package main
 
 import (
@@ -58,6 +65,11 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "", "with -grid: comma-separated memory sizes in words (default: -words)")
 	workers := fs.Int("workers", 0, "with -grid: worker-pool size (0 = GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "with -grid: print the canonical JSON aggregate instead of tables")
+	pipeline := fs.Bool("pipeline", false, "with -grid: run the diagnosis-and-repair yield pipeline per fault")
+	spareRows := fs.Int("spare-rows", 1, "with -pipeline: spare word lines per memory")
+	spareCols := fs.Int("spare-cols", 1, "with -pipeline: spare bit lines per memory")
+	eccModel := fs.String("ecc", "none", "with -pipeline: field ECC model for escapes: none, sec, secded")
+	maxSyndrome := fs.Int("max-syndrome", 0, "with -pipeline: diagnostic mismatch-log cap (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,10 +79,21 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *grid {
+		var ps *campaign.PipelineSpec
+		if *pipeline {
+			ps = &campaign.PipelineSpec{
+				Enabled:     true,
+				SpareRows:   *spareRows,
+				SpareCols:   *spareCols,
+				ECC:         *eccModel,
+				MaxSyndrome: *maxSyndrome,
+			}
+		}
 		return runGrid(out, gridFlags{
 			tests: orDefault(*tests, *testName), widths: orDefault(*widths, strconv.Itoa(*width)),
 			sizes: orDefault(*sizes, strconv.Itoa(*words)), classes: *classes, scope: *scope,
 			mode: *mode, seed: *seed, baseline: *baseline, workers: *workers, asJSON: *asJSON,
+			pipeline: ps,
 		})
 	}
 
@@ -192,6 +215,7 @@ type gridFlags struct {
 	baseline             bool
 	workers              int
 	asJSON               bool
+	pipeline             *campaign.PipelineSpec
 }
 
 // runGrid expands the comma lists into a campaign.Spec and hands it to
@@ -216,16 +240,17 @@ func runGrid(out io.Writer, f gridFlags) error {
 	// Mode names match the campaign package's ("compare", "signature");
 	// Spec.Validate rejects anything else.
 	spec := campaign.Spec{
-		Name:    "faultsim grid",
-		Tests:   splitList(f.tests),
-		Widths:  widths,
-		Words:   sizes,
-		Schemes: schemes,
-		Modes:   []string{f.mode},
-		Classes: classes,
-		Scope:   f.scope,
-		Seed:    f.seed,
-		Workers: f.workers,
+		Name:     "faultsim grid",
+		Tests:    splitList(f.tests),
+		Widths:   widths,
+		Words:    sizes,
+		Schemes:  schemes,
+		Modes:    []string{f.mode},
+		Classes:  classes,
+		Scope:    f.scope,
+		Seed:     f.seed,
+		Workers:  f.workers,
+		Pipeline: f.pipeline,
 	}
 	agg, err := campaign.Engine{}.Run(context.Background(), spec)
 	if err != nil {

@@ -95,6 +95,23 @@ func TestGridMode(t *testing.T) {
 	}
 }
 
+func TestGridPipeline(t *testing.T) {
+	out := render(t, "-grid", "-pipeline", "-classes", "SAF,TF", "-sizes", "4", "-widths", "4",
+		"-ecc", "secded", "-spare-rows", "1", "-spare-cols", "1")
+	for _, want := range []string{"yield pipeline", "repairable", "diagnosed fault classes", "ecc secded"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("pipeline grid output missing %q:\n%s", want, out)
+		}
+	}
+	var b strings.Builder
+	if err := run([]string{"-grid", "-pipeline", "-ecc", "psychic"}, &b); err == nil {
+		t.Error("bad -ecc accepted")
+	}
+	if err := run([]string{"-grid", "-pipeline", "-spare-rows", "-2"}, &b); err == nil {
+		t.Error("negative -spare-rows accepted")
+	}
+}
+
 func TestGridModeJSON(t *testing.T) {
 	out := render(t, "-grid", "-json", "-classes", "SAF", "-sizes", "2", "-widths", "2")
 	if !strings.Contains(out, `"spec"`) || !strings.Contains(out, `"coverage"`) {

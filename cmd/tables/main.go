@@ -8,7 +8,7 @@
 //
 // Closed-form values reproduce the paper's formulas; measured values
 // are operation counts of the tests this library actually generates
-// (see EXPERIMENTS.md for the reconciliation).
+// (the golden files under testdata/ pin the reconciliation).
 package main
 
 import (

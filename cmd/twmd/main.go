@@ -9,6 +9,12 @@
 // At most -maxjobs campaigns run concurrently; further submissions are
 // accepted and queue in FIFO-by-slot order (state "queued").
 //
+// Specs may carry a "pipeline" block (see campaign.PipelineSpec) to
+// run the diagnosis-and-repair yield stage per fault; results then
+// include the yield section — fault-class histogram, repairability
+// rate, post-ECC escape rate, spare utilization — in both the
+// canonical JSON aggregate and the text report.
+//
 // API (all bodies JSON):
 //
 //	POST   /campaigns            submit a campaign.Spec, returns {id}

@@ -213,6 +213,65 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPipelineSpecEndToEnd submits a pipeline-enabled spec and checks
+// that the results report the yield section: diagnosed fault-class
+// histogram, repairability rate, and post-ECC escape rate.
+func TestPipelineSpecEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2))
+	defer ts.Close()
+
+	spec := smallSpec()
+	spec.Pipeline = &campaign.PipelineSpec{Enabled: true, SpareRows: 1, SpareCols: 1, ECC: campaign.ECCSEC}
+	sub := postSpec(t, ts, spec)
+	id, _ := sub["id"].(string)
+	waitState(t, ts, id, StateDone)
+
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results returned %s: %s", resp.Status, got)
+	}
+	var agg struct {
+		Yield      map[string]json.RawMessage `json:"yield"`
+		YieldTotal struct {
+			Analyzed          int            `json:"analyzed"`
+			ByDiagClass       map[string]int `json:"by_diag_class"`
+			RepairabilityRate float64        `json:"repairability_rate"`
+			PostECCEscapeRate float64        `json:"post_ecc_escape_rate"`
+		} `json:"yield_total"`
+	}
+	if err := json.Unmarshal(got, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if len(agg.Yield) == 0 || agg.YieldTotal.Analyzed == 0 {
+		t.Fatalf("results missing yield section:\n%.2000s", got)
+	}
+	if len(agg.YieldTotal.ByDiagClass) == 0 {
+		t.Error("yield section has no diagnosed fault-class histogram")
+	}
+	if r := agg.YieldTotal.RepairabilityRate; r <= 0 || r > 1 {
+		t.Errorf("repairability rate %v out of (0, 1]", r)
+	}
+	if r := agg.YieldTotal.PostECCEscapeRate; r < 0 || r > 1 {
+		t.Errorf("post-ECC escape rate %v out of [0, 1]", r)
+	}
+
+	resp, err = http.Get(ts.URL + "/campaigns/" + id + "/results?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := readAll(resp)
+	if !strings.Contains(string(text), "yield pipeline") {
+		t.Errorf("text results missing yield table:\n%s", text)
+	}
+}
+
 // TestJobQueue pins the -maxjobs gate: with one slot, a second
 // submission stays queued while the first runs, and canceling a queued
 // job resolves it without ever running.

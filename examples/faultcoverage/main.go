@@ -7,7 +7,7 @@
 // inter-word coupling fault are covered in full; a data-dependent
 // share of intra-word CFst/CFid instances is traded for the 2-5x
 // shorter test (the Scheme 1 baseline covers them all but costs
-// proportionally more — see EXPERIMENTS.md, finding F2).
+// proportionally more; internal/faultsim's tests pin the trade).
 package main
 
 import (

@@ -1,0 +1,84 @@
+// Yield: drive the campaign engine's diagnosis-and-repair pipeline
+// end to end — the BIST flow downstream of detection. For every fault
+// the pipeline collects the comparator-view mismatch syndrome,
+// diagnoses the suspect sites (internal/diagnose), allocates spare
+// rows/columns for detected faults (internal/repair), and classifies
+// test escapes against a field-ECC model (internal/ecc).
+//
+// The run contrasts two redundancy configurations on the same grid:
+// no spares and no ECC (every detected fault is yield loss, every
+// escape corrupts field data) versus one spare row + one spare column
+// with SEC-DED (single-cell defects repaired, single-bit escapes
+// corrected in the field).
+//
+// The same pipeline block, POSTed inside a spec to a running `twmd`
+// daemon, produces the same yield section over HTTP:
+//
+//	go run ./cmd/twmd &
+//	curl -s -X POST localhost:8080/campaigns -d '{
+//	  "name": "yield", "tests": ["MATS", "March C-"],
+//	  "widths": [4, 8], "words": [8], "seed": 42,
+//	  "pipeline": {"enabled": true, "spare_rows": 1, "spare_cols": 1,
+//	               "ecc": "secded"}
+//	}'
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"twmarch/internal/campaign"
+)
+
+func main() {
+	base := campaign.Spec{
+		Name: "yield example",
+		// MATS is deliberately weak — its transparent transform lets
+		// some transition faults escape, so the ECC stage has work.
+		Tests:   []string{"MATS", "March C-"},
+		Widths:  []int{4, 8},
+		Words:   []int{8},
+		Schemes: []string{campaign.SchemeTWM},
+		Classes: []string{"SAF", "TF", "CFid"},
+		Seed:    42,
+	}
+
+	configs := []struct {
+		label    string
+		pipeline *campaign.PipelineSpec
+	}{
+		{"no redundancy (0 spares, no ECC)", &campaign.PipelineSpec{Enabled: true}},
+		{"1 spare row + 1 spare column, SEC-DED", &campaign.PipelineSpec{
+			Enabled: true, SpareRows: 1, SpareCols: 1, ECC: campaign.ECCSECDED,
+		}},
+	}
+	for _, cfg := range configs {
+		spec := base
+		spec.Pipeline = cfg.pipeline
+		agg, err := campaign.Engine{}.Run(context.Background(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		y := agg.YieldTotal
+		fmt.Printf("=== %s ===\n", cfg.label)
+		fmt.Printf("  analyzed %d faults: %d detected, %d escaped\n",
+			y.Analyzed, y.Detected, y.Escapes)
+		fmt.Printf("  repairability: %.1f%% (%d repairable, %d yield loss)\n",
+			100*y.RepairabilityRate(), y.Repairable, y.Unrepairable)
+		fmt.Printf("  escape rate %.2f%% -> post-ECC %.2f%% (%d corrected in the field)\n",
+			100*y.EscapeRate(), 100*y.PostECCEscapeRate(), y.ECCCorrected)
+		fmt.Printf("  spare utilization: %.1f%%\n\n",
+			100*y.SpareUtilization(cfg.pipeline.SpareRows, cfg.pipeline.SpareCols))
+	}
+
+	// The full per-scheme breakdown, as cmd/twmd serves it with
+	// ?format=text.
+	spec := base
+	spec.Pipeline = configs[1].pipeline
+	agg, err := campaign.Engine{}.Run(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(agg.Render())
+}

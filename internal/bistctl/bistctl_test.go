@@ -179,7 +179,7 @@ func TestGeometricWindowsDegenerate(t *testing.T) {
 	}
 }
 
-// The motivation claim (DESIGN.md E1): interference probability grows
+// The motivation claim (paper Section 1): interference probability grows
 // with test length. The proposed scheme's shorter sessions interfere
 // less than Scheme 1's at every idle-window scale.
 func TestInterferenceShorterTestsWinMonotonically(t *testing.T) {

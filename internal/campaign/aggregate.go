@@ -58,6 +58,11 @@ type Aggregate struct {
 	Coverage map[string]map[string]ClassCount `json:"coverage"`
 	// Ops maps scheme → op-count stats.
 	Ops map[string]OpStats `json:"ops"`
+	// Yield maps scheme → folded diagnosis-and-repair pipeline stats;
+	// nil when the spec's pipeline stage is disabled.
+	Yield map[string]*YieldStats `json:"yield,omitempty"`
+	// YieldTotal folds the pipeline stats across the whole grid.
+	YieldTotal *YieldStats `json:"yield_total,omitempty"`
 	// Faults and Detected total the fault population and detections
 	// across the whole grid.
 	Faults   int `json:"faults"`
@@ -98,6 +103,19 @@ func NewAggregate(spec Spec, cells []CellResult) *Aggregate {
 		os := a.Ops[r.Scheme]
 		os.add(r)
 		a.Ops[r.Scheme] = os
+		if r.Yield != nil {
+			if a.Yield == nil {
+				a.Yield = make(map[string]*YieldStats)
+				a.YieldTotal = &YieldStats{}
+			}
+			ys := a.Yield[r.Scheme]
+			if ys == nil {
+				ys = &YieldStats{}
+				a.Yield[r.Scheme] = ys
+			}
+			ys.merge(r.Yield)
+			a.YieldTotal.merge(r.Yield)
+		}
 	}
 	return a
 }
@@ -205,5 +223,64 @@ func (a *Aggregate) Render() string {
 		ops.AddRow(scheme, fmt.Sprintf("%d", o.Cells), fmt.Sprintf("%dN", o.MinTotal),
 			fmt.Sprintf("%.1fN", o.MeanTotal()), fmt.Sprintf("%dN", o.MaxTotal))
 	}
-	return out + "\n" + ops.Render()
+	out += "\n" + ops.Render()
+	if a.Yield != nil {
+		out += "\n" + a.renderYield()
+	}
+	return out
+}
+
+// renderYield formats the pipeline's per-scheme yield summary and the
+// diagnosed-class histogram.
+func (a *Aggregate) renderYield() string {
+	var rows, cols int
+	if p := a.Spec.Pipeline; p != nil {
+		rows, cols = p.SpareRows, p.SpareCols
+	}
+	yt := &report.Table{
+		Title: fmt.Sprintf("yield pipeline (spares %dr+%dc, ecc %s): %.2f%% repairable, %.2f%% post-ECC escapes",
+			rows, cols, a.eccName(), 100*a.YieldTotal.RepairabilityRate(), 100*a.YieldTotal.PostECCEscapeRate()),
+		Header: []string{"scheme", "analyzed", "detected", "repairable", "unrepairable", "escapes", "ecc-corrected", "spare-util"},
+	}
+	schemes := make([]string, 0, len(a.Yield))
+	for s := range a.Yield {
+		schemes = append(schemes, s)
+	}
+	sort.Strings(schemes)
+	for _, scheme := range schemes {
+		y := a.Yield[scheme]
+		yt.AddRow(scheme, fmt.Sprintf("%d", y.Analyzed), fmt.Sprintf("%d", y.Detected),
+			fmt.Sprintf("%d (%.2f%%)", y.Repairable, 100*y.RepairabilityRate()),
+			fmt.Sprintf("%d", y.Unrepairable), fmt.Sprintf("%d", y.Escapes),
+			fmt.Sprintf("%d", y.ECCCorrected),
+			fmt.Sprintf("%.2f%%", 100*y.SpareUtilization(rows, cols)))
+	}
+	out := yt.Render()
+	hist := &report.Table{
+		Title:  "diagnosed fault classes (detected faults)",
+		Header: []string{"scheme", "diagnosis", "count"},
+	}
+	for _, scheme := range schemes {
+		y := a.Yield[scheme]
+		classes := make([]string, 0, len(y.ByDiagClass))
+		for cls := range y.ByDiagClass {
+			classes = append(classes, cls)
+		}
+		sort.Strings(classes)
+		for _, cls := range classes {
+			hist.AddRow(scheme, cls, fmt.Sprintf("%d", y.ByDiagClass[cls]))
+		}
+		if y.NoSyndrome > 0 {
+			hist.AddRow(scheme, "(no syndrome)", fmt.Sprintf("%d", y.NoSyndrome))
+		}
+	}
+	return out + "\n" + hist.Render()
+}
+
+// eccName returns the spec's effective ECC model label.
+func (a *Aggregate) eccName() string {
+	if p := a.Spec.Pipeline; p != nil && p.ECC != "" {
+		return p.ECC
+	}
+	return ECCNone
 }

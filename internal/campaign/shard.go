@@ -35,6 +35,9 @@ type CellResult struct {
 	// DurationNS is wall-clock simulation time; it is zeroed by
 	// Aggregate.Canonical so determinism checks ignore it.
 	DurationNS int64 `json:"duration_ns,omitempty"`
+	// Yield holds the diagnosis-and-repair pipeline outcome; nil when
+	// the spec's pipeline stage is disabled.
+	Yield *YieldStats `json:"yield,omitempty"`
 	// Err records a per-cell failure.
 	Err string `json:"error,omitempty"`
 }
@@ -185,12 +188,19 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		Mode:  mode,
 		Seed:  c.Seed,
 	}
+	res.ByClass = make(map[string]ClassCount)
+	if spec.Pipeline.On() {
+		// Pipeline-enabled cells take the per-fault path: detection
+		// verdicts are identical to the batched loop below, plus the
+		// diagnosis/repair/ECC outcome in res.Yield.
+		simulatePipeline(ctx, spec, c, cfg, list, &res)
+		return res
+	}
 	// Simulate in batches so cancellation has bounded latency even for
 	// a cell with millions of faults. Faults are independent, so the
 	// merged tallies are identical to one faultsim.Run over the whole
 	// list.
 	const cancelBatch = 2048
-	res.ByClass = make(map[string]ClassCount)
 	for lo := 0; lo < len(list); lo += cancelBatch {
 		if err := ctx.Err(); err != nil {
 			res.Err = err.Error()

@@ -103,6 +103,11 @@ type Spec struct {
 	// Batch is the shard size handed to a worker at once; 0 picks a
 	// size that keeps every worker busy.
 	Batch int `json:"batch,omitempty"`
+	// Pipeline, when enabled, runs the diagnosis-and-repair stage
+	// after detection: mismatch syndromes are diagnosed, suspect sites
+	// fed to the spare-row/column allocator, and test escapes checked
+	// against a field-ECC model. See PipelineSpec.
+	Pipeline *PipelineSpec `json:"pipeline,omitempty"`
 }
 
 // Normalized returns a copy with defaults filled in.
@@ -212,6 +217,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Batch < 0 {
 		return fmt.Errorf("campaign: negative batch %d", s.Batch)
+	}
+	if err := s.Pipeline.validate(s.Widths); err != nil {
+		return err
 	}
 	return nil
 }

@@ -342,6 +342,43 @@ func sitesOf(f Fault) []Site {
 	}
 }
 
+// VictimSites returns the bit cells a fault can corrupt — the cells
+// whose stored value the fault perturbs, excluding aggressors (which
+// trigger but are never themselves corrupted). The second result is
+// false for address-decoder faults, whose effect is redirecting whole
+// words rather than corrupting fixed cells, so no cell-local footprint
+// exists.
+//
+// The footprint is what field-level error correction sees: a fault
+// corrupting at most one bit per word is covered by a SEC code on
+// every word, two bits in one word by SEC-DED detection, while a
+// decoder fault returns a perfectly valid codeword from the wrong
+// address and escapes ECC entirely. internal/campaign's yield pipeline
+// uses exactly this classification.
+func VictimSites(f Fault) ([]Site, bool) {
+	switch t := f.(type) {
+	case StuckAt:
+		return []Site{t.Cell}, true
+	case Transition:
+		return []Site{t.Cell}, true
+	case Coupling:
+		return []Site{t.Victim}, true
+	case ReadDestructive:
+		return []Site{t.Cell}, true
+	case Linked:
+		if t.A.Victim == t.B.Victim {
+			return []Site{t.A.Victim}, true
+		}
+		return []Site{t.A.Victim, t.B.Victim}, true
+	case NPSF:
+		return []Site{{Addr: t.Victim}}, true
+	case AddrAlias, AddrShadow:
+		return nil, false
+	default:
+		return nil, false
+	}
+}
+
 // Fault returns the injected fault.
 func (i *Injected) Fault() Fault { return i.fault }
 

@@ -10,7 +10,7 @@ import (
 // Neighborhood pattern-sensitive faults (NPSF). The paper's references
 // [3,17] apply the transparent transformation to dedicated PSF tests
 // because march tests do not target these faults; the model here makes
-// that gap measurable (EXPERIMENTS.md E11).
+// that gap measurable (see this package's NPSF tests).
 //
 // A static NPSF forces the victim cell to a value while its four
 // physical neighbors hold a specific pattern. Physical adjacency needs

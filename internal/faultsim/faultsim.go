@@ -139,6 +139,33 @@ func detectsBySignature(c Campaign, mem march.Mem) (bool, error) {
 	return reg.Signature() != predicted, nil
 }
 
+// Syndrome runs the diagnostic pass for one fault: a full
+// comparator-view execution of the campaign's test over a fresh
+// fault-injected memory, recording up to maxMismatches failing reads
+// (0 falls back to march.Run's default cap). Unlike Detects it never
+// stops early — the complete mismatch log is the failure syndrome that
+// internal/diagnose localizes faults from, the way a signature-based
+// BIST re-runs a flagged memory in diagnostic mode to recover the
+// per-read information the MISR compressed away (the fast-diagnosis
+// flow of Wang, Wu & Ivanov).
+func Syndrome(c Campaign, f faults.Fault, maxMismatches int) (march.Result, error) {
+	if c.Test == nil {
+		return march.Result{}, fmt.Errorf("faultsim: campaign has no test")
+	}
+	if c.Test.Width != c.Width {
+		return march.Result{}, fmt.Errorf("faultsim: test width %d != campaign width %d", c.Test.Width, c.Width)
+	}
+	mem, err := c.newMemory()
+	if err != nil {
+		return march.Result{}, err
+	}
+	inj, err := faults.Inject(mem, f)
+	if err != nil {
+		return march.Result{}, err
+	}
+	return march.Run(c.Test, inj, march.RunOptions{MaxMismatches: maxMismatches})
+}
+
 // ClassStats aggregates detection per fault class.
 type ClassStats struct {
 	Total, Detected int

@@ -95,7 +95,7 @@ func TestTWMarchGuaranteedClassesWidth4(t *testing.T) {
 	}
 }
 
-// Reproduction finding (documented in EXPERIMENTS.md): the paper
+// Reproduction finding of this port: the paper
 // claims intra-word CF coverage equal to the nontransparent
 // word-oriented test, arguing via four pattern conditions. Under
 // instance-level coupling-fault semantics the ATMarch states
@@ -153,7 +153,7 @@ func TestScheme1IntraWordCoverageComplete(t *testing.T) {
 	}
 }
 
-// Ablation (DESIGN.md E3): TSMarch alone — without ATMarch — misses
+// Ablation: TSMarch alone — without ATMarch — misses
 // intra-word coupling faults. This is the paper's motivation for the
 // added test.
 func TestTSMarchAloneMissesIntraWordCF(t *testing.T) {

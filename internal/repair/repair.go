@@ -51,6 +51,11 @@ func (p *Plan) String() string {
 //  2. Greedy cover: repeatedly spend whichever spare kind covers the
 //     most remaining defects (ties prefer rows, the cheaper resource
 //     in most embedded SRAM layouts).
+//
+// Allocate is deterministic: equal inputs produce the identical plan,
+// with candidate rows and columns considered in ascending index order.
+// The campaign yield pipeline depends on this for its byte-identical
+// aggregate guarantee.
 func Allocate(sites []diagnose.SiteEvidence, spareRows, spareCols int) (*Plan, error) {
 	if spareRows < 0 || spareCols < 0 {
 		return nil, fmt.Errorf("repair: negative spare counts")
@@ -99,17 +104,30 @@ func Allocate(sites []diagnose.SiteEvidence, spareRows, spareCols int) (*Plan, e
 		spareCols--
 	}
 
-	// Phase 1: must-repair fixed point.
+	// Phase 1: must-repair fixed point. Candidates are visited in
+	// ascending index order so that, when the spare budget runs out
+	// mid-sweep, which lines got the spares is a pure function of the
+	// input — Go's randomized map iteration must not leak into the plan.
+	sortedKeys := func(m map[int]int) []int {
+		keys := make([]int, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		return keys
+	}
 	for {
 		changed := false
-		for row, n := range countByRow() {
-			if n > spareCols && spareRows > 0 && !usedRows[row] {
+		byRow := countByRow()
+		for _, row := range sortedKeys(byRow) {
+			if byRow[row] > spareCols && spareRows > 0 && !usedRows[row] {
 				spendRow(row)
 				changed = true
 			}
 		}
-		for col, n := range countByCol() {
-			if n > spareRows && spareCols > 0 && !usedCols[col] {
+		byCol := countByCol()
+		for _, col := range sortedKeys(byCol) {
+			if byCol[col] > spareRows && spareCols > 0 && !usedCols[col] {
 				spendCol(col)
 				changed = true
 			}

@@ -137,6 +137,51 @@ func TestAllocatePropertyRandomPatterns(t *testing.T) {
 	}
 }
 
+// TestAllocateDeterministic pins the plan down under spare starvation:
+// three must-repair rows compete for two spare rows, so a map-order
+// dependent sweep would spend them on a different pair from run to
+// run. The campaign yield pipeline's byte-identical aggregate
+// guarantee rests on Allocate being a pure function of its inputs.
+func TestAllocateDeterministic(t *testing.T) {
+	sites := []diagnose.SiteEvidence{
+		site(0, 0), site(0, 1),
+		site(1, 0), site(1, 1),
+		site(2, 0), site(2, 1),
+	}
+	first, err := Allocate(sites, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		plan, err := Allocate(sites, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Repairable != first.Repairable ||
+			!equalInts(plan.Assignment.Rows, first.Assignment.Rows) ||
+			!equalInts(plan.Assignment.Cols, first.Assignment.Cols) ||
+			len(plan.Uncovered) != len(first.Uncovered) {
+			t.Fatalf("trial %d diverged: %+v vs %+v", trial, plan, first)
+		}
+	}
+	// Ascending-order sweep: rows 0 and 1 get the spare rows.
+	if !equalInts(first.Assignment.Rows, []int{0, 1}) {
+		t.Errorf("must-repair spent rows %v, want [0 1]", first.Assignment.Rows)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // End-to-end: BIST detects, diagnosis localizes, repair allocates —
 // the full embedded self-repair pipeline.
 func TestPipelineFromDiagnosis(t *testing.T) {

@@ -1,7 +1,14 @@
-// Package report renders aligned text tables for the command-line
-// tools and EXPERIMENTS.md. Stdlib-only, no external tabwriter quirks:
-// columns are padded to their widest cell, headers are underlined, and
-// an optional title precedes the table.
+// Package report renders aligned text tables — the presentation layer
+// every command-line tool and the campaign aggregate's text form share.
+// The paper communicates its results as tables (Tables 1–3, the
+// Section 5 coverage matrices); this package is how the reproduction
+// prints the same artifacts, and how cmd/faultsim, cmd/tables and the
+// campaign engine's Render keep one consistent look.
+//
+// Stdlib-only, no external tabwriter quirks: columns are padded to
+// their widest cell, headers are underlined, and an optional title
+// precedes the table. Output is deterministic — rows render exactly in
+// insertion order — so golden tests can pin it byte for byte.
 package report
 
 import (

@@ -104,8 +104,8 @@ func TestTraversalRendering(t *testing.T) {
 // for every bit pair — at least 3 of the 4 conditions. Pairs whose
 // solo-flip backgrounds exist in both polarities reach all 4; bit 0
 // (set in every checkerboard) and bit W-1 (never flipped alone) cap
-// their pairs at 3. This measured asymmetry is the coverage finding
-// documented in EXPERIMENTS.md.
+// their pairs at 3. This measured asymmetry is a reproduction finding
+// of this port, beyond what the paper tabulates.
 func TestFigure1bTWMarchConditions(t *testing.T) {
 	res, err := core.TWMTA(march.MustLookup("March C-"), 8)
 	if err != nil {

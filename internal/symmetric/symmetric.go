@@ -9,8 +9,8 @@
 // zero signature on a fault-free memory regardless of its contents —
 // the signature-prediction pass disappears entirely.
 //
-// The catch, demonstrated by the tests and recorded as finding E4 in
-// EXPERIMENTS.md: the same cancellation makes the XOR compactor
+// The catch, demonstrated by this package's tests: the same
+// cancellation makes the XOR compactor
 // provably blind to any fault that corrupts a cell's reads uniformly
 // (every stuck-at fault), because the per-read errors inherit the
 // symmetry and cancel too. [18] therefore pairs symmetric tests with

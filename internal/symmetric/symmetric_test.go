@@ -134,8 +134,7 @@ func TestSessionRejectsAsymmetric(t *testing.T) {
 // Transition faults break the pairing only when the failed transition
 // splits a complementary read pair, giving partial detection. This is
 // precisely why [18] needs MISR-based (time-dependent) compaction and
-// why prediction-based schemes like the paper's remain attractive;
-// EXPERIMENTS.md records it as finding E4.
+// why prediction-based schemes like the paper's remain attractive.
 func TestSymmetricXORCompactionBlindToSAF(t *testing.T) {
 	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
 	if err != nil {

@@ -34,7 +34,7 @@
 // The original TOMT paper is not openly available; this reconstruction
 // follows the behaviour the DATE'05 paper relies on (bit-wise
 // transparent manipulation, ECC-based concurrent detection, ~8WN cost)
-// and is documented as a substitution in DESIGN.md.
+// and stands in for the original as a documented substitution.
 package tomt
 
 import (

@@ -7,6 +7,11 @@
 // recorded contents of a real word in the simulator after every
 // ATMarch operation, which the tests cross-check against the symbolic
 // rows.
+//
+// Table 1 is the paper's correctness argument made visible: every
+// ATMarch element leaves the word back at its pre-test content, which
+// is exactly the transparency property (Section 3) the whole scheme
+// rests on. cmd/tables -table 1 prints the rows this package derives.
 package trace
 
 import (

@@ -1,0 +1,152 @@
+// Command doclint fails when a Go package contains exported
+// identifiers without doc comments. CI runs it over internal/campaign
+// (the engine's API surface for the other packages and the binaries)
+// so the campaign contract stays fully documented:
+//
+//	go run ./scripts/doclint internal/campaign [more packages...]
+//
+// Checked: the package clause itself, exported top-level types,
+// functions, and const/var specs (a doc comment on the enclosing
+// const/var block satisfies its members), and exported methods on
+// exported receiver types. Unexported identifiers and struct fields
+// are out of scope.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <package dir> [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		missing, err := lint(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doclint: %s: %v\n", dir, err)
+			os.Exit(2)
+		}
+		for _, m := range missing {
+			fmt.Println(m)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d exported identifier(s) missing doc comments\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lint parses one package directory (tests excluded) and returns a
+// report line per undocumented exported identifier.
+func lint(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		missing = append(missing, fmt.Sprintf("%s:%d: %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	pkgNames := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		pkgNames = append(pkgNames, name)
+	}
+	sort.Strings(pkgNames)
+	for _, pkgName := range pkgNames {
+		pkg := pkgs[pkgName]
+		// Walk files in sorted name order so the report order (and CI
+		// log) is stable across runs.
+		names := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		hasPkgDoc := false
+		for _, f := range pkg.Files {
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+		}
+		if !hasPkgDoc {
+			report(pkg.Files[names[0]].Package, "package", pkg.Name)
+		}
+		for _, name := range names {
+			f := pkg.Files[name]
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv, exported := receiver(d); recv != "" && !exported {
+						continue // method on an unexported type
+					} else if recv != "" {
+						report(d.Pos(), "method", recv+"."+d.Name.Name)
+					} else {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return missing, nil
+}
+
+// lintGenDecl checks type, const and var declarations. A doc comment
+// on the enclosing parenthesized block covers every spec in it.
+func lintGenDecl(d *ast.GenDecl, report func(token.Pos, string, string)) {
+	blockDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && s.Doc == nil && !blockDoc {
+				report(s.Pos(), "type", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if s.Doc != nil || s.Comment != nil || blockDoc {
+				continue
+			}
+			for _, n := range s.Names {
+				if n.IsExported() {
+					report(n.Pos(), "const/var", n.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiver returns the method receiver's base type name and whether
+// that type is exported; ("", false) for plain functions.
+func receiver(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, id.IsExported()
+	}
+	return "", false
+}

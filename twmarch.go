@@ -284,7 +284,7 @@ func Diagnose(t *Test, mem march.Mem) (*Diagnosis, error) { return diagnose.Loca
 // MakeSymmetric upgrades a transparent march test so that its reads
 // cancel under XOR, enabling the one-pass zero-signature flow of the
 // symmetric transparent BIST ([18]); see RunSymmetric and the
-// E4 finding in EXPERIMENTS.md for the compaction trade-off.
+// internal/symmetric package docs for the compaction trade-off.
 func MakeSymmetric(t *Test) (*Test, error) { return symmetric.MakeSymmetric(t) }
 
 // SymmetricOutcome reports a one-pass symmetric BIST session.
