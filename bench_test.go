@@ -263,6 +263,38 @@ func BenchmarkS5Coverage(b *testing.B) {
 	b.ReportMetric(float64(rep.Total), "faults")
 }
 
+// benchDetectsPath runs the S5 campaign workload through one of the
+// two simulation paths. The pair below is the fast path's speedup
+// headline; the benchmark-regression gate (scripts/benchdiff) tracks
+// both so a regression in either path — or a shrinking gap — fails CI.
+func benchDetectsPath(b *testing.B, naive bool) {
+	res, err := core.TWMTA(march.MustLookup("March C-"), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	list := faults.EnumerateAll(3, 4)
+	c := faultsim.Campaign{Test: res.TWMarch, Words: 3, Width: 4, Mode: faultsim.DirectCompare, Seed: 1, Naive: naive}
+	var rep *faultsim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = faultsim.Run(c, list)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(rep.Total), "faults")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(rep.Total), "ns/fault")
+}
+
+// BenchmarkDetectsNaive measures the naive one-shot loop: fresh
+// memory, re-randomized contents and a full march per fault.
+func BenchmarkDetectsNaive(b *testing.B) { benchDetectsPath(b, true) }
+
+// BenchmarkDetectsFast measures the reference-trace fast path on the
+// identical workload (verdict-equivalent by the faultsim equivalence
+// suite).
+func BenchmarkDetectsFast(b *testing.B) { benchDetectsPath(b, false) }
+
 // BenchmarkE1OnlineInterference measures the online scheduler under
 // tight idle windows (E1).
 func BenchmarkE1OnlineInterference(b *testing.B) {

@@ -5,9 +5,12 @@
 //	faultsim -test "March U" -width 8 -words 3 -classes CFid,CFin -scope intra
 //	faultsim -mode signature -width 16
 //
-// Every enumerated fault is injected into a fresh memory with
-// pseudo-random contents; the report shows per-class coverage of the
-// generated TWMarch and, for comparison, of the Scheme 1 baseline.
+// Every enumerated fault is injected into a memory with pseudo-random
+// contents; the report shows per-class coverage of the generated
+// TWMarch and, for comparison, of the Scheme 1 baseline. Simulation
+// uses the reference-trace fast path (the fault-free march is captured
+// once and each fault replays against it); -naive falls back to the
+// one-shot per-fault loop for debugging — results are identical.
 //
 // With -grid the single simulation becomes a campaign: the comma lists
 // in -tests, -widths and -sizes span a grid that is fanned out over the
@@ -57,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	scope := fs.String("scope", "all", "coupling pair scope: all, intra, inter")
 	mode := fs.String("mode", "compare", "detection mode: compare or signature")
 	seed := fs.Int64("seed", 1, "initial-contents seed")
+	naive := fs.Bool("naive", false, "debugging escape hatch: use the naive per-fault simulation path instead of the reference-trace fast path (identical results)")
 	baseline := fs.Bool("baseline", true, "also run the Scheme 1 baseline")
 	characterize := fs.Bool("characterize", false, "print the catalog-wide coverage matrix and exit")
 	grid := fs.Bool("grid", false, "run a campaign grid on the internal/campaign engine")
@@ -93,7 +97,7 @@ func run(args []string, out io.Writer) error {
 			tests: orDefault(*tests, *testName), widths: orDefault(*widths, strconv.Itoa(*width)),
 			sizes: orDefault(*sizes, strconv.Itoa(*words)), classes: *classes, scope: *scope,
 			mode: *mode, seed: *seed, baseline: *baseline, workers: *workers, asJSON: *asJSON,
-			pipeline: ps,
+			naive: *naive, pipeline: ps,
 		})
 	}
 
@@ -121,7 +125,7 @@ func run(args []string, out io.Writer) error {
 			len(list), *words, *width, dm, *seed),
 		Header: []string{"test", "class", "detected", "total", "coverage"},
 	}
-	if err := coverageRows(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, list); err != nil {
+	if err := coverageRows(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, *naive, list); err != nil {
 		return err
 	}
 	if *baseline {
@@ -129,7 +133,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := coverageRows(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, list); err != nil {
+		if err := coverageRows(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, *naive, list); err != nil {
 			return err
 		}
 	}
@@ -164,8 +168,8 @@ func characterizeCatalog(out io.Writer, words int) error {
 	return err
 }
 
-func coverageRows(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, list []faults.Fault) error {
-	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed}
+func coverageRows(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, naive bool, list []faults.Fault) error {
+	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed, Naive: naive}
 	rep, err := faultsim.Run(c, list)
 	if err != nil {
 		return err
@@ -215,6 +219,7 @@ type gridFlags struct {
 	baseline             bool
 	workers              int
 	asJSON               bool
+	naive                bool
 	pipeline             *campaign.PipelineSpec
 }
 
@@ -250,6 +255,7 @@ func runGrid(out io.Writer, f gridFlags) error {
 		Scope:    f.scope,
 		Seed:     f.seed,
 		Workers:  f.workers,
+		Naive:    f.naive,
 		Pipeline: f.pipeline,
 	}
 	agg, err := campaign.Engine{}.Run(context.Background(), spec)

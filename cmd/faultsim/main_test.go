@@ -80,6 +80,22 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+// The -naive escape hatch must not change any reported number, in
+// either single-run or grid mode (grid canonical JSON zeroes the knob,
+// so the outputs are byte-identical).
+func TestNaiveFlagMatchesFastPath(t *testing.T) {
+	fast := render(t, "-words", "3", "-mode", "signature")
+	naive := render(t, "-words", "3", "-mode", "signature", "-naive")
+	if fast != naive {
+		t.Errorf("single-run -naive output differs:\nfast:\n%s\nnaive:\n%s", fast, naive)
+	}
+	gridFast := render(t, "-grid", "-tests", "MATS,March C-", "-widths", "2,4", "-sizes", "2,3", "-json")
+	gridNaive := render(t, "-grid", "-tests", "MATS,March C-", "-widths", "2,4", "-sizes", "2,3", "-json", "-naive")
+	if gridFast != gridNaive {
+		t.Errorf("grid -naive aggregate differs:\nfast:\n%s\nnaive:\n%s", gridFast, gridNaive)
+	}
+}
+
 func TestGridMode(t *testing.T) {
 	out := render(t, "-grid", "-tests", "MATS,March C-", "-widths", "2,4", "-sizes", "2,3",
 		"-classes", "SAF,TF", "-seed", "9")

@@ -15,6 +15,11 @@
 // rate, post-ECC escape rate, spare utilization — in both the
 // canonical JSON aggregate and the text report.
 //
+// Cells simulate on the reference-trace fast path (one fault-free
+// reference per cell, shared across its fault population); a spec may
+// set "naive": true to force the one-shot per-fault loop for
+// debugging. The canonical aggregate is byte-identical either way.
+//
 // API (all bodies JSON):
 //
 //	POST   /campaigns            submit a campaign.Spec, returns {id}

@@ -135,6 +135,42 @@ func TestShard(t *testing.T) {
 	}
 }
 
+// TestNaiveMatchesFast pins the engine-level equivalence of the two
+// simulation paths: the same grid run with the reference-trace fast
+// path and with the naive per-fault escape hatch must fold into
+// byte-identical canonical aggregates (Canonical zeroes the Naive knob
+// alongside the other scheduling fields). The grid spans both schemes
+// and both detection modes.
+func TestNaiveMatchesFast(t *testing.T) {
+	spec := gridSpec()
+	ctx := context.Background()
+
+	fast, err := Engine{}.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveSpec := spec
+	naiveSpec.Naive = true
+	naive, err := Engine{}.Run(ctx, naiveSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := fast.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := naive.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cf, cn) {
+		t.Fatalf("naive aggregate diverges from fast:\nfast:\n%s\nnaive:\n%s", cf, cn)
+	}
+	if fast.Errors != 0 {
+		t.Fatalf("%d cells errored: %s", fast.Errors, cf)
+	}
+}
+
 // TestParallelMatchesSerial is the subsystem's core guarantee: the
 // same spec and seed produce byte-identical canonical aggregates with
 // workers=1 and workers=GOMAXPROCS. Run under -race it also serves as

@@ -263,6 +263,20 @@ func simulatePipeline(ctx context.Context, spec Spec, c Cell, cfg faultsim.Campa
 		return
 	}
 	maxSyn := p.maxSyndrome()
+	// Signature-mode detection goes through the campaign's detector —
+	// the cell's shared reference unless the spec forces the naive
+	// path (cfg.Naive carries spec.Naive); the diagnostic Syndrome
+	// re-run below stays a full comparator-view execution either way.
+	// Compare-mode cells take detection from the Syndrome result and
+	// never call detect.
+	var detect func(f faults.Fault) (bool, error)
+	if c.Mode == ModeSignature {
+		detect, err = cfg.Detector()
+		if err != nil {
+			res.Err = err.Error()
+			return
+		}
+	}
 	for i, f := range list {
 		// The per-fault loop observes cancellation with the same
 		// bounded latency as the batched path.
@@ -277,7 +291,7 @@ func simulatePipeline(ctx context.Context, spec Spec, c Cell, cfg faultsim.Campa
 			// Signature detection first; the diagnostic re-run (a real
 			// BIST would switch the comparator on and replay) happens
 			// only for flagged faults.
-			det, err = faultsim.Detects(cfg, f)
+			det, err = detect(f)
 			if err != nil {
 				res.Err = err.Error()
 				return

@@ -247,6 +247,39 @@ func TestPipelineSignatureMode(t *testing.T) {
 	}
 }
 
+// The pipeline's signature-mode detection goes through the cell's
+// shared reference; forcing the naive path must not change the
+// canonical aggregate (yield section included).
+func TestPipelineNaiveMatchesFast(t *testing.T) {
+	spec := pipelineSpec(1, 1, ECCSECDED)
+	spec.Modes = []string{ModeCompare, ModeSignature}
+	ctx := context.Background()
+	fast, err := Engine{}.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naiveSpec := spec
+	naiveSpec.Naive = true
+	naive, err := Engine{}.Run(ctx, naiveSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf, err := fast.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := naive.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cf, cn) {
+		t.Fatalf("pipeline naive aggregate diverges from fast:\nfast:\n%s\nnaive:\n%s", cf, cn)
+	}
+	if fast.Errors != 0 {
+		t.Fatalf("%d cells errored", fast.Errors)
+	}
+}
+
 func TestECCOutcome(t *testing.T) {
 	sec := ecc.MustNewHamming(4, false)
 	secded := ecc.MustNewHamming(4, true)

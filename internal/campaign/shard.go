@@ -187,6 +187,7 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		Width: c.Width,
 		Mode:  mode,
 		Seed:  c.Seed,
+		Naive: spec.Naive,
 	}
 	res.ByClass = make(map[string]ClassCount)
 	if spec.Pipeline.On() {
@@ -195,6 +196,20 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		// diagnosis/repair/ECC outcome in res.Yield.
 		simulatePipeline(ctx, spec, c, cfg, list, &res)
 		return res
+	}
+	// One fault-free reference per cell, shared across the cell's
+	// whole fault population; spec.Naive falls back to the one-shot
+	// per-fault loop (identical tallies, only slower).
+	runBatch := func(batch []faults.Fault) (*faultsim.Report, error) {
+		return faultsim.Run(cfg, batch)
+	}
+	if !spec.Naive {
+		ref, err := faultsim.NewReference(cfg)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		runBatch = ref.Run
 	}
 	// Simulate in batches so cancellation has bounded latency even for
 	// a cell with millions of faults. Faults are independent, so the
@@ -210,7 +225,7 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		if hi > len(list) {
 			hi = len(list)
 		}
-		rep, err := faultsim.Run(cfg, list[lo:hi])
+		rep, err := runBatch(list[lo:hi])
 		if err != nil {
 			res.Err = err.Error()
 			return res

@@ -103,6 +103,13 @@ type Spec struct {
 	// Batch is the shard size handed to a worker at once; 0 picks a
 	// size that keeps every worker busy.
 	Batch int `json:"batch,omitempty"`
+	// Naive forces the naive per-fault simulation path instead of the
+	// reference-trace fast path (one fault-free reference per cell,
+	// shared across the cell's fault population). Results are
+	// bit-identical either way — the flag is a debugging escape hatch
+	// and is zeroed in the canonical aggregate like the other
+	// scheduling knobs.
+	Naive bool `json:"naive,omitempty"`
 	// Pipeline, when enabled, runs the diagnosis-and-repair stage
 	// after detection: mismatch syndromes are diagnosed, suspect sites
 	// fed to the spare-row/column allocator, and test escapes checked

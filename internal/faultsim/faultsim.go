@@ -12,11 +12,18 @@
 // The Section 5 experiments of the paper are campaigns over exhaustive
 // fault populations on small memories, comparing the transparent
 // word-oriented test against its nontransparent counterpart.
+//
+// Batch evaluation has two implementations with bit-identical
+// verdicts. Detects is the naive one-shot path: fresh memory,
+// re-randomized contents and a full march per fault. Reference is the
+// fast path: the fault-free run is captured once per configuration
+// (ordered access trace, expected reads, MISR prefix states) and each
+// fault replays against it on a pooled memory arena. Run and Compare
+// use the fast path unless Campaign.Naive forces the one-shot loop.
 package faultsim
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"twmarch/internal/core"
@@ -66,8 +73,18 @@ type Campaign struct {
 	// Initial, when non-nil, fixes the pre-existing contents instead
 	// of randomizing (length must equal Words).
 	Initial []word.Word
+	// Naive forces Run and Compare onto the one-shot per-fault path
+	// instead of the reference-trace fast path. Verdicts are identical
+	// either way (the equivalence suite asserts it over the full fault
+	// catalog); the flag exists as a debugging escape hatch.
+	Naive bool
 }
 
+// newMemory materializes the campaign's pre-existing contents. The
+// randomized case uses the stateless splitmix64 stream of
+// memory.RandomizeSeed — the same derivation on every call — so the
+// naive path, the reference fast path and the diagnostic Syndrome run
+// all see bit-identical initial data for one (geometry, seed).
 func (c Campaign) newMemory() (*memory.Memory, error) {
 	mem, err := memory.New(c.Words, c.Width)
 	if err != nil {
@@ -79,12 +96,16 @@ func (c Campaign) newMemory() (*memory.Memory, error) {
 		}
 		return mem, nil
 	}
-	mem.Randomize(rand.New(rand.NewSource(c.Seed)))
+	mem.RandomizeSeed(c.Seed)
 	return mem, nil
 }
 
 // Detects runs one fault through the campaign configuration and
-// reports whether the test caught it.
+// reports whether the test caught it. This is the naive one-shot path:
+// it allocates and initializes a fresh memory and replays the full
+// march (and, in Signature mode, re-derives the prediction test) for
+// the single fault. Batch callers should build a Reference once and
+// use its Detects — same verdicts, amortized fault-free work.
 func Detects(c Campaign, f faults.Fault) (bool, error) {
 	if c.Test == nil {
 		return false, fmt.Errorf("faultsim: campaign has no test")
@@ -205,18 +226,47 @@ func (r *Report) Classes() []string {
 	return out
 }
 
-// Run executes the campaign over the fault list.
+// Run executes the campaign over the fault list. It evaluates through
+// a Reference built once for the configuration unless Campaign.Naive
+// forces the one-shot per-fault path; the Report is identical either
+// way.
 func Run(c Campaign, list []faults.Fault) (*Report, error) {
+	det, err := c.Detector()
+	if err != nil {
+		return nil, err
+	}
+	return runWith(det, list)
+}
+
+// Detector returns the campaign's per-fault verdict function: the
+// naive one-shot loop when Naive is set, a shared Reference otherwise.
+// It is the single place the path selection lives — Run, Compare and
+// the campaign engine's pipeline stage all go through it.
+func (c Campaign) Detector() (func(faults.Fault) (bool, error), error) {
+	if c.Naive {
+		return func(f faults.Fault) (bool, error) { return Detects(c, f) }, nil
+	}
+	ref, err := NewReference(c)
+	if err != nil {
+		return nil, err
+	}
+	return ref.Detects, nil
+}
+
+// runWith folds per-fault verdicts into a Report; it is the single
+// tally loop behind Run and Reference.Run, so both paths report
+// identically (including the Missed cap and its order).
+func runWith(det func(faults.Fault) (bool, error), list []faults.Fault) (*Report, error) {
 	rep := &Report{ByClass: make(map[string]ClassStats)}
 	for _, f := range list {
-		det, err := Detects(c, f)
+		d, err := det(f)
 		if err != nil {
 			return nil, fmt.Errorf("faultsim: %s: %v", f, err)
 		}
 		rep.Total++
 		cs := rep.ByClass[f.Class()]
 		cs.Total++
-		if det {
+		if d {
 			rep.Detected++
 			cs.Detected++
 		} else if len(rep.Missed) < 64 {
@@ -248,15 +298,24 @@ func (e *Equivalence) Equal() bool { return e.OnlyA == 0 && e.OnlyB == 0 }
 // Compare runs both campaigns over the fault list and reports where
 // their verdicts differ. This is the paper's Section 5 experiment: the
 // transparent word-oriented test must preserve the coverage of its
-// nontransparent counterpart.
+// nontransparent counterpart. Each side evaluates through its own
+// Reference unless its Naive flag is set.
 func Compare(a, b Campaign, list []faults.Fault) (*Equivalence, error) {
+	detA, err := a.Detector()
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: campaign A: %v", err)
+	}
+	detB, err := b.Detector()
+	if err != nil {
+		return nil, fmt.Errorf("faultsim: campaign B: %v", err)
+	}
 	eq := &Equivalence{}
 	for _, f := range list {
-		da, err := Detects(a, f)
+		da, err := detA(f)
 		if err != nil {
 			return nil, fmt.Errorf("faultsim: campaign A: %s: %v", f, err)
 		}
-		db, err := Detects(b, f)
+		db, err := detB(f)
 		if err != nil {
 			return nil, fmt.Errorf("faultsim: campaign B: %s: %v", f, err)
 		}

@@ -1,0 +1,51 @@
+package march
+
+import "fmt"
+
+// FlatOp is one step of a test's flattened execution schedule: the
+// operation Run would execute at this position, bound to the concrete
+// address its element walk visits. Element and OpIndex locate the op in
+// the test for diagnostics; they match the fields of Mismatch.
+type FlatOp struct {
+	Element int
+	OpIndex int
+	Kind    OpKind
+	Addr    int
+	Data    Datum
+}
+
+// Flatten expands the test into the exact operation sequence Run
+// executes against an n-word memory under opts (only AnyDown and
+// AddressSequence are consulted; the other options do not affect
+// ordering). The result has t.Ops()·n entries.
+//
+// Replay loops that evaluate the same test against many memories — the
+// fault-simulation reference path in internal/faultsim — flatten once
+// and iterate the schedule instead of re-resolving element orders and
+// re-validating the test on every run. Flatten and Run share the
+// address-walk machinery, so the sequence is the runner's by
+// construction.
+func Flatten(t *Test, n int, opts RunOptions) ([]FlatOp, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("march: flatten over %d words", n)
+	}
+	var up []int
+	if opts.AddressSequence != nil {
+		if !isPermutation(opts.AddressSequence, n) {
+			return nil, fmt.Errorf("march: address sequence is not a permutation of 0..%d", n-1)
+		}
+		up = opts.AddressSequence
+	}
+	out := make([]FlatOp, 0, t.Ops()*n)
+	for ei, e := range t.Elements {
+		for _, addr := range elementAddresses(e.Order, n, opts.AnyDown, up) {
+			for oi, op := range e.Ops {
+				out = append(out, FlatOp{Element: ei, OpIndex: oi, Kind: op.Kind, Addr: addr, Data: op.Data})
+			}
+		}
+	}
+	return out, nil
+}

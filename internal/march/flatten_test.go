@@ -1,0 +1,111 @@
+package march
+
+import (
+	"testing"
+
+	"twmarch/internal/word"
+)
+
+// recordingMem logs every access so the flattened schedule can be
+// checked against the runner's actual behaviour.
+type recordingMem struct {
+	cells []word.Word
+	width int
+	log   []FlatOp // Kind and Addr only; Element/OpIndex left zero
+}
+
+func (m *recordingMem) Read(addr int) word.Word {
+	m.log = append(m.log, FlatOp{Kind: Read, Addr: addr})
+	return m.cells[addr]
+}
+
+func (m *recordingMem) Write(addr int, v word.Word) {
+	m.log = append(m.log, FlatOp{Kind: Write, Addr: addr})
+	m.cells[addr] = v.Mask(m.width)
+}
+
+func (m *recordingMem) Words() int { return len(m.cells) }
+func (m *recordingMem) Width() int { return m.width }
+
+// Flatten must list exactly the operations Run executes, in the same
+// order, for every option combination that affects ordering.
+func TestFlattenMatchesRun(t *testing.T) {
+	tst := MustNew("flatten probe", 1,
+		Elem(Any, W(LitBit(0))),
+		Elem(Up, R(LitBit(0)), W(LitBit(1))),
+		Elem(Down, R(LitBit(1)), W(LitBit(0))),
+		Elem(Any, R(LitBit(0))),
+	)
+	const n = 5
+	for _, opts := range []RunOptions{
+		{},
+		{AnyDown: true},
+		{AddressSequence: []int{3, 1, 4, 0, 2}},
+		{AnyDown: true, AddressSequence: []int{4, 3, 2, 1, 0}},
+	} {
+		flat, err := Flatten(tst, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flat) != tst.Ops()*n {
+			t.Fatalf("flatten produced %d ops, want %d", len(flat), tst.Ops()*n)
+		}
+		mem := &recordingMem{cells: make([]word.Word, n), width: 1}
+		if _, err := Run(tst, mem, opts); err != nil {
+			t.Fatal(err)
+		}
+		// Run takes its initial snapshot with one read per word before
+		// the test proper; skip those log entries.
+		log := mem.log[n:]
+		if len(log) != len(flat) {
+			t.Fatalf("runner executed %d ops, flatten lists %d", len(log), len(flat))
+		}
+		for i := range flat {
+			if flat[i].Kind != log[i].Kind || flat[i].Addr != log[i].Addr {
+				t.Fatalf("opts %+v: op %d: flatten %v@%d, runner %v@%d",
+					opts, i, flat[i].Kind, flat[i].Addr, log[i].Kind, log[i].Addr)
+			}
+		}
+	}
+}
+
+// Flatten preserves element/op provenance so replay diagnostics can
+// point back into the test.
+func TestFlattenProvenance(t *testing.T) {
+	tst := MustNew("prov", 1, Elem(Up, R(LitBit(0)), W(LitBit(1))))
+	flat, err := Flatten(tst, 2, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []FlatOp{
+		{Element: 0, OpIndex: 0, Kind: Read, Addr: 0, Data: LitBit(0)},
+		{Element: 0, OpIndex: 1, Kind: Write, Addr: 0, Data: LitBit(1)},
+		{Element: 0, OpIndex: 0, Kind: Read, Addr: 1, Data: LitBit(0)},
+		{Element: 0, OpIndex: 1, Kind: Write, Addr: 1, Data: LitBit(1)},
+	}
+	if len(flat) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(flat), len(want))
+	}
+	for i := range want {
+		if flat[i] != want[i] {
+			t.Errorf("op %d: got %+v, want %+v", i, flat[i], want[i])
+		}
+	}
+}
+
+func TestFlattenErrors(t *testing.T) {
+	tst := MustNew("ok", 1, Elem(Up, R(LitBit(0))))
+	if _, err := Flatten(tst, 0, RunOptions{}); err == nil {
+		t.Error("accepted zero words")
+	}
+	if _, err := Flatten(tst, 3, RunOptions{AddressSequence: []int{0, 1}}); err == nil {
+		t.Error("accepted a short address sequence")
+	}
+	if _, err := Flatten(tst, 3, RunOptions{AddressSequence: []int{0, 1, 1}}); err == nil {
+		t.Error("accepted a non-permutation")
+	}
+	bad := &Test{Name: "empty", Width: 1}
+	if _, err := Flatten(bad, 3, RunOptions{}); err == nil {
+		t.Error("accepted an invalid test")
+	}
+}

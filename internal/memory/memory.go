@@ -99,6 +99,29 @@ func (m *Memory) Randomize(r *rand.Rand) {
 	}
 }
 
+// RandomizeSeed fills the memory with deterministic pseudo-random
+// contents derived from seed with a splitmix64 stream — the same
+// finalizer internal/campaign derives per-cell seeds with. Unlike
+// Randomize it carries no math/rand state, so any two simulators
+// given the same (geometry, seed) draw bit-identical initial contents;
+// the fault-simulation fast path and its naive counterpart rely on
+// this to agree on the pre-existing data a transparent test preserves.
+func (m *Memory) RandomizeSeed(seed int64) {
+	s := uint64(seed)
+	next := func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range m.cells {
+		hi := next()
+		lo := next()
+		m.cells[i] = word.Word{Hi: hi, Lo: lo}.Mask(m.width)
+	}
+}
+
 // Snapshot returns a copy of the current contents.
 func (m *Memory) Snapshot() []word.Word {
 	out := make([]word.Word, len(m.cells))
