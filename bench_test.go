@@ -569,6 +569,31 @@ func BenchmarkCampaignYield(b *testing.B) {
 	b.ReportMetric(100*y.PostECCEscapeRate(), "post_ecc_escape_pct")
 }
 
+// BenchmarkAggregatorIncremental measures the streaming fold: one
+// grid's worth of pre-simulated cell results pushed through the
+// incremental Aggregator (Add per cell + final Snapshot) — the per-op
+// cost every twmd event and journal replay pays. The simulation itself
+// is hoisted out of the loop, so the number is the fold alone.
+func BenchmarkAggregatorIncremental(b *testing.B) {
+	spec := campaignBenchSpec()
+	base, err := campaign.Engine{}.Run(context.Background(), spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := campaign.NewAggregator(spec)
+		for _, r := range base.Cells {
+			g.Add(r)
+		}
+		snap := g.Snapshot()
+		if snap.Faults != base.Faults || len(snap.Cells) != len(base.Cells) {
+			b.Fatal("incremental fold diverged")
+		}
+	}
+	b.ReportMetric(float64(len(base.Cells)), "cells")
+}
+
 // BenchmarkE10Characterization times one row of the catalog coverage
 // matrix (E10).
 func BenchmarkE10Characterization(b *testing.B) {

@@ -19,6 +19,12 @@
 //
 //	faultsim -grid -tests "March C-,March U" -widths 4,8 -sizes 3,4
 //
+// With -progress the grid reports live completion to stderr over the
+// engine's result event stream — cells done, rate, and ETA — while
+// stdout stays reserved for the report:
+//
+//	faultsim -grid -tests "March C-,March U" -sizes 16,64 -progress
+//
 // With -pipeline the grid additionally runs the diagnosis-and-repair
 // stage per fault: mismatch syndromes are diagnosed, suspect sites
 // mapped onto spare rows/columns, and test escapes classified against
@@ -35,6 +41,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"twmarch/internal/campaign"
 	"twmarch/internal/core"
@@ -45,13 +53,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("faultsim", flag.ContinueOnError)
 	testName := fs.String("test", "March C-", "catalog test name")
 	width := fs.Int("width", 4, "word width (power of two)")
@@ -69,6 +77,7 @@ func run(args []string, out io.Writer) error {
 	sizes := fs.String("sizes", "", "with -grid: comma-separated memory sizes in words (default: -words)")
 	workers := fs.Int("workers", 0, "with -grid: worker-pool size (0 = GOMAXPROCS)")
 	asJSON := fs.Bool("json", false, "with -grid: print the canonical JSON aggregate instead of tables")
+	progress := fs.Bool("progress", false, "with -grid: report live completion, rate and ETA to stderr")
 	pipeline := fs.Bool("pipeline", false, "with -grid: run the diagnosis-and-repair yield pipeline per fault")
 	spareRows := fs.Int("spare-rows", 1, "with -pipeline: spare word lines per memory")
 	spareCols := fs.Int("spare-cols", 1, "with -pipeline: spare bit lines per memory")
@@ -93,11 +102,11 @@ func run(args []string, out io.Writer) error {
 				MaxSyndrome: *maxSyndrome,
 			}
 		}
-		return runGrid(out, gridFlags{
+		return runGrid(out, errOut, gridFlags{
 			tests: orDefault(*tests, *testName), widths: orDefault(*widths, strconv.Itoa(*width)),
 			sizes: orDefault(*sizes, strconv.Itoa(*words)), classes: *classes, scope: *scope,
 			mode: *mode, seed: *seed, baseline: *baseline, workers: *workers, asJSON: *asJSON,
-			naive: *naive, pipeline: ps,
+			naive: *naive, pipeline: ps, progress: *progress,
 		})
 	}
 
@@ -221,11 +230,12 @@ type gridFlags struct {
 	asJSON               bool
 	naive                bool
 	pipeline             *campaign.PipelineSpec
+	progress             bool
 }
 
 // runGrid expands the comma lists into a campaign.Spec and hands it to
 // the shared worker-pool engine.
-func runGrid(out io.Writer, f gridFlags) error {
+func runGrid(out, errOut io.Writer, f gridFlags) error {
 	widths, err := intList(f.widths)
 	if err != nil {
 		return fmt.Errorf("-widths: %v", err)
@@ -258,11 +268,48 @@ func runGrid(out io.Writer, f gridFlags) error {
 		Naive:    f.naive,
 		Pipeline: f.pipeline,
 	}
-	agg, err := campaign.Engine{}.Run(context.Background(), spec)
+	prog := &campaign.Progress{}
+	var sinks []campaign.Sink
+	if f.progress {
+		sinks = append(sinks, newProgressPrinter(prog, errOut))
+	}
+	agg, err := campaign.Engine{}.Stream(context.Background(), spec, prog, nil, sinks...)
 	if err != nil {
 		return err
 	}
 	return campaign.WriteAggregate(out, agg, f.asJSON)
+}
+
+// progressPrinter is the -progress sink: it rides the engine's result
+// event stream and prints a throttled completion line per update —
+// cells done, rate, ETA — plus an unconditional final line.
+type progressPrinter struct {
+	mu   sync.Mutex
+	prog *campaign.Progress
+	out  io.Writer
+	last time.Time
+}
+
+func newProgressPrinter(prog *campaign.Progress, out io.Writer) *progressPrinter {
+	return &progressPrinter{prog: prog, out: out}
+}
+
+// Emit implements campaign.Sink. The engine serializes calls; the
+// mutex only guards against a final Emit racing a throttled one.
+func (p *progressPrinter) Emit(campaign.CellResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	done, total := p.prog.Done(), p.prog.Total()
+	if done < total && time.Since(p.last) < 500*time.Millisecond {
+		return
+	}
+	p.last = time.Now()
+	line := fmt.Sprintf("progress: %d/%d cells (%.1f%%), %.1f cells/s",
+		done, total, 100*p.prog.Fraction(), p.prog.Rate())
+	if eta := p.prog.ETA(); eta > 0 {
+		line += fmt.Sprintf(", eta %s", eta.Round(100*time.Millisecond))
+	}
+	fmt.Fprintln(p.out, line)
 }
 
 func intList(s string) ([]int, error) {

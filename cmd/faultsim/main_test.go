@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func render(t *testing.T, args ...string) string {
 	t.Helper()
 	var b strings.Builder
-	if err := run(args, &b); err != nil {
+	if err := run(args, &b, io.Discard); err != nil {
 		t.Fatalf("run(%v): %v", args, err)
 	}
 	return b.String()
@@ -63,19 +64,19 @@ func TestSignatureMode(t *testing.T) {
 
 func TestErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-classes", "XYZ"}, &b); err == nil {
+	if err := run([]string{"-classes", "XYZ"}, &b, io.Discard); err == nil {
 		t.Error("unknown class accepted")
 	}
-	if err := run([]string{"-scope", "sideways"}, &b); err == nil {
+	if err := run([]string{"-scope", "sideways"}, &b, io.Discard); err == nil {
 		t.Error("unknown scope accepted")
 	}
-	if err := run([]string{"-mode", "psychic"}, &b); err == nil {
+	if err := run([]string{"-mode", "psychic"}, &b, io.Discard); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run([]string{"-test", "March Z"}, &b); err == nil {
+	if err := run([]string{"-test", "March Z"}, &b, io.Discard); err == nil {
 		t.Error("unknown test accepted")
 	}
-	if err := run([]string{"-classes", ""}, &b); err == nil {
+	if err := run([]string{"-classes", ""}, &b, io.Discard); err == nil {
 		t.Error("empty class list accepted")
 	}
 }
@@ -120,11 +121,46 @@ func TestGridPipeline(t *testing.T) {
 		}
 	}
 	var b strings.Builder
-	if err := run([]string{"-grid", "-pipeline", "-ecc", "psychic"}, &b); err == nil {
+	if err := run([]string{"-grid", "-pipeline", "-ecc", "psychic"}, &b, io.Discard); err == nil {
 		t.Error("bad -ecc accepted")
 	}
-	if err := run([]string{"-grid", "-pipeline", "-spare-rows", "-2"}, &b); err == nil {
+	if err := run([]string{"-grid", "-pipeline", "-spare-rows", "-2"}, &b, io.Discard); err == nil {
 		t.Error("negative -spare-rows accepted")
+	}
+}
+
+// TestGridProgress checks the -progress stream: completion lines land
+// on the error writer (stdout stays clean for the report) and the
+// final line reports the full grid.
+func TestGridProgress(t *testing.T) {
+	var out, errOut strings.Builder
+	args := []string{"-grid", "-progress", "-tests", "MATS,March C-", "-widths", "2,4",
+		"-sizes", "2,3", "-classes", "SAF,TF", "-seed", "9"}
+	if err := run(args, &out, &errOut); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(out.String(), "op counts") {
+		t.Errorf("report missing from stdout:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "progress:") {
+		t.Errorf("progress lines leaked into stdout:\n%s", out.String())
+	}
+	prog := errOut.String()
+	if !strings.Contains(prog, "progress: 16/16 cells (100.0%)") {
+		t.Errorf("final progress line missing:\n%s", prog)
+	}
+	if !strings.Contains(prog, "cells/s") {
+		t.Errorf("progress lines carry no rate:\n%s", prog)
+	}
+
+	// Without -progress the error writer stays silent.
+	errOut.Reset()
+	out.Reset()
+	if err := run([]string{"-grid", "-classes", "SAF", "-sizes", "2"}, &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("progress printed without -progress:\n%s", errOut.String())
 	}
 }
 
@@ -137,16 +173,16 @@ func TestGridModeJSON(t *testing.T) {
 
 func TestGridModeErrors(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-grid", "-widths", "nope"}, &b); err == nil {
+	if err := run([]string{"-grid", "-widths", "nope"}, &b, io.Discard); err == nil {
 		t.Error("bad -widths accepted")
 	}
-	if err := run([]string{"-grid", "-sizes", "1.5"}, &b); err == nil {
+	if err := run([]string{"-grid", "-sizes", "1.5"}, &b, io.Discard); err == nil {
 		t.Error("bad -sizes accepted")
 	}
-	if err := run([]string{"-grid", "-mode", "psychic"}, &b); err == nil {
+	if err := run([]string{"-grid", "-mode", "psychic"}, &b, io.Discard); err == nil {
 		t.Error("bad grid mode accepted")
 	}
-	if err := run([]string{"-grid", "-tests", "March Z"}, &b); err == nil {
+	if err := run([]string{"-grid", "-tests", "March Z"}, &b, io.Discard); err == nil {
 		t.Error("unknown grid test accepted")
 	}
 }

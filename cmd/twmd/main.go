@@ -3,11 +3,23 @@
 // sizes, schemes and detection modes) on the internal/campaign engine.
 //
 //	twmd -addr :8080            serve the job API
+//	twmd -addr :8080 -datadir d serve with a durable job journal
 //	twmd -once -spec c.json     run one campaign and print the report
 //	twmd -once -spec c.json -json   ... printing canonical JSON instead
 //
 // At most -maxjobs campaigns run concurrently; further submissions are
 // accepted and queue in FIFO-by-slot order (state "queued").
+//
+// Results stream: every completed grid cell is an event. The status
+// endpoint serves live partial coverage with elapsed time, rate and
+// ETA while a grid runs, and GET /campaigns/{id}/events follows the
+// per-cell result stream as NDJSON. With -datadir every submitted spec
+// and completed cell is journaled (internal/jobstore): a restarted
+// twmd recovers its jobs, replays the journaled cells, and re-simulates
+// only the remainder — the recovered canonical aggregate is
+// byte-identical to an uninterrupted run. On SIGINT/SIGTERM the server
+// stops accepting submissions, drains running jobs for up to -drain,
+// and flushes the journal before exiting.
 //
 // Specs may carry a "pipeline" block (see campaign.PipelineSpec) to
 // run the diagnosis-and-repair yield stage per fault; results then
@@ -24,12 +36,14 @@
 //
 //	POST   /campaigns            submit a campaign.Spec, returns {id}
 //	GET    /campaigns            list all campaigns with status
-//	GET    /campaigns/{id}       poll status and progress
+//	GET    /campaigns/{id}       poll status, live partial coverage,
+//	                             elapsed/rate/ETA
+//	GET    /campaigns/{id}/events    NDJSON stream of per-cell results
 //	GET    /campaigns/{id}/results   fetch the aggregate (canonical
 //	                             JSON; ?format=text for the table)
 //	POST   /campaigns/{id}/cancel    cancel a running campaign
 //	DELETE /campaigns/{id}       cancel (if running) and evict the job,
-//	                             freeing its results
+//	                             freeing its results and journal
 //	GET    /healthz              liveness probe
 package main
 
@@ -42,13 +56,18 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/jobstore"
 )
 
 func main() {
@@ -59,6 +78,8 @@ func main() {
 	asJSON := fs.Bool("json", false, "with -once, print canonical JSON instead of the text report")
 	workers := fs.Int("workers", 0, "default worker count when the spec leaves it 0 (0 = GOMAXPROCS)")
 	maxJobs := fs.Int("maxjobs", 2, "campaigns run concurrently; submissions beyond this queue")
+	datadir := fs.String("datadir", "", "durable job journal directory; empty = in-memory only")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining running jobs")
 	fs.Parse(os.Args[1:])
 
 	eng := campaign.Engine{Workers: *workers}
@@ -69,18 +90,52 @@ func main() {
 		}
 		return
 	}
+	var store *jobstore.Store
+	if *datadir != "" {
+		var err error
+		store, err = jobstore.Open(*datadir)
+		if err != nil {
+			log.Fatalf("twmd: %v", err)
+		}
+	}
+	h := newServer(eng, *maxJobs, store)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newServer(eng, *maxJobs),
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		// Bounds the whole request read including the body, so a
 		// trickled POST cannot hold a handler goroutine open.
-		ReadTimeout:  30 * time.Second,
+		ReadTimeout: 30 * time.Second,
+		// The events stream rolls its own write deadline forward per
+		// line; this bounds everything else.
 		WriteTimeout: 2 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("twmd: serving campaign API on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately
+	log.Printf("twmd: signal received, draining jobs (budget %s)", *drain)
+	h.beginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	drained := h.drainJobs(dctx, settleBudget(*drain))
+	sctx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	srv.Shutdown(sctx)
+	if drained {
+		log.Printf("twmd: all jobs drained, exiting")
+	} else {
+		log.Printf("twmd: drain budget exhausted; interrupted jobs left journaled for recovery")
+	}
 }
 
 // runOnce is the scriptable batch mode: load a spec, run it to
@@ -113,24 +168,34 @@ const (
 	StateCanceled = "canceled"
 )
 
-// job is one submitted campaign and its lifecycle.
+// job is one submitted campaign and its lifecycle. The aggregator and
+// hub are live while the engine runs: status polls snapshot the
+// aggregator, event subscribers follow the hub.
 type job struct {
-	id     string
-	spec   campaign.Spec
-	cells  int
-	prog   *campaign.Progress
-	cancel context.CancelFunc
-	done   chan struct{}
+	id      string
+	spec    campaign.Spec
+	cells   int
+	prog    *campaign.Progress
+	agg     *campaign.Aggregator
+	hub     *hub
+	journal *jobstore.Journal // nil without -datadir
+	cancel  context.CancelFunc
+	done    chan struct{}
+	// abandoned marks a drain-interrupted job: the runner closes the
+	// journal without a terminal marker so a restart resumes it.
+	abandoned atomic.Bool
 
 	mu       sync.Mutex
 	state    string
 	errMsg   string
-	agg      *campaign.Aggregate
+	aggFinal *campaign.Aggregate
 	started  time.Time
 	finished time.Time
 }
 
-// Status is the wire form of a job's state.
+// Status is the wire form of a job's state. While the job runs, the
+// coverage block is the live partial fold and the timing block is
+// derived from the engine's Progress timestamps.
 type Status struct {
 	ID       string  `json:"id"`
 	Name     string  `json:"name,omitempty"`
@@ -142,6 +207,20 @@ type Status struct {
 	// ElapsedNS is wall-clock time since submission (until finish for
 	// terminal states).
 	ElapsedNS int64 `json:"elapsed_ns"`
+	// RunElapsedNS is wall-clock time since the engine picked the job
+	// up (zero while queued, frozen at completion); CellsPerSec and
+	// ETANS are the simulation rate and the estimated remaining time,
+	// both derived from the engine's Progress timestamps. Cells
+	// recovered from the journal count toward Done but not the rate.
+	RunElapsedNS int64   `json:"run_elapsed_ns,omitempty"`
+	CellsPerSec  float64 `json:"cells_per_sec,omitempty"`
+	ETANS        int64   `json:"eta_ns,omitempty"`
+	// Faults, Detected, Coverage and CellErrors are the live partial
+	// aggregate: the fold over the cells completed so far.
+	Faults     int     `json:"faults"`
+	Detected   int     `json:"detected"`
+	Coverage   float64 `json:"coverage"`
+	CellErrors int     `json:"cell_errors,omitempty"`
 }
 
 func (j *job) status() Status {
@@ -151,21 +230,40 @@ func (j *job) status() Status {
 	if end.IsZero() {
 		end = time.Now()
 	}
-	fraction := j.prog.Fraction()
-	if j.state == StateQueued {
-		// Progress.Fraction reads 1 while the total is still unset;
-		// a queued job hasn't done anything.
-		fraction = 0
+	st := j.agg.Stats()
+	// The aggregator leads Progress for a journal-recovered job that
+	// hasn't re-entered the engine yet; take whichever is ahead.
+	done := j.prog.Done()
+	if n := int64(st.Cells); n > done {
+		done = n
+	}
+	fraction := 1.0
+	if j.cells > 0 {
+		fraction = float64(done) / float64(j.cells)
+	}
+	// Coverage of an empty fold is undefined, not perfect: report 0
+	// until the first faults land so pollers see a monotonic value
+	// instead of 1.0 regressing to the real number.
+	coverage := 0.0
+	if st.Faults > 0 {
+		coverage = st.CoverageFraction()
 	}
 	return Status{
-		ID:        j.id,
-		Name:      j.spec.Name,
-		State:     j.state,
-		Cells:     j.cells,
-		Done:      j.prog.Done(),
-		Fraction:  fraction,
-		Error:     j.errMsg,
-		ElapsedNS: end.Sub(j.started).Nanoseconds(),
+		ID:           j.id,
+		Name:         j.spec.Name,
+		State:        j.state,
+		Cells:        j.cells,
+		Done:         done,
+		Fraction:     fraction,
+		Error:        j.errMsg,
+		ElapsedNS:    end.Sub(j.started).Nanoseconds(),
+		RunElapsedNS: j.prog.Elapsed().Nanoseconds(),
+		CellsPerSec:  j.prog.Rate(),
+		ETANS:        j.prog.ETA().Nanoseconds(),
+		Faults:       st.Faults,
+		Detected:     st.Detected,
+		Coverage:     coverage,
+		CellErrors:   st.Errors,
 	}
 }
 
@@ -173,21 +271,25 @@ func (j *job) status() Status {
 type server struct {
 	engine campaign.Engine
 	mux    *http.ServeMux
+	store  *jobstore.Store // nil without -datadir
 	// slots bounds concurrently running campaigns; a submitted job
 	// stays queued until it acquires a slot.
 	slots chan struct{}
+	// draining rejects new submissions during graceful shutdown.
+	draining atomic.Bool
 
 	mu   sync.Mutex
 	seq  int
 	jobs map[string]*job
 }
 
-func newServer(eng campaign.Engine, maxJobs int) *server {
+func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store) *server {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
 	s := &server{
 		engine: eng,
+		store:  store,
 		jobs:   make(map[string]*job),
 		mux:    http.NewServeMux(),
 		slots:  make(chan struct{}, maxJobs),
@@ -197,7 +299,102 @@ func newServer(eng campaign.Engine, maxJobs int) *server {
 	})
 	s.mux.HandleFunc("/campaigns", s.campaigns)
 	s.mux.HandleFunc("/campaigns/", s.campaign)
+	s.recover()
 	return s
+}
+
+// recover reloads journaled jobs from the store: terminal jobs are
+// restored (a complete "done" journal rebuilds its aggregate from the
+// WAL — byte-identical, since cell results are pure functions of the
+// spec), interrupted jobs re-enter the run queue with their journaled
+// cells pre-folded so only the remainder simulates.
+func (s *server) recover() {
+	if s.store == nil {
+		return
+	}
+	jobs, err := s.store.Recover()
+	if err != nil {
+		log.Printf("twmd: journal recovery: %v", err)
+		return
+	}
+	// Bump the id sequence past every directory in the store — also
+	// the unrecoverable ones Recover skips — so a fresh submission can
+	// never collide with a leftover journal directory and end up
+	// running unjournaled.
+	if ids, err := s.store.IDs(); err == nil {
+		for _, id := range ids {
+			if n, ok := strings.CutPrefix(id, "c"); ok {
+				if v, err := strconv.Atoi(n); err == nil && v > s.seq {
+					s.seq = v
+				}
+			}
+		}
+	}
+	for _, rec := range jobs {
+		j := &job{
+			id:      rec.ID,
+			spec:    rec.Spec,
+			cells:   rec.Spec.CellCount(),
+			prog:    &campaign.Progress{},
+			agg:     campaign.NewAggregator(rec.Spec),
+			hub:     newHub(),
+			done:    make(chan struct{}),
+			state:   StateQueued,
+			started: time.Now(),
+		}
+		// Replay the WAL through the same validation the engine would
+		// apply: only clean results matching the spec's own expansion
+		// count. A corrupt entry is dropped and its cell re-simulates;
+		// so is any errored cell — a deterministic failure reproduces
+		// identically, and a cancellation artifact from an older binary
+		// must not be resurrected as a real result.
+		cells, err := rec.Spec.Cells()
+		if err != nil {
+			j.state, j.errMsg = StateFailed, fmt.Sprintf("journal recovery: %v", err)
+			j.finished = time.Now()
+			close(j.done)
+			j.hub.close()
+			s.jobs[j.id] = j
+			continue
+		}
+		var seeded []campaign.CellResult
+		for _, r := range rec.Done {
+			if r.Err == "" && r.Index >= 0 && r.Index < len(cells) && r.Cell == cells[r.Index] && !j.agg.Has(r.Index) {
+				j.agg.Add(r)
+				seeded = append(seeded, r)
+			}
+		}
+		j.hub.seed(seeded)
+		s.jobs[j.id] = j
+
+		if rec.State == StateDone && j.agg.Added() == len(cells) {
+			j.state = StateDone
+			j.aggFinal = j.agg.Snapshot()
+			j.finished = time.Now()
+			close(j.done)
+			j.hub.close()
+			continue
+		}
+		if rec.State == StateFailed || rec.State == StateCanceled {
+			j.state, j.errMsg = rec.State, rec.Err
+			j.finished = time.Now()
+			close(j.done)
+			j.hub.close()
+			continue
+		}
+		// Interrupted (or a "done" marker with an incomplete WAL):
+		// resume. Reopen the journal so newly simulated cells append.
+		jn, err := s.store.Reopen(rec.ID)
+		if err != nil {
+			log.Printf("twmd: reopen journal %s: %v (job will run unjournaled)", rec.ID, err)
+		} else {
+			j.journal = jn
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		j.cancel = cancel
+		log.Printf("twmd: recovered job %s (%d/%d cells journaled), resuming", j.id, len(seeded), len(cells))
+		s.run(ctx, j)
+	}
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -244,6 +441,10 @@ func (s *server) campaigns(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining for shutdown")
+		return
+	}
 	var spec campaign.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -261,6 +462,8 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		spec:    spec,
 		cells:   spec.CellCount(),
 		prog:    &campaign.Progress{},
+		agg:     campaign.NewAggregator(spec),
+		hub:     newHub(),
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   StateQueued,
@@ -272,44 +475,159 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	go func() {
-		defer close(j.done)
-		select {
-		case s.slots <- struct{}{}:
-			defer func() { <-s.slots }()
-		case <-ctx.Done():
-			j.mu.Lock()
-			defer j.mu.Unlock()
-			j.finished = time.Now()
-			j.state, j.errMsg = StateCanceled, ctx.Err().Error()
-			return
+	if s.store != nil {
+		jn, err := s.store.Create(j.id, spec)
+		if err != nil {
+			log.Printf("twmd: journal %s: %v (job will run unjournaled)", j.id, err)
+		} else {
+			j.journal = jn
 		}
-		j.mu.Lock()
-		j.state = StateRunning
-		j.mu.Unlock()
-		agg, err := s.engine.RunProgress(ctx, spec, j.prog)
-		j.mu.Lock()
-		defer j.mu.Unlock()
-		j.finished = time.Now()
-		switch {
-		case err == nil:
-			j.state, j.agg = StateDone, agg
-		case ctx.Err() != nil:
-			j.state, j.errMsg = StateCanceled, err.Error()
-		default:
-			j.state, j.errMsg = StateFailed, err.Error()
-		}
-	}()
+	}
+	s.run(ctx, j)
 
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"id":      j.id,
 		"cells":   j.cells,
 		"status":  path.Join("/campaigns", j.id),
 		"results": path.Join("/campaigns", j.id, "results"),
+		"events":  path.Join("/campaigns", j.id, "events"),
 	})
 }
 
-// campaign routes /campaigns/{id}[/results|/cancel].
+// run starts the job's runner goroutine: wait for a slot, stream the
+// campaign into the job's aggregator, hub and journal, and settle the
+// terminal state.
+func (s *server) run(ctx context.Context, j *job) {
+	go func() {
+		defer close(j.done)
+		select {
+		case s.slots <- struct{}{}:
+			defer func() { <-s.slots }()
+		case <-ctx.Done():
+			j.settle(StateCanceled, ctx.Err().Error(), nil)
+			return
+		}
+		j.mu.Lock()
+		j.state = StateRunning
+		j.mu.Unlock()
+		sinks := []campaign.Sink{j.hub}
+		if j.journal != nil {
+			sinks = append(sinks, j.journal)
+		}
+		agg, err := s.engine.Stream(ctx, j.spec, j.prog, j.agg, sinks...)
+		if j.journal != nil {
+			if jerr := j.journal.Err(); jerr != nil {
+				log.Printf("twmd: job %s: %v", j.id, jerr)
+			}
+		}
+		switch {
+		case err == nil:
+			j.settle(StateDone, "", agg)
+		case ctx.Err() != nil:
+			j.settle(StateCanceled, err.Error(), nil)
+		default:
+			j.settle(StateFailed, err.Error(), nil)
+		}
+	}()
+}
+
+// settle records the job's terminal state, closes the event stream,
+// and finishes the journal. An abandoned (drain-interrupted) job skips
+// the terminal marker so a restart resumes it from the WAL.
+func (j *job) settle(state, errMsg string, agg *campaign.Aggregate) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	j.state, j.errMsg, j.aggFinal = state, errMsg, agg
+	j.mu.Unlock()
+	j.hub.close()
+	if j.journal == nil {
+		return
+	}
+	var err error
+	if j.abandoned.Load() {
+		err = j.journal.Close()
+	} else {
+		err = j.journal.Finish(state, errMsg)
+	}
+	if err != nil {
+		log.Printf("twmd: job %s journal: %v", j.id, err)
+	}
+}
+
+// beginDrain stops accepting submissions.
+func (s *server) beginDrain() { s.draining.Store(true) }
+
+// settleBudget bounds the post-cancel wait of drainJobs: a fraction of
+// the drain budget, so shutdown overruns the operator's -drain by a
+// proportionate amount at worst, never a fixed constant larger than
+// the budget itself.
+func settleBudget(drain time.Duration) time.Duration {
+	settle := drain / 5
+	if settle < 200*time.Millisecond {
+		settle = 200 * time.Millisecond
+	}
+	if settle > 5*time.Second {
+		settle = 5 * time.Second
+	}
+	return settle
+}
+
+// drainJobs waits for running jobs to finish within ctx's budget.
+// Queued jobs are abandoned immediately (they have simulated nothing);
+// when the budget runs out, running jobs are abandoned too — canceled
+// without a terminal journal marker, so a journaled restart resumes
+// them from their completed cells, then given settle to observe the
+// cancellation. Reports whether every job reached a terminal state by
+// itself.
+func (s *server) drainJobs(ctx context.Context, settle time.Duration) bool {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		queued := j.state == StateQueued
+		j.mu.Unlock()
+		if queued && j.cancel != nil {
+			j.abandoned.Store(true)
+			j.cancel()
+		}
+	}
+	drained := true
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		case <-ctx.Done():
+			drained = false
+		}
+		if !drained {
+			break
+		}
+	}
+	if !drained {
+		for _, j := range jobs {
+			j.abandoned.Store(true)
+			if j.cancel != nil {
+				j.cancel()
+			}
+		}
+		// Cancellation latency is bounded (the engine observes ctx
+		// between fault batches); give it a moment to settle.
+		deadline := time.After(settle)
+		for _, j := range jobs {
+			select {
+			case <-j.done:
+			case <-deadline:
+				return false
+			}
+		}
+	}
+	return drained
+}
+
+// campaign routes /campaigns/{id}[/results|/cancel|/events].
 func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/campaigns/"), "/")
 	id, sub, _ := strings.Cut(rest, "/")
@@ -324,20 +642,33 @@ func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 	case sub == "" && r.Method == http.MethodGet:
 		writeJSON(w, http.StatusOK, j.status())
 	case sub == "cancel" && r.Method == http.MethodPost:
-		j.cancel()
+		// A recovered terminal job has no runner; cancel is a no-op.
+		if j.cancel != nil {
+			j.cancel()
+		}
 		<-j.done // state is terminal once the runner goroutine exits
 		writeJSON(w, http.StatusOK, j.status())
 	case sub == "" && r.Method == http.MethodDelete:
 		// Evict: cancel if still running, then drop the job (and its
-		// aggregate) so a long-lived daemon doesn't accumulate results.
-		j.cancel()
+		// aggregate and journal) so a long-lived daemon doesn't
+		// accumulate results.
+		if j.cancel != nil {
+			j.cancel()
+		}
 		<-j.done
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		if s.store != nil {
+			if err := s.store.Remove(id); err != nil {
+				log.Printf("twmd: evict journal %s: %v", id, err)
+			}
+		}
 		writeJSON(w, http.StatusOK, j.status())
 	case sub == "results" && r.Method == http.MethodGet:
 		s.results(w, r, j)
+	case sub == "events":
+		s.events(w, r, j)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "%s /campaigns/%s/%s not supported", r.Method, id, sub)
 	}
@@ -345,7 +676,7 @@ func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) results(w http.ResponseWriter, r *http.Request, j *job) {
 	j.mu.Lock()
-	state, agg, errMsg := j.state, j.agg, j.errMsg
+	state, agg, errMsg := j.state, j.aggFinal, j.errMsg
 	j.mu.Unlock()
 	switch state {
 	case StateQueued, StateRunning:

@@ -26,7 +26,7 @@ func smallSpec() campaign.Spec {
 	}
 }
 
-func postSpec(t *testing.T, ts *httptest.Server, spec campaign.Spec) map[string]any {
+func postSpec(t testing.TB, ts *httptest.Server, spec campaign.Spec) map[string]any {
 	t.Helper()
 	body, err := json.Marshal(spec)
 	if err != nil {
@@ -47,7 +47,7 @@ func postSpec(t *testing.T, ts *httptest.Server, spec campaign.Spec) map[string]
 	return out
 }
 
-func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+func getStatus(t testing.TB, ts *httptest.Server, id string) Status {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/campaigns/" + id)
 	if err != nil {
@@ -64,7 +64,7 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
 	return st
 }
 
-func waitState(t *testing.T, ts *httptest.Server, id, want string) Status {
+func waitState(t testing.TB, ts *httptest.Server, id, want string) Status {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for time.Now().Before(deadline) {
@@ -85,7 +85,7 @@ func waitState(t *testing.T, ts *httptest.Server, id, want string) Status {
 // fetch results → cancel a second campaign. The fetched aggregate must
 // be byte-identical to a direct engine run of the same spec.
 func TestEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
 	defer ts.Close()
 
 	// Submit.
@@ -217,7 +217,7 @@ func TestEndToEnd(t *testing.T) {
 // that the results report the yield section: diagnosed fault-class
 // histogram, repairability rate, and post-ECC escape rate.
 func TestPipelineSpecEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
 	defer ts.Close()
 
 	spec := smallSpec()
@@ -276,7 +276,7 @@ func TestPipelineSpecEndToEnd(t *testing.T) {
 // submission stays queued while the first runs, and canceling a queued
 // job resolves it without ever running.
 func TestJobQueue(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 1))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 1, nil))
 	defer ts.Close()
 
 	slow := smallSpec()
@@ -295,6 +295,9 @@ func TestJobQueue(t *testing.T) {
 	}
 	if st2.Fraction != 0 {
 		t.Errorf("queued job reports fraction %.2f, want 0", st2.Fraction)
+	}
+	if st2.Coverage != 0 {
+		t.Errorf("queued job reports coverage %.2f, want 0 (nothing folded yet)", st2.Coverage)
 	}
 	resp, err := http.Get(ts.URL + "/campaigns/" + id2 + "/results")
 	if err != nil {
@@ -336,7 +339,7 @@ func readAll(resp *http.Response) ([]byte, error) {
 }
 
 func TestSubmitRejectsBadSpecs(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
 	defer ts.Close()
 	for _, body := range []string{
 		`{`,
@@ -358,7 +361,7 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 }
 
 func TestRoutingErrors(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/campaigns/c999")
 	if err != nil {

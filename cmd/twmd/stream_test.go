@@ -1,0 +1,318 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// readEvents consumes a campaign's NDJSON event stream to EOF and
+// returns the decoded per-cell results.
+func readEvents(t testing.TB, ts *httptest.Server, id string) []campaign.CellResult {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events returned %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	var out []campaign.CellResult
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 8*1024*1024)
+	for sc.Scan() {
+		var r campaign.CellResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad event line %q: %v", sc.Text(), err)
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestEventsStream subscribes to a running campaign's event stream and
+// checks the contract: one NDJSON line per grid cell, each cell exactly
+// once, and the folded stream matches the final aggregate.
+func TestEventsStream(t *testing.T) {
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
+	defer ts.Close()
+
+	sub := postSpec(t, ts, smallSpec())
+	id, _ := sub["id"].(string)
+	if ev, _ := sub["events"].(string); ev != "/campaigns/"+id+"/events" {
+		t.Fatalf("submit response advertises events %q", sub["events"])
+	}
+	events := readEvents(t, ts, id)
+	if len(events) != 16 {
+		t.Fatalf("stream delivered %d events, want 16", len(events))
+	}
+	seen := make(map[int]bool)
+	for _, r := range events {
+		if seen[r.Index] {
+			t.Fatalf("cell %d streamed twice", r.Index)
+		}
+		seen[r.Index] = true
+	}
+
+	// The streamed results fold into the same canonical aggregate the
+	// results endpoint serves.
+	waitState(t, ts, id, StateDone)
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := campaign.NewAggregate(smallSpec().Normalized(), reorder(events)).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got)+"\n" {
+		t.Errorf("folded event stream diverges from results endpoint")
+	}
+
+	// A late subscriber to a finished job replays the full backlog.
+	if late := readEvents(t, ts, id); len(late) != 16 {
+		t.Errorf("late subscription replayed %d events, want 16", len(late))
+	}
+}
+
+// reorder slots completion-ordered results back into grid order.
+func reorder(events []campaign.CellResult) []campaign.CellResult {
+	out := make([]campaign.CellResult, len(events))
+	for _, r := range events {
+		out[r.Index] = r
+	}
+	return out
+}
+
+// TestStatusLivePartial polls a slow single-worker campaign mid-run and
+// checks the live view: partial coverage, progress, and rate/ETA from
+// the engine's timestamps, all before the grid finishes.
+func TestStatusLivePartial(t *testing.T) {
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
+	defer ts.Close()
+
+	slow := smallSpec()
+	slow.Words = []int{48, 64, 96, 128}
+	slow.Widths = []int{8, 16}
+	slow.Workers = 1
+	sub := postSpec(t, ts, slow)
+	id, _ := sub["id"].(string)
+
+	var mid Status
+	for {
+		mid = getStatus(t, ts, id)
+		if mid.Done > 0 && mid.State == StateRunning {
+			break
+		}
+		if mid.State != StateQueued && mid.State != StateRunning {
+			t.Fatalf("campaign reached %q before a partial poll", mid.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if mid.Faults == 0 || mid.Detected == 0 {
+		t.Errorf("running status has no partial coverage: %+v", mid)
+	}
+	if mid.Coverage <= 0 || mid.Coverage > 1 {
+		t.Errorf("running status coverage %f out of (0, 1]", mid.Coverage)
+	}
+	if mid.RunElapsedNS <= 0 || mid.CellsPerSec <= 0 {
+		t.Errorf("running status missing rate: %+v", mid)
+	}
+	if mid.Done < int64(mid.Cells) && mid.ETANS <= 0 {
+		t.Errorf("mid-run status has no ETA: %+v", mid)
+	}
+
+	fin := waitState(t, ts, id, StateDone)
+	if fin.Faults < mid.Faults || fin.Detected < mid.Detected {
+		t.Errorf("final coverage went backward: %+v vs %+v", fin, mid)
+	}
+	if fin.ETANS != 0 {
+		t.Errorf("done status still reports ETA %d", fin.ETANS)
+	}
+}
+
+// TestConcurrentStreamRace hammers the API from many goroutines at
+// once — submits, event subscriptions, status polls, cancels and
+// evictions — as the race-detector e2e for the streaming path.
+func TestConcurrentStreamRace(t *testing.T) {
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
+	defer ts.Close()
+
+	const jobs = 6
+	ids := make([]string, jobs)
+	for i := range ids {
+		spec := smallSpec()
+		spec.Name = fmt.Sprintf("race-%d", i)
+		spec.Seed = int64(i)
+		sub := postSpec(t, ts, spec)
+		ids[i], _ = sub["id"].(string)
+	}
+	// The racing readers tolerate 404s: an evicting goroutine may win
+	// the race against a subscription or poll. Assertions happen after
+	// the dust settles.
+	tolerantGet := func(url string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		i, id := i, id
+		// Two event subscribers per job, one of which bails early.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tolerantGet(ts.URL + "/campaigns/" + id + "/events")
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/campaigns/"+id+"/events", nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return
+			}
+			buf := make([]byte, 256)
+			resp.Body.Read(buf)
+			cancel() // disconnect mid-stream
+			resp.Body.Close()
+		}()
+		// A status poller.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				tolerantGet(ts.URL + "/campaigns/" + id)
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		// Cancel a third of the jobs mid-run, evict another third.
+		if i%3 == 1 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := http.Post(ts.URL+"/campaigns/"+id+"/cancel", "application/json", nil)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}()
+		}
+		if i%3 == 2 {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+id, nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	// Every surviving job settles into a terminal state, with its
+	// event stream fully replayable.
+	for i, id := range ids {
+		if i%3 == 2 {
+			continue // may be evicted
+		}
+		st := getStatus(t, ts, id)
+		for st.State == StateRunning || st.State == StateQueued {
+			time.Sleep(5 * time.Millisecond)
+			st = getStatus(t, ts, id)
+		}
+		if st.State == StateDone {
+			if events := readEvents(t, ts, id); len(events) != st.Cells {
+				t.Errorf("job %s replayed %d events, want %d", id, len(events), st.Cells)
+			}
+		}
+	}
+}
+
+// TestDrainRejectsSubmissions pins the graceful-shutdown gate: after
+// beginDrain, submissions get 503 while reads keep working, and
+// drainJobs waits out the running jobs.
+func TestDrainRejectsSubmissions(t *testing.T) {
+	h := newServer(campaign.Engine{}, 2, nil)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	sub := postSpec(t, ts, smallSpec())
+	id, _ := sub["id"].(string)
+	// Wait for the runner to leave "queued": drainJobs abandons queued
+	// jobs outright, and this test wants the drain-a-running-job path.
+	for getStatus(t, ts, id).State == StateQueued {
+		time.Sleep(time.Millisecond)
+	}
+
+	h.beginDrain()
+	body, _ := json.Marshal(smallSpec())
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain returned %s, want 503", resp.Status)
+	}
+	if !h.drainJobs(context.Background(), time.Second) {
+		t.Fatal("drain with no deadline did not complete")
+	}
+	st := getStatus(t, ts, id)
+	if st.State != StateDone {
+		t.Fatalf("drained job is %q, want done", st.State)
+	}
+}
+
+// BenchmarkTwmdStream measures the server's full streaming round trip:
+// submit a grid, follow its NDJSON event stream to completion, evict.
+func BenchmarkTwmdStream(b *testing.B) {
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil))
+	defer ts.Close()
+	spec := smallSpec()
+	for i := 0; i < b.N; i++ {
+		sub := postSpec(b, ts, spec)
+		id, _ := sub["id"].(string)
+		events := readEvents(b, ts, id)
+		if len(events) != 16 {
+			b.Fatalf("stream delivered %d events, want 16", len(events))
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/campaigns/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	b.ReportMetric(16, "cells_streamed")
+}

@@ -1,0 +1,105 @@
+// Streaming: the campaign engine's event-driven run path. Instead of
+// waiting for the whole grid, plug campaign.Sinks into Engine.Stream
+// and watch each CellResult the moment its simulation completes —
+// the same per-cell stream cmd/twmd serves on GET /campaigns/{id}/events
+// and journals under -datadir, and the flow a transparent field-test
+// controller needs: results arrive continuously, and an interrupted
+// run resumes from what already landed.
+//
+// The example runs one grid three ways over the identical spec:
+//
+//  1. stream it, printing an NDJSON event line per cell plus live
+//     snapshots of the incremental aggregate;
+//  2. interrupt it halfway, then resume from the "journaled" results
+//     — the engine re-simulates only the remainder;
+//  3. compare both canonical aggregates against a plain batch run:
+//     all three are byte-identical.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"twmarch/internal/campaign"
+)
+
+func main() {
+	spec := campaign.Spec{
+		Name:    "streaming",
+		Tests:   []string{"March C-", "March U"},
+		Widths:  []int{4, 8},
+		Words:   []int{4, 8},
+		Classes: []string{"SAF", "TF"},
+		Seed:    42,
+	}
+	ctx := context.Background()
+
+	// 1. Stream: every completed cell is an event. The engine emits in
+	// completion order, serialized, exactly once per cell — and only
+	// after folding the result, so a Snapshot taken inside the sink
+	// already includes it.
+	fmt.Println("— streaming run: one NDJSON line per completed cell —")
+	prog := &campaign.Progress{}
+	agg := campaign.NewAggregator(spec)
+	events := 0
+	printer := campaign.SinkFunc(func(r campaign.CellResult) {
+		events++
+		line, err := json.Marshal(r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%.100s…\n", line)
+		if events%8 == 0 {
+			st := agg.Stats()
+			fmt.Printf("  snapshot after %d cells: %d/%d faults detected (%.2f%%), %.0f cells/s\n",
+				st.Cells, st.Detected, st.Faults, 100*st.CoverageFraction(), prog.Rate())
+		}
+	})
+	streamed, err := campaign.Engine{}.Stream(ctx, spec, prog, agg, printer)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d events; final coverage %.2f%%\n\n", events, 100*streamed.CoverageFraction())
+
+	// 2. Interrupt and resume: seed a fresh aggregator with half the
+	// results — exactly what twmd does when it replays a job's journal
+	// after a restart — and stream the rest. Seeded cells are not
+	// re-simulated and not re-emitted.
+	fmt.Println("— resumed run: second half only —")
+	resumedAgg := campaign.NewAggregator(spec)
+	for _, r := range streamed.Cells[:len(streamed.Cells)/2] {
+		resumedAgg.Add(r)
+	}
+	resimulated := 0
+	counter := campaign.SinkFunc(func(campaign.CellResult) { resimulated++ })
+	resumed, err := campaign.Engine{}.Stream(ctx, spec, &campaign.Progress{}, resumedAgg, counter)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resume re-simulated %d of %d cells\n\n", resimulated, len(resumed.Cells))
+
+	// 3. Byte-identical canonical aggregates, all three ways.
+	batch, err := campaign.Engine{}.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cStream, err := streamed.Canonical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cResumed, err := resumed.Canonical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cBatch, err := batch.Canonical()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("canonical stream == batch:  %v\n", bytes.Equal(cStream, cBatch))
+	fmt.Printf("canonical resume == batch:  %v\n", bytes.Equal(cResumed, cBatch))
+	fmt.Println()
+	fmt.Print(streamed.Render())
+}

@@ -75,49 +75,18 @@ type Aggregate struct {
 }
 
 // NewAggregate folds cell results (in grid order) into an Aggregate.
+// It is the batch form of the incremental Aggregator: results are
+// folded one at a time at their slice position, so the output is
+// byte-identical (in canonical form) to an Aggregator fed the same
+// results in any completion order.
 func NewAggregate(spec Spec, cells []CellResult) *Aggregate {
-	a := &Aggregate{
-		Spec:     spec,
-		Cells:    cells,
-		Coverage: make(map[string]map[string]ClassCount),
-		Ops:      make(map[string]OpStats),
+	g := NewAggregator(spec)
+	g.mu.Lock()
+	for i, r := range cells {
+		g.addAt(i, r)
 	}
-	for _, r := range cells {
-		if r.Err != "" {
-			a.Errors++
-			continue
-		}
-		a.Faults += r.Faults
-		a.Detected += r.Detected
-		m := a.Coverage[r.Scheme]
-		if m == nil {
-			m = make(map[string]ClassCount)
-			a.Coverage[r.Scheme] = m
-		}
-		for cls, c := range r.ByClass {
-			t := m[cls]
-			t.Total += c.Total
-			t.Detected += c.Detected
-			m[cls] = t
-		}
-		os := a.Ops[r.Scheme]
-		os.add(r)
-		a.Ops[r.Scheme] = os
-		if r.Yield != nil {
-			if a.Yield == nil {
-				a.Yield = make(map[string]*YieldStats)
-				a.YieldTotal = &YieldStats{}
-			}
-			ys := a.Yield[r.Scheme]
-			if ys == nil {
-				ys = &YieldStats{}
-				a.Yield[r.Scheme] = ys
-			}
-			ys.merge(r.Yield)
-			a.YieldTotal.merge(r.Yield)
-		}
-	}
-	return a
+	g.mu.Unlock()
+	return g.Snapshot()
 }
 
 // CoverageFraction returns the grid-wide detected fraction (1 for an

@@ -1,0 +1,281 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// simulateAll runs every cell of the spec serially, in grid order.
+func simulateAll(t testing.TB, spec Spec) []CellResult {
+	t.Helper()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]CellResult, 0, len(cells))
+	for _, c := range cells {
+		out = append(out, RunCell(spec, c))
+	}
+	return out
+}
+
+// TestAggregatorMatchesBatch is the incremental fold's core guarantee:
+// feeding results to an Aggregator in any completion order yields a
+// canonical aggregate byte-identical to the batch NewAggregate fold in
+// grid order. The grid includes both schemes, both modes, and (via a
+// second spec) the yield pipeline, so every folded section is covered.
+func TestAggregatorMatchesBatch(t *testing.T) {
+	specs := []Spec{gridSpec()}
+	p := gridSpec()
+	p.Tests = p.Tests[:2]
+	p.Modes = []string{ModeCompare}
+	p.Pipeline = &PipelineSpec{Enabled: true, SpareRows: 1, SpareCols: 1, ECC: ECCSEC}
+	specs = append(specs, p)
+
+	for _, spec := range specs {
+		results := simulateAll(t, spec)
+		batch := NewAggregate(spec.Normalized(), results)
+		want, err := batch.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(5))
+		for trial := 0; trial < 5; trial++ {
+			perm := rng.Perm(len(results))
+			g := NewAggregator(spec)
+			for _, i := range perm {
+				g.Add(results[i])
+			}
+			got, err := g.Snapshot().Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("incremental fold (order %v) diverges from batch:\n%s", perm, got)
+			}
+		}
+	}
+}
+
+// TestAggregatorPartialSnapshot checks the live view: a snapshot taken
+// mid-fold carries exactly the folded cells, internally consistent
+// counters, and never disturbs the final aggregate.
+func TestAggregatorPartialSnapshot(t *testing.T) {
+	spec := gridSpec()
+	results := simulateAll(t, spec)
+	g := NewAggregator(spec)
+
+	if snap := g.Snapshot(); snap.Cells != nil || snap.Faults != 0 {
+		t.Fatalf("empty aggregator snapshot not empty: %+v", snap)
+	}
+	half := len(results) / 2
+	for _, r := range results[:half] {
+		g.Add(r)
+	}
+	snap := g.Snapshot()
+	if len(snap.Cells) != half {
+		t.Fatalf("partial snapshot has %d cells, want %d", len(snap.Cells), half)
+	}
+	var faults, detected int
+	for _, r := range snap.Cells {
+		faults += r.Faults
+		detected += r.Detected
+	}
+	if snap.Faults != faults || snap.Detected != detected {
+		t.Fatalf("partial counters inconsistent: %d/%d vs folded %d/%d",
+			snap.Faults, snap.Detected, faults, detected)
+	}
+	st := g.Stats()
+	if st.Cells != half || st.Faults != faults || st.Detected != detected {
+		t.Fatalf("Stats %+v diverges from snapshot", st)
+	}
+	// Duplicate adds are ignored — a journal replay can't double-count.
+	for _, r := range results[:half] {
+		g.Add(r)
+	}
+	if g.Added() != half {
+		t.Fatalf("duplicate adds counted: %d cells", g.Added())
+	}
+	for _, r := range results[half:] {
+		g.Add(r)
+	}
+	want, err := NewAggregate(spec.Normalized(), results).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Snapshot().Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("final aggregate after partial snapshots diverges from batch")
+	}
+}
+
+// TestStreamEmitsEveryCell checks the engine's event contract: every
+// cell is emitted to every sink exactly once, and the sinks observe a
+// result only after the aggregator folded it.
+func TestStreamEmitsEveryCell(t *testing.T) {
+	spec := gridSpec()
+	agg := NewAggregator(spec)
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	behind := 0
+	sink := SinkFunc(func(r CellResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[r.Index]++
+		if !agg.Has(r.Index) {
+			behind++
+		}
+	})
+	var count int
+	counter := SinkFunc(func(CellResult) { count++ })
+	a, err := Engine{}.Stream(context.Background(), spec, &Progress{}, agg, sink, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != 112 {
+		t.Fatalf("aggregate has %d cells, want 112", len(a.Cells))
+	}
+	if behind != 0 {
+		t.Errorf("%d events emitted before their fold", behind)
+	}
+	if count != 112 {
+		t.Errorf("second sink saw %d events, want 112", count)
+	}
+	if len(seen) != 112 {
+		t.Fatalf("sink saw %d distinct cells, want 112", len(seen))
+	}
+	for idx, n := range seen {
+		if n != 1 {
+			t.Fatalf("cell %d emitted %d times", idx, n)
+		}
+	}
+}
+
+// TestStreamResume is the journal-recovery contract at engine level: a
+// run seeded with the first half of the results simulates only the
+// remainder (sinks see just those cells) and its final canonical
+// aggregate is byte-identical to an uninterrupted run.
+func TestStreamResume(t *testing.T) {
+	spec := gridSpec()
+	full, err := Engine{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := full.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed the aggregator with an arbitrary half of the finished cells,
+	// the way twmd replays a WAL.
+	agg := NewAggregator(spec)
+	seeded := make(map[int]bool)
+	for i, r := range full.Cells {
+		if i%2 == 0 {
+			agg.Add(r)
+			seeded[r.Index] = true
+		}
+	}
+	var mu sync.Mutex
+	emitted := make(map[int]bool)
+	sink := SinkFunc(func(r CellResult) {
+		mu.Lock()
+		emitted[r.Index] = true
+		mu.Unlock()
+	})
+	prog := &Progress{}
+	resumed, err := Engine{}.Stream(context.Background(), spec, prog, agg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("resumed aggregate diverges from uninterrupted run")
+	}
+	for idx := range emitted {
+		if seeded[idx] {
+			t.Fatalf("seeded cell %d re-emitted", idx)
+		}
+	}
+	if len(emitted) != len(full.Cells)-len(seeded) {
+		t.Fatalf("sinks saw %d cells, want %d", len(emitted), len(full.Cells)-len(seeded))
+	}
+	if prog.Done() != prog.Total() || prog.Fraction() != 1 {
+		t.Fatalf("resume progress incomplete: %d/%d", prog.Done(), prog.Total())
+	}
+}
+
+// TestStreamCancelEmitsNoArtifacts pins the cancellation contract for
+// sinks: a canceled run returns ctx.Err() and must never emit a
+// cell poisoned by the cancellation itself — a journal sink would
+// otherwise persist the artifact and a recovered job would treat the
+// half-simulated cell as a real failure.
+func TestStreamCancelEmitsNoArtifacts(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		prog := &Progress{}
+		var mu sync.Mutex
+		var poisoned []CellResult
+		sink := SinkFunc(func(r CellResult) {
+			mu.Lock()
+			if r.Err != "" {
+				poisoned = append(poisoned, r)
+			}
+			mu.Unlock()
+		})
+		done := make(chan error, 1)
+		go func() {
+			_, err := (Engine{}).Stream(ctx, gridSpec(), prog, nil, sink)
+			done <- err
+		}()
+		for prog.Total() == 0 || (prog.Done() < int64(trial) && prog.Done() < prog.Total()) {
+			time.Sleep(50 * time.Microsecond)
+		}
+		cancel()
+		if err := <-done; err != context.Canceled && prog.Done() < prog.Total() {
+			t.Fatalf("trial %d: canceled run returned %v", trial, err)
+		}
+		mu.Lock()
+		if len(poisoned) != 0 {
+			t.Fatalf("trial %d: %d poisoned results emitted, first: %+v", trial, len(poisoned), poisoned[0])
+		}
+		mu.Unlock()
+	}
+}
+
+// TestProgressTimestamps pins the rate/ETA accounting: elapsed starts
+// at zero, grows during a run, freezes at completion; the rate counts
+// only cells simulated this run.
+func TestProgressTimestamps(t *testing.T) {
+	prog := &Progress{}
+	if prog.Elapsed() != 0 || prog.Rate() != 0 || prog.ETA() != 0 {
+		t.Fatal("zero Progress reports nonzero timing")
+	}
+	spec := gridSpec()
+	if _, err := (Engine{}).Stream(context.Background(), spec, prog, nil); err != nil {
+		t.Fatal(err)
+	}
+	el := prog.Elapsed()
+	if el <= 0 {
+		t.Fatal("finished run reports zero elapsed")
+	}
+	if prog.Elapsed() != el {
+		t.Fatal("elapsed not frozen after finish")
+	}
+	if prog.Rate() <= 0 {
+		t.Fatalf("finished run reports rate %f", prog.Rate())
+	}
+	if prog.ETA() != 0 {
+		t.Fatalf("finished run reports ETA %s", prog.ETA())
+	}
+}

@@ -8,17 +8,26 @@ import (
 	"time"
 )
 
-// Progress exposes a campaign's completion counters for polling while
-// the engine runs. All methods are safe for concurrent use.
+// Progress exposes a campaign's completion counters and run timestamps
+// for polling while the engine runs. All methods are safe for
+// concurrent use. A Progress tracks one run; do not reuse it across
+// runs.
 type Progress struct {
 	total atomic.Int64
 	done  atomic.Int64
+	// base is the done count at run start: cells recovered from a
+	// journal count toward Done but took no wall-clock time, so rate
+	// and ETA are computed over the cells simulated this run.
+	base    atomic.Int64
+	startNS atomic.Int64
+	endNS   atomic.Int64
 }
 
 // Total returns the number of grid cells in the running campaign.
 func (p *Progress) Total() int64 { return p.total.Load() }
 
-// Done returns the number of cells simulated so far.
+// Done returns the number of cells completed so far, including cells
+// recovered from a journal rather than simulated this run.
 func (p *Progress) Done() int64 { return p.done.Load() }
 
 // Fraction returns completion in [0, 1] (1 when the grid is empty).
@@ -28,6 +37,62 @@ func (p *Progress) Fraction() float64 {
 		return 1
 	}
 	return float64(p.Done()) / float64(t)
+}
+
+// start stamps the run's start time once and records the done baseline
+// for rate accounting.
+func (p *Progress) start() {
+	if p.startNS.CompareAndSwap(0, time.Now().UnixNano()) {
+		p.base.Store(p.done.Load())
+	}
+}
+
+// finish stamps the run's end time once, freezing Elapsed and Rate.
+func (p *Progress) finish() {
+	p.endNS.CompareAndSwap(0, time.Now().UnixNano())
+}
+
+// Elapsed returns wall-clock time since the run started, frozen at the
+// run's end once it finished. Zero before the engine picks the
+// campaign up.
+func (p *Progress) Elapsed() time.Duration {
+	start := p.startNS.Load()
+	if start == 0 {
+		return 0
+	}
+	end := p.endNS.Load()
+	if end == 0 {
+		end = time.Now().UnixNano()
+	}
+	return time.Duration(end - start)
+}
+
+// Rate returns the simulation rate in cells per second over this run
+// (journal-recovered cells excluded). Zero until the run has both
+// started and completed at least one cell.
+func (p *Progress) Rate() float64 {
+	el := p.Elapsed()
+	if el <= 0 {
+		return 0
+	}
+	return float64(p.done.Load()-p.base.Load()) / el.Seconds()
+}
+
+// ETA estimates the remaining wall-clock time from the current rate.
+// Zero when unknown (no rate yet) or when the run is complete.
+func (p *Progress) ETA() time.Duration {
+	if p.endNS.Load() != 0 {
+		return 0
+	}
+	rem := p.total.Load() - p.done.Load()
+	if rem <= 0 {
+		return 0
+	}
+	rate := p.Rate()
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(rem) / rate * float64(time.Second))
 }
 
 // Engine executes campaign grids over a worker pool. The zero value
@@ -49,19 +114,54 @@ func (e Engine) Run(ctx context.Context, spec Spec) (*Aggregate, error) {
 }
 
 // RunProgress executes the campaign, publishing completion counters
-// into prog. The grid is expanded in deterministic order, sharded into
-// batches, fanned out to the worker pool, and the batched results are
-// slotted by cell index — so the aggregate is identical for any worker
-// count. Cancellation via ctx returns ctx's error; per-cell failures
-// do not abort the run (they land in CellResult.Err).
+// into prog. It is a thin wrapper over Stream with no sinks and a
+// fresh aggregator.
 func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Aggregate, error) {
+	return e.Stream(ctx, spec, prog, nil)
+}
+
+// Stream executes the campaign event-driven: the grid is expanded in
+// deterministic order, sharded into batches, fanned out to the worker
+// pool, and every completed CellResult is folded into agg and emitted
+// to each sink as it lands — in completion order, serialized, exactly
+// once per cell. The returned aggregate is agg's final snapshot, which
+// is byte-identical (canonical form) for any worker count or
+// completion order because every fold operation commutes.
+//
+// agg may be nil (a fresh aggregator is created) or pre-seeded with
+// journaled results from an interrupted run of the same spec: seeded
+// cells are skipped, counted in prog immediately, and not re-emitted
+// to the sinks — only the remainder is simulated. Cancellation via ctx
+// returns ctx's error; per-cell failures do not abort the run (they
+// land in CellResult.Err).
+func (e Engine) Stream(ctx context.Context, spec Spec, prog *Progress, agg *Aggregator, sinks ...Sink) (*Aggregate, error) {
 	start := time.Now()
 	spec = spec.Normalized()
 	cells, err := spec.Cells()
 	if err != nil {
 		return nil, err
 	}
+	if agg == nil {
+		agg = NewAggregator(spec)
+	}
+	pending := make([]Cell, 0, len(cells))
+	for _, c := range cells {
+		if !agg.Has(c.Index) {
+			pending = append(pending, c)
+		}
+	}
 	prog.total.Store(int64(len(cells)))
+	prog.done.Store(int64(len(cells) - len(pending)))
+	prog.start()
+	defer prog.finish()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(pending) == 0 {
+		a := agg.Snapshot()
+		a.WallClockNS = time.Since(start).Nanoseconds()
+		return a, nil
+	}
 
 	workers := spec.Workers
 	if workers == 0 {
@@ -70,8 +170,8 @@ func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Ag
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(cells) && len(cells) > 0 {
-		workers = len(cells)
+	if workers > len(pending) {
+		workers = len(pending)
 	}
 	batch := spec.Batch
 	if batch == 0 {
@@ -80,12 +180,12 @@ func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Ag
 	if batch <= 0 {
 		// Several shards per worker so a slow cell doesn't strand the
 		// pool on one oversized batch.
-		batch = len(cells)/(4*workers) + 1
+		batch = len(pending)/(4*workers) + 1
 	}
-	shards := Shard(cells, batch)
+	shards := Shard(pending, batch)
 
 	jobs := make(chan []Cell)
-	results := make(chan []CellResult, workers)
+	results := make(chan CellResult, 2*workers)
 	cache := &faultCache{}
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -93,18 +193,25 @@ func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Ag
 		go func() {
 			defer wg.Done()
 			for shard := range jobs {
-				out := make([]CellResult, 0, len(shard))
 				for _, c := range shard {
 					if ctx.Err() != nil {
 						return
 					}
-					out = append(out, runCell(ctx, spec, c, cache))
-					prog.done.Add(1)
-				}
-				select {
-				case results <- out:
-				case <-ctx.Done():
-					return
+					r := runCell(ctx, spec, c, cache)
+					if ctx.Err() != nil {
+						// The run was canceled while this cell simulated:
+						// its result may be a poisoned partial tally
+						// (runCell records ctx.Err() per cell). Stream
+						// returns ctx's error anyway, so never fold or
+						// emit it — a journal sink must not persist a
+						// cancellation artifact as a real cell.
+						return
+					}
+					select {
+					case results <- r:
+					case <-ctx.Done():
+						return
+					}
 				}
 			}
 		}()
@@ -124,16 +231,23 @@ func (e Engine) RunProgress(ctx context.Context, spec Spec, prog *Progress) (*Ag
 		close(results)
 	}()
 
-	slots := make([]CellResult, len(cells))
-	for batch := range results {
-		for _, r := range batch {
-			slots[r.Index] = r
+	// The collector is the single event loop: it folds each result and
+	// fans it out to the sinks, so sinks observe results one at a time
+	// and an aggregator snapshot taken concurrently always includes
+	// every result already emitted.
+	for r := range results {
+		agg.Add(r)
+		prog.done.Add(1)
+		for _, s := range sinks {
+			if s != nil {
+				s.Emit(r)
+			}
 		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	agg := NewAggregate(spec, slots)
-	agg.WallClockNS = time.Since(start).Nanoseconds()
-	return agg, nil
+	a := agg.Snapshot()
+	a.WallClockNS = time.Since(start).Nanoseconds()
+	return a, nil
 }
