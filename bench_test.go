@@ -20,11 +20,14 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"runtime"
 	"testing"
+	"time"
 
 	"twmarch/internal/bistctl"
 	"twmarch/internal/campaign"
+	"twmarch/internal/cluster"
 	"twmarch/internal/complexity"
 	"twmarch/internal/core"
 	"twmarch/internal/diagnose"
@@ -592,6 +595,43 @@ func BenchmarkAggregatorIncremental(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(base.Cells)), "cells")
+}
+
+// BenchmarkClusterDispatch measures the cluster dispatch round trip
+// on an in-process loopback: the campaign grid leased over HTTP to
+// local workers, simulated, completed, and folded — versus
+// BenchmarkCampaignParallel this is the wire + lease-queue overhead
+// the coordinator adds per grid. scripts/benchdiff gates it so
+// dispatch bookkeeping can't silently regress.
+func BenchmarkClusterDispatch(b *testing.B) {
+	coord := cluster.New(cluster.Options{IdleRetry: time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < runtime.GOMAXPROCS(0); i++ {
+		w := &cluster.Worker{
+			Client:   &cluster.Client{Base: ts.URL, Worker: fmt.Sprintf("bench-w%d", i)},
+			Parallel: 1,
+			Poll:     time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+	spec := campaignBenchSpec()
+	var agg *campaign.Aggregate
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg, err = coord.Dispatch(ctx, fmt.Sprintf("bench-%d", i), spec, nil, nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if agg.Errors != 0 {
+			b.Fatalf("%d cells errored", agg.Errors)
+		}
+	}
+	b.ReportMetric(float64(len(agg.Cells)), "cells_dispatched")
+	b.ReportMetric(100*agg.CoverageFraction(), "coverage_pct")
 }
 
 // BenchmarkE10Characterization times one row of the catalog coverage

@@ -21,6 +21,16 @@
 // stops accepting submissions, drains running jobs for up to -drain,
 // and flushes the journal before exiting.
 //
+// With -cluster the daemon stops simulating locally and becomes the
+// coordinator of a worker fleet: each submitted campaign's cells are
+// leased out over POST /cluster/lease to twmw worker daemons, kept
+// alive by heartbeats, requeued with backoff when a worker dies, and
+// folded back through the same aggregator/journal/event path — the
+// canonical aggregate is byte-identical to a local run regardless of
+// worker placement or failures. Evicting, canceling, or draining a
+// job revokes its outstanding leases: the workers' next renew or
+// complete answers "gone" and they stop simulating dead cells.
+//
 // Specs may carry a "pipeline" block (see campaign.PipelineSpec) to
 // run the diagnosis-and-repair yield stage per fault; results then
 // include the yield section — fault-class histogram, repairability
@@ -67,6 +77,7 @@ import (
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/cluster"
 	"twmarch/internal/jobstore"
 )
 
@@ -80,6 +91,8 @@ func main() {
 	maxJobs := fs.Int("maxjobs", 2, "campaigns run concurrently; submissions beyond this queue")
 	datadir := fs.String("datadir", "", "durable job journal directory; empty = in-memory only")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining running jobs")
+	clusterMode := fs.Bool("cluster", false, "dispatch campaign cells to twmw workers over /cluster instead of simulating locally")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "with -cluster, how long a leased cell lives without a worker heartbeat before it requeues")
 	fs.Parse(os.Args[1:])
 
 	eng := campaign.Engine{Workers: *workers}
@@ -98,7 +111,11 @@ func main() {
 			log.Fatalf("twmd: %v", err)
 		}
 	}
-	h := newServer(eng, *maxJobs, store)
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		coord = cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
+	}
+	h := newServer(eng, *maxJobs, store, coord)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -272,6 +289,9 @@ type server struct {
 	engine campaign.Engine
 	mux    *http.ServeMux
 	store  *jobstore.Store // nil without -datadir
+	// coord dispatches cells to remote workers instead of running the
+	// engine locally; nil without -cluster.
+	coord *cluster.Coordinator
 	// slots bounds concurrently running campaigns; a submitted job
 	// stays queued until it acquires a slot.
 	slots chan struct{}
@@ -283,13 +303,14 @@ type server struct {
 	jobs map[string]*job
 }
 
-func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store) *server {
+func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *cluster.Coordinator) *server {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
 	s := &server{
 		engine: eng,
 		store:  store,
+		coord:  coord,
 		jobs:   make(map[string]*job),
 		mux:    http.NewServeMux(),
 		slots:  make(chan struct{}, maxJobs),
@@ -299,6 +320,9 @@ func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store) *server 
 	})
 	s.mux.HandleFunc("/campaigns", s.campaigns)
 	s.mux.HandleFunc("/campaigns/", s.campaign)
+	if coord != nil {
+		s.mux.Handle("/cluster/", coord)
+	}
 	s.recover()
 	return s
 }
@@ -514,7 +538,20 @@ func (s *server) run(ctx context.Context, j *job) {
 		if j.journal != nil {
 			sinks = append(sinks, j.journal)
 		}
-		agg, err := s.engine.Stream(ctx, j.spec, j.prog, j.agg, sinks...)
+		var agg *campaign.Aggregate
+		var err error
+		if s.coord != nil {
+			// Cluster mode: lease the cells to workers. Completions flow
+			// through the same aggregator, hub, and journal; scheduling
+			// events land in the journal's dispatch side log.
+			var events func(cluster.Event)
+			if j.journal != nil {
+				events = func(ev cluster.Event) { j.journal.Dispatch(ev) }
+			}
+			agg, err = s.coord.Dispatch(ctx, j.id, j.spec, j.prog, j.agg, events, sinks...)
+		} else {
+			agg, err = s.engine.Stream(ctx, j.spec, j.prog, j.agg, sinks...)
+		}
 		if j.journal != nil {
 			if jerr := j.journal.Err(); jerr != nil {
 				log.Printf("twmd: job %s: %v", j.id, jerr)

@@ -1,0 +1,86 @@
+// Command twmw is the cluster worker daemon: the execution half of
+// twmd -cluster. It polls the coordinator's lease queue, simulates
+// each leased campaign cell locally — on the same reference-trace fast
+// path and per-geometry fault cache a local engine run uses — and
+// reports the result with the cell's deterministic seed, so worker
+// placement never affects a campaign's output.
+//
+//	twmw -coordinator http://twmd-host:8080
+//	twmw -coordinator http://twmd-host:8080 -parallel 8 -max-idle 30s
+//
+// Leases are kept alive by heartbeats; if the coordinator answers
+// "gone" — the job was evicted, canceled, or drained — the worker
+// cancels the cell mid-simulation and moves on. Transient coordinator
+// failures are retried with jittered exponential backoff, honoring
+// Retry-After. With -max-idle the daemon exits 0 once it has been out
+// of work that long — how a CI-spawned fleet winds down — and on
+// SIGINT/SIGTERM it stops leasing and abandons in-flight cells (the
+// coordinator requeues them).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"twmarch/internal/cluster"
+)
+
+// defaultWorkerID names the worker host-pid when -id is not given, so
+// a fleet spawned from one image still reports distinct ids.
+func defaultWorkerID() string {
+	host, err := os.Hostname()
+	if err != nil {
+		host = "twmw"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
+
+func main() {
+	fs := flag.NewFlagSet("twmw", flag.ExitOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (twmd -cluster), e.g. http://host:8080 (required)")
+	id := fs.String("id", "", "worker id reported to the coordinator (default host-pid)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "cells simulated concurrently")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll floor between lease attempts")
+	maxIdle := fs.Duration("max-idle", 0, "exit cleanly after this long without work (0 = poll forever)")
+	quiet := fs.Bool("quiet", false, "suppress per-lease log lines")
+	fs.Parse(os.Args[1:])
+
+	if *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "twmw: -coordinator is required")
+		os.Exit(2)
+	}
+	worker := *id
+	if worker == "" {
+		worker = defaultWorkerID()
+	}
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	w := &cluster.Worker{
+		Client:   &cluster.Client{Base: *coordinator, Worker: worker},
+		Parallel: *parallel,
+		Poll:     *poll,
+		MaxIdle:  *maxIdle,
+	}
+	if !*quiet {
+		w.Log = logger
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger.Printf("twmw: worker %s polling %s (parallel %d)", worker, *coordinator, *parallel)
+	err := w.Run(ctx)
+	switch {
+	case err == nil:
+		logger.Printf("twmw: idle limit reached, exiting")
+	case ctx.Err() != nil:
+		logger.Printf("twmw: signal received, exiting; in-flight leases will expire and requeue")
+	default:
+		logger.Fatalf("twmw: %v", err)
+	}
+}

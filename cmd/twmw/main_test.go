@@ -1,0 +1,69 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"twmarch/internal/campaign"
+	"twmarch/internal/cluster"
+)
+
+func TestDefaultWorkerID(t *testing.T) {
+	id := defaultWorkerID()
+	if id == "" {
+		t.Fatal("empty worker id")
+	}
+	if !strings.HasSuffix(id, fmt.Sprintf("-%d", os.Getpid())) {
+		t.Fatalf("worker id %q does not end in the pid", id)
+	}
+}
+
+// TestWorkerDrivesCampaign drives the worker exactly as main wires it
+// — default simulation path, max-idle exit — against an in-process
+// coordinator: it simulates a one-cell grid and then winds down on its
+// own once the queue is dry.
+func TestWorkerDrivesCampaign(t *testing.T) {
+	coord := cluster.New(cluster.Options{IdleRetry: 2 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	w := &cluster.Worker{
+		Client:   &cluster.Client{Base: ts.URL, Worker: defaultWorkerID(), Backoff: time.Millisecond},
+		Parallel: 2,
+		Poll:     2 * time.Millisecond,
+		MaxIdle:  250 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+
+	spec := campaign.Spec{
+		Tests:   []string{"MATS"},
+		Widths:  []int{2},
+		Words:   []int{2},
+		Schemes: []string{campaign.SchemeTWM},
+		Modes:   []string{campaign.ModeCompare},
+		Classes: []string{"SAF"},
+		Seed:    3,
+	}
+	agg, err := coord.Dispatch(context.Background(), "c1", spec, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Errors != 0 || agg.Faults == 0 {
+		t.Fatalf("dispatched aggregate %+v", agg)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never hit its idle limit")
+	}
+}

@@ -95,6 +95,24 @@ func (p *Progress) ETA() time.Duration {
 	return time.Duration(float64(rem) / rate * float64(time.Second))
 }
 
+// Begin declares a run driven outside the engine — the cluster
+// coordinator dispatching cells to remote workers: total grid cells
+// and the number already folded before the run (journal-recovered
+// cells, which count toward Done but not the rate). It stamps the
+// run's start time; Engine.Stream does the equivalent internally.
+func (p *Progress) Begin(total, done int64) {
+	p.total.Store(total)
+	p.done.Store(done)
+	p.start()
+}
+
+// Step records one completed cell for an externally driven run.
+func (p *Progress) Step() { p.done.Add(1) }
+
+// End freezes the run clock (idempotent), like the engine does when
+// Stream returns.
+func (p *Progress) End() { p.finish() }
+
 // Engine executes campaign grids over a worker pool. The zero value
 // runs with GOMAXPROCS workers and an automatic batch size; Spec
 // fields override both.

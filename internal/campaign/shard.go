@@ -83,6 +83,28 @@ func RunCell(spec Spec, c Cell) CellResult {
 	return runCell(context.Background(), spec.Normalized(), c, nil)
 }
 
+// Simulator runs single grid cells outside the engine — the worker
+// side of cluster dispatch. Like one Engine.Stream run, it shares a
+// single fault enumeration per memory geometry across calls (and the
+// reference fast path per cell), so a worker leasing many cells of the
+// same campaign pays enumeration once per geometry. The cache is keyed
+// by geometry alone: a Simulator is therefore tied to one spec's fault
+// population — use a fresh Simulator per campaign, never across specs
+// with different Classes or Scope. Safe for concurrent use.
+type Simulator struct {
+	cache faultCache
+}
+
+// NewSimulator returns an empty simulator.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// RunCell simulates one cell of the spec's grid, observing ctx between
+// fault batches. The result is the same pure function of (spec, cell)
+// the engine computes: identical bytes wherever the cell runs.
+func (s *Simulator) RunCell(ctx context.Context, spec Spec, c Cell) CellResult {
+	return runCell(ctx, spec.Normalized(), c, &s.cache)
+}
+
 // runCell expects a normalized spec. A non-nil cache shares one fault
 // enumeration per memory geometry across the campaign's cells; ctx
 // cancellation is observed between fault batches, not just between

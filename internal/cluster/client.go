@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// Client is the worker side of the /cluster wire protocol: typed
+// lease/renew/complete calls against one coordinator, with jittered
+// exponential backoff on transport errors and 5xx/429 responses. A
+// Retry-After header on a rejection overrides the computed backoff —
+// the coordinator (or a proxy in front of it) names its own price.
+// Safe for concurrent use by a worker's parallel slots.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://twmd:8080".
+	Base string
+	// Worker is the id reported in every request; it keys the
+	// coordinator's heartbeat view and the dispatch event log.
+	Worker string
+	// HTTPClient overrides http.DefaultClient.
+	HTTPClient *http.Client
+	// MaxRetries bounds the retry attempts per call (default 4); the
+	// call fails with the last error once they are spent.
+	MaxRetries int
+	// Backoff is the first retry delay (default 200ms), doubling per
+	// attempt up to MaxBackoff (default 5s), each draw jittered to
+	// [d/2, d) so a worker fleet losing its coordinator doesn't
+	// stampede the restart.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// Lease asks for one cell. The grant is StatusLease (cell attached) or
+// StatusIdle (nothing now; honor RetryNS before polling again).
+func (c *Client) Lease(ctx context.Context) (*LeaseGrant, error) {
+	var grant LeaseGrant
+	if err := c.post(ctx, "/cluster/lease", LeaseRequest{Worker: c.Worker}, &grant); err != nil {
+		return nil, err
+	}
+	return &grant, nil
+}
+
+// Renew heartbeats a lease. The returned status is StatusOK or
+// StatusGone; gone means stop simulating the cell and discard it.
+func (c *Client) Renew(ctx context.Context, job, leaseID string) (string, error) {
+	var resp RenewResponse
+	if err := c.post(ctx, "/cluster/renew", RenewRequest{Worker: c.Worker, Job: job, LeaseID: leaseID}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// Complete reports a simulated cell. StatusOK covers duplicates (the
+// coordinator folds them as no-ops), so retrying a Complete whose
+// response was lost is always safe.
+func (c *Client) Complete(ctx context.Context, job, leaseID string, res campaign.CellResult) (string, error) {
+	var resp CompleteResponse
+	if err := c.post(ctx, "/cluster/complete", CompleteRequest{Worker: c.Worker, Job: job, LeaseID: leaseID, Result: res}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Status, nil
+}
+
+// post sends one JSON request with retries. Retried: transport errors,
+// 5xx, and 429. Not retried: other 4xx (the request itself is wrong)
+// and context cancellation.
+func (c *Client) post(ctx context.Context, path string, reqBody, respBody any) error {
+	raw, err := json.Marshal(reqBody)
+	if err != nil {
+		return fmt.Errorf("cluster: encode request: %v", err)
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 4
+	}
+	var last error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.try(ctx, path, raw, respBody)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if !retryable(resp) || attempt >= maxRetries {
+			return last
+		}
+		d := c.retryDelay(attempt, resp)
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// try performs one attempt. The response is returned (with its body
+// drained and closed) alongside the error so the retry loop can read
+// status and Retry-After.
+func (c *Client) try(ctx context.Context, path string, raw []byte, respBody any) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %v", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return resp, fmt.Errorf("cluster: %s: read response: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp, fmt.Errorf("cluster: %s: %s: %.200s", path, resp.Status, body)
+	}
+	if err := json.Unmarshal(body, respBody); err != nil {
+		return resp, fmt.Errorf("cluster: %s: parse response: %v", path, err)
+	}
+	return resp, nil
+}
+
+// retryable reports whether the attempt's failure class is worth
+// retrying: no response at all (transport error), 5xx, or 429.
+func retryable(resp *http.Response) bool {
+	if resp == nil {
+		return true
+	}
+	return resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+}
+
+// retryDelay picks the wait before the next attempt: Retry-After when
+// the server sent one, otherwise exponential backoff with equal
+// jitter.
+func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+				return time.Duration(secs) * time.Second
+			}
+		}
+	}
+	base := c.Backoff
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	maxB := c.MaxBackoff
+	if maxB <= 0 {
+		maxB = 5 * time.Second
+	}
+	d := capDoubling(base, maxB, attempt)
+	// Equal jitter: [d/2, d). Worker backoff needs no reproducibility,
+	// so the global source is fine.
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}

@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// gridSpec is the 16-cell campaign the dispatch tests fan out.
+func gridSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:    "cluster",
+		Tests:   []string{"MATS", "March C-"},
+		Widths:  []int{2, 4},
+		Words:   []int{2, 3},
+		Classes: []string{"SAF", "TF"},
+		Seed:    11,
+	}
+}
+
+// startWorkers launches n workers against the coordinator URL and
+// returns a stop function that waits them out.
+func startWorkers(t *testing.T, base string, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Client:   &Client{Base: base, Worker: fmt.Sprintf("w%d", i), Backoff: time.Millisecond},
+			Parallel: 2,
+			Poll:     2 * time.Millisecond,
+		}
+		go func() {
+			defer func() { done <- struct{}{} }()
+			w.Run(ctx)
+		}()
+	}
+	return func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			<-done
+		}
+	}
+}
+
+// TestDispatchByteIdentical is the package-level acceptance test: a
+// grid dispatched over HTTP to three workers folds to a canonical
+// aggregate byte-identical to a single-process engine run.
+func TestDispatchByteIdentical(t *testing.T) {
+	coord := New(Options{LeaseTTL: 5 * time.Second, IdleRetry: 5 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+	stop := startWorkers(t, ts.URL, 3)
+	defer stop()
+
+	prog := &campaign.Progress{}
+	got, err := coord.Dispatch(context.Background(), "c1", gridSpec(), prog, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := campaign.Engine{}.Run(context.Background(), gridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("dispatched aggregate diverges from local engine run:\n%.2000s", gb)
+	}
+	if prog.Done() != prog.Total() || prog.Done() != 16 {
+		t.Errorf("progress %d/%d, want 16/16", prog.Done(), prog.Total())
+	}
+
+	// The heartbeat view saw all three workers.
+	if ws := coord.Workers(time.Now()); len(ws) != 3 {
+		t.Errorf("worker listing has %d rows, want 3: %+v", len(ws), ws)
+	}
+}
+
+// TestDispatchResumesSeededAggregator pins the recovery path under
+// dispatch: cells pre-folded into the aggregator are neither leased
+// nor re-emitted, and the final aggregate still matches a full local
+// run byte for byte.
+func TestDispatchResumesSeededAggregator(t *testing.T) {
+	spec := gridSpec()
+	full, err := campaign.Engine{}.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := New(Options{LeaseTTL: 5 * time.Second, IdleRetry: 5 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+	stop := startWorkers(t, ts.URL, 2)
+	defer stop()
+
+	agg := campaign.NewAggregator(spec)
+	for _, r := range full.Cells[:8] {
+		agg.Add(r)
+	}
+	emitted := 0
+	sink := campaign.SinkFunc(func(campaign.CellResult) { emitted++ })
+	got, err := coord.Dispatch(context.Background(), "c2", spec, nil, agg, nil, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 8 {
+		t.Errorf("resume emitted %d cells, want the 8 missing ones", emitted)
+	}
+	gb, _ := got.Canonical()
+	wb, _ := full.Canonical()
+	if !bytes.Equal(gb, wb) {
+		t.Error("resumed dispatch diverges from uninterrupted run")
+	}
+}
+
+// TestDispatchSurvivesKilledWorker is the fault-tolerance e2e: a
+// deadbeat worker leases a cell and dies without completing or
+// renewing; the lease expires, the cell requeues, an honest worker
+// re-runs it, and the aggregate is still byte-identical.
+func TestDispatchSurvivesKilledWorker(t *testing.T) {
+	coord := New(Options{
+		LeaseTTL:     150 * time.Millisecond,
+		RetryBackoff: 10 * time.Millisecond,
+		IdleRetry:    5 * time.Millisecond,
+	})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	var requeues, expires atomic.Int32
+	events := func(ev Event) {
+		switch ev.Kind {
+		case EventRequeue:
+			requeues.Add(1)
+		case EventExpire:
+			expires.Add(1)
+		}
+	}
+
+	done := make(chan struct{})
+	var got *campaign.Aggregate
+	var dispatchErr error
+	go func() {
+		defer close(done)
+		got, dispatchErr = coord.Dispatch(context.Background(), "c3", gridSpec(), nil, nil, events)
+	}()
+
+	// The deadbeat takes one lease and vanishes mid-"simulation".
+	deadbeat := &Client{Base: ts.URL, Worker: "deadbeat", Backoff: time.Millisecond}
+	var g *LeaseGrant
+	for {
+		var err error
+		g, err = deadbeat.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Status == StatusLease {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Honest workers finish the grid, including the abandoned cell.
+	stop := startWorkers(t, ts.URL, 3)
+	defer stop()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("dispatch with a killed worker never completed")
+	}
+	if dispatchErr != nil {
+		t.Fatal(dispatchErr)
+	}
+	if n := expires.Load(); n == 0 {
+		t.Error("deadbeat's lease never expired")
+	}
+	if n := requeues.Load(); n == 0 {
+		t.Error("no cell was requeued")
+	}
+
+	want, err := campaign.Engine{}.Run(context.Background(), gridSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := got.Canonical()
+	wb, _ := want.Canonical()
+	if !bytes.Equal(gb, wb) {
+		t.Error("aggregate after a killed-and-requeued worker diverges from local run")
+	}
+	if got.Errors != 0 {
+		t.Errorf("%d cells folded as errors", got.Errors)
+	}
+
+	// The deadbeat's lease is terminally gone.
+	if st, err := deadbeat.Renew(context.Background(), g.Job, g.LeaseID); err != nil || st != StatusGone {
+		t.Errorf("dead lease renew: %q, %v (want gone)", st, err)
+	}
+}
+
+// TestDispatchCancelRevokesLeases pins the cancel/evict/drain path
+// end to end: once Dispatch's context is canceled, the job's leases
+// answer gone on renew and complete, so workers abandon dead cells.
+func TestDispatchCancelRevokesLeases(t *testing.T) {
+	coord := New(Options{LeaseTTL: 5 * time.Second, IdleRetry: 5 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := coord.Dispatch(ctx, "c4", gridSpec(), nil, nil, nil)
+		done <- err
+	}()
+
+	cl := &Client{Base: ts.URL, Worker: "w", Backoff: time.Millisecond}
+	var g *LeaseGrant
+	for {
+		var err error
+		g, err = cl.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Status == StatusLease {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled dispatch returned %v", err)
+	}
+
+	if st, err := cl.Renew(context.Background(), g.Job, g.LeaseID); err != nil || st != StatusGone {
+		t.Errorf("renew after cancel: %q, %v (want gone)", st, err)
+	}
+	res := campaign.CellResult{Cell: *g.Cell}
+	if st, err := cl.Complete(context.Background(), g.Job, g.LeaseID, res); err != nil || st != StatusGone {
+		t.Errorf("complete after cancel: %q, %v (want gone)", st, err)
+	}
+	if g2, err := cl.Lease(context.Background()); err != nil || g2.Status != StatusIdle {
+		t.Errorf("lease after cancel: %+v, %v (want idle)", g2, err)
+	}
+}
+
+// TestWorkerMaxIdle pins the CI wind-down: a worker with -max-idle
+// against a coordinator with no jobs exits cleanly on its own.
+func TestWorkerMaxIdle(t *testing.T) {
+	coord := New(Options{IdleRetry: 2 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	w := &Worker{
+		Client:  &Client{Base: ts.URL, Worker: "idler", Backoff: time.Millisecond},
+		Poll:    2 * time.Millisecond,
+		MaxIdle: 50 * time.Millisecond,
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Run(context.Background()) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("idle worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("idle worker never exited")
+	}
+}
+
+// TestWorkerMaxIdleWaitsForInFlightCell pins the idle accounting: a
+// cell that simulates longer than MaxIdle must not make sibling slots
+// (or the worker) give up while it is in flight.
+func TestWorkerMaxIdleWaitsForInFlightCell(t *testing.T) {
+	coord := New(Options{LeaseTTL: 5 * time.Second, IdleRetry: 2 * time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	slow := 300 * time.Millisecond
+	w := &Worker{
+		Client:   &Client{Base: ts.URL, Worker: "slowpoke", Backoff: time.Millisecond},
+		Parallel: 2,
+		Poll:     2 * time.Millisecond,
+		MaxIdle:  50 * time.Millisecond, // much shorter than the cell
+		Simulate: func(ctx context.Context, job string, spec campaign.Spec, cell campaign.Cell) campaign.CellResult {
+			select {
+			case <-time.After(slow):
+			case <-ctx.Done():
+			}
+			return campaign.RunCell(spec, cell)
+		},
+	}
+	workerDone := make(chan error, 1)
+	go func() { workerDone <- w.Run(context.Background()) }()
+
+	got, err := coord.Dispatch(context.Background(), "c1", oneCellSpec(), nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Errors != 0 || len(got.Cells) != 1 {
+		t.Fatalf("slow cell did not complete cleanly: %+v", got)
+	}
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatalf("worker exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never wound down after the slow cell")
+	}
+}
+
+// TestClientRetryAfterAndBackoff pins the client's transient-failure
+// handling: a 503 with Retry-After and a bare 500 are both retried
+// (the first honoring the header), a 400 is not.
+func TestClientRetryAfterAndBackoff(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch calls.Add(1) {
+		case 1:
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case 2:
+			http.Error(w, "hiccup", http.StatusInternalServerError)
+		default:
+			writeJSON(w, http.StatusOK, LeaseGrant{Status: StatusIdle, RetryNS: 1000})
+		}
+	}))
+	defer ts.Close()
+
+	cl := &Client{Base: ts.URL, Worker: "w", Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	g, err := cl.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("lease through transient failures: %v", err)
+	}
+	if g.Status != StatusIdle || calls.Load() != 3 {
+		t.Fatalf("grant %+v after %d calls, want idle after 3", g, calls.Load())
+	}
+
+	// Non-retryable: a 400 fails immediately.
+	calls.Store(0)
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad", http.StatusBadRequest)
+	}))
+	defer ts2.Close()
+	cl2 := &Client{Base: ts2.URL, Worker: "w", Backoff: time.Millisecond}
+	if _, err := cl2.Lease(context.Background()); err == nil {
+		t.Fatal("400 response retried into success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("400 response tried %d times, want 1", calls.Load())
+	}
+}
+
+// TestDispatchDuplicateJobID pins the registry invariant: two live
+// dispatches cannot share a job id.
+func TestDispatchDuplicateJobID(t *testing.T) {
+	coord := New(Options{IdleRetry: 2 * time.Millisecond})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		coord.Dispatch(ctx, "dup", gridSpec(), nil, nil, nil)
+	}()
+	<-started
+	for coord.lookup("dup") == nil {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := coord.Dispatch(context.Background(), "dup", gridSpec(), nil, nil, nil); err == nil {
+		t.Fatal("duplicate job id dispatched")
+	}
+}

@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// pendingCell is one cell waiting to be leased. eligible gates
+// requeued cells behind their backoff.
+type pendingCell struct {
+	cell     campaign.Cell
+	attempt  int
+	eligible time.Time
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	id       string
+	worker   string
+	cell     campaign.Cell
+	attempt  int
+	deadline time.Time
+}
+
+// queue is one dispatched job's lease state. It owns the cells the
+// coordinator's Dispatch call is waiting on: pending cells are leased
+// out FIFO (requeued cells behind their backoff gate), outstanding
+// leases are kept alive by renewals and requeued when they expire, and
+// each accepted completion is delivered to the results channel exactly
+// once per cell — the channel is sized for that, so sends never block
+// while the mutex is held.
+type queue struct {
+	job   string
+	spec  campaign.Spec
+	cells []campaign.Cell // full grid expansion, for validating results
+
+	mu      sync.Mutex
+	pending []pendingCell
+	leases  map[string]*lease
+	done    map[int]bool
+	seq     int
+	closed  bool
+
+	results chan<- campaign.CellResult
+	opts    Options
+	events  func(Event)
+}
+
+// newQueue builds the queue for one Dispatch call. cells is the full
+// grid expansion; pending the subset still to simulate (the rest is
+// marked done so a stray completion for a pre-folded cell is a
+// duplicate, not a fold).
+func newQueue(job string, spec campaign.Spec, cells, pending []campaign.Cell, results chan<- campaign.CellResult, opts Options, events func(Event)) *queue {
+	q := &queue{
+		job:     job,
+		spec:    spec,
+		cells:   cells,
+		leases:  make(map[string]*lease),
+		done:    make(map[int]bool, len(cells)),
+		results: results,
+		opts:    opts,
+		events:  events,
+	}
+	for _, c := range cells {
+		q.done[c.Index] = true
+	}
+	q.pending = make([]pendingCell, 0, len(pending))
+	for _, c := range pending {
+		q.done[c.Index] = false
+		q.pending = append(q.pending, pendingCell{cell: c})
+	}
+	return q
+}
+
+// emit fires the dispatch-event hook outside the queue lock.
+func (q *queue) emit(evs []Event) {
+	if q.events == nil {
+		return
+	}
+	for _, ev := range evs {
+		q.events(ev)
+	}
+}
+
+// lease grants the first eligible pending cell to worker. When nothing
+// is grantable it returns nil along with the wait until the next
+// requeued cell becomes eligible (zero when the queue is fully leased
+// out or exhausted, meaning "poll again at the idle cadence").
+func (q *queue) lease(worker string, now time.Time) (*LeaseGrant, time.Duration) {
+	var evs []Event
+	defer func() { q.emit(evs) }()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	evs = q.expireLocked(now)
+	if q.closed {
+		return nil, 0
+	}
+	var wait time.Duration
+	for i, p := range q.pending {
+		if p.eligible.After(now) {
+			if d := p.eligible.Sub(now); wait == 0 || d < wait {
+				wait = d
+			}
+			continue
+		}
+		q.pending = append(q.pending[:i], q.pending[i+1:]...)
+		q.seq++
+		l := &lease{
+			id:       fmt.Sprintf("%s-%d", q.job, q.seq),
+			worker:   worker,
+			cell:     p.cell,
+			attempt:  p.attempt,
+			deadline: now.Add(q.opts.LeaseTTL),
+		}
+		q.leases[l.id] = l
+		cell := p.cell
+		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventLease, Cell: cell.Index, Worker: worker, Lease: l.id, Attempt: l.attempt})
+		return &LeaseGrant{
+			Status:  StatusLease,
+			LeaseID: l.id,
+			Job:     q.job,
+			Spec:    &q.spec,
+			Cell:    &cell,
+			TTLNS:   q.opts.LeaseTTL.Nanoseconds(),
+		}, 0
+	}
+	return nil, wait
+}
+
+// renew extends a lease's deadline. It reports false — gone — for a
+// lease the queue no longer holds (expired and requeued, or completed
+// by another worker) and for a closed queue.
+func (q *queue) renew(leaseID string, now time.Time) bool {
+	var evs []Event
+	defer func() { q.emit(evs) }()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	evs = q.expireLocked(now)
+	if q.closed {
+		return false
+	}
+	l, ok := q.leases[leaseID]
+	if !ok {
+		return false
+	}
+	l.deadline = now.Add(q.opts.LeaseTTL)
+	return true
+}
+
+// complete accepts one simulated result. A valid result for a cell not
+// yet folded is delivered to the results channel; a result for a cell
+// already folded is a duplicate — acknowledged and dropped, folding
+// nothing. Late completions whose lease already expired are still
+// accepted when the cell is outstanding: the work is valid, and the
+// cell's replacement lease (if any) is revoked. Results that don't
+// match the job's own grid expansion are rejected.
+func (q *queue) complete(leaseID string, res campaign.CellResult, now time.Time) (string, error) {
+	var evs []Event
+	defer func() { q.emit(evs) }()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	evs = q.expireLocked(now)
+	if q.closed {
+		return StatusGone, nil
+	}
+	if res.Index < 0 || res.Index >= len(q.cells) || res.Cell != q.cells[res.Index] {
+		return "", fmt.Errorf("cluster: result for job %s does not match cell %d of the grid", q.job, res.Index)
+	}
+	// Consume the named lease only when it actually covers this cell:
+	// a mismatched (lease, result) pair must not delete some other
+	// cell's lease — that cell would be neither pending, leased, nor
+	// done, and the campaign would never finish. (The revoke sweep
+	// below handles the completed cell's own leases by index.)
+	attempt := 0
+	if l, ok := q.leases[leaseID]; ok && l.cell.Index == res.Index {
+		attempt = l.attempt
+		delete(q.leases, leaseID)
+	}
+	if q.done[res.Index] {
+		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventDuplicate, Cell: res.Index, Lease: leaseID})
+		return StatusOK, nil
+	}
+	// The cell may have been requeued (pending) or re-leased elsewhere
+	// after this worker's lease expired; either way this completion
+	// wins — drop the stragglers so nobody re-simulates it.
+	for i, p := range q.pending {
+		if p.cell.Index == res.Index {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			break
+		}
+	}
+	for id, l := range q.leases {
+		if l.cell.Index == res.Index {
+			delete(q.leases, id)
+			evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventRevoke, Cell: res.Index, Worker: l.worker, Lease: id, Attempt: l.attempt})
+		}
+	}
+	q.done[res.Index] = true
+	evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventComplete, Cell: res.Index, Lease: leaseID, Attempt: attempt})
+	q.results <- res
+	return StatusOK, nil
+}
+
+// expire requeues every lease past its deadline.
+func (q *queue) expire(now time.Time) {
+	q.mu.Lock()
+	evs := q.expireLocked(now)
+	q.mu.Unlock()
+	q.emit(evs)
+}
+
+// expireLocked is expire under q.mu; it returns the events to emit
+// once the lock is released. An expired cell re-enters the queue
+// behind an exponential backoff gate; a cell that exhausted
+// MaxAttempts folds as an errored result so the campaign still
+// terminates.
+func (q *queue) expireLocked(now time.Time) []Event {
+	if q.closed {
+		return nil
+	}
+	var evs []Event
+	for id, l := range q.leases {
+		if !now.After(l.deadline) {
+			continue
+		}
+		delete(q.leases, id)
+		attempt := l.attempt + 1
+		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventExpire, Cell: l.cell.Index, Worker: l.worker, Lease: id, Attempt: attempt})
+		if attempt >= q.opts.MaxAttempts {
+			res := campaign.CellResult{Cell: l.cell}
+			res.Err = fmt.Sprintf("cluster: cell %d abandoned after %d expired leases", l.cell.Index, attempt)
+			q.done[l.cell.Index] = true
+			evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventAbandon, Cell: l.cell.Index, Attempt: attempt})
+			q.results <- res
+			continue
+		}
+		q.pending = append(q.pending, pendingCell{
+			cell:     l.cell,
+			attempt:  attempt,
+			eligible: now.Add(q.backoff(attempt)),
+		})
+		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventRequeue, Cell: l.cell.Index, Attempt: attempt})
+	}
+	return evs
+}
+
+// backoff returns the requeue delay before attempt n+1: exponential in
+// the completed attempts, capped.
+func (q *queue) backoff(attempt int) time.Duration {
+	return capDoubling(q.opts.RetryBackoff, q.opts.MaxBackoff, attempt-1)
+}
+
+// capDoubling returns base·2^doublings clamped to max — the one
+// exponential-backoff schedule, shared by the queue's requeue delay
+// and the client's retry delay.
+func capDoubling(base, max time.Duration, doublings int) time.Duration {
+	d := base
+	for i := 0; i < doublings && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// close revokes every outstanding lease and stops the queue cold:
+// every later lease/renew/complete answers gone. The eviction, cancel,
+// and drain path.
+func (q *queue) close(now time.Time) {
+	var evs []Event
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		for id, l := range q.leases {
+			evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventRevoke, Cell: l.cell.Index, Worker: l.worker, Lease: id, Attempt: l.attempt})
+			delete(q.leases, id)
+		}
+		q.pending = nil
+	}
+	q.mu.Unlock()
+	q.emit(evs)
+}
+
+// workerLeases counts worker's outstanding leases.
+func (q *queue) workerLeases(worker string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, l := range q.leases {
+		if l.worker == worker {
+			n++
+		}
+	}
+	return n
+}

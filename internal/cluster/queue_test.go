@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// testOpts keeps the clock-dependent knobs small and explicit; queue
+// methods take the current time, so these tests never sleep.
+func testOpts() Options {
+	return Options{
+		LeaseTTL:     50 * time.Millisecond,
+		MaxAttempts:  3,
+		RetryBackoff: 20 * time.Millisecond,
+		MaxBackoff:   100 * time.Millisecond,
+		IdleRetry:    30 * time.Millisecond,
+	}.withDefaults()
+}
+
+// oneCellSpec expands to exactly one grid cell.
+func oneCellSpec() campaign.Spec {
+	return campaign.Spec{
+		Tests:   []string{"MATS"},
+		Widths:  []int{2},
+		Words:   []int{2},
+		Schemes: []string{campaign.SchemeTWM},
+		Modes:   []string{campaign.ModeCompare},
+		Classes: []string{"SAF"},
+		Seed:    7,
+	}
+}
+
+// newTestQueue builds a queue over the spec's full grid, recording
+// every dispatch event.
+func newTestQueue(t *testing.T, spec campaign.Spec, opts Options) (*queue, chan campaign.CellResult, *[]Event) {
+	t.Helper()
+	spec = spec.Normalized()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan campaign.CellResult, len(cells))
+	var events []Event
+	q := newQueue("j1", spec, cells, cells, results, opts, func(ev Event) { events = append(events, ev) })
+	return q, results, &events
+}
+
+func kinds(events []Event) string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = ev.Kind
+	}
+	return strings.Join(out, ",")
+}
+
+// TestQueueLeaseExpiryRequeue pins the failure path: a lease that
+// stops renewing expires, its cell requeues behind the backoff gate,
+// and the replacement lease carries the bumped attempt while the dead
+// lease answers gone.
+func TestQueueLeaseExpiryRequeue(t *testing.T) {
+	q, results, events := newTestQueue(t, oneCellSpec(), testOpts())
+	t0 := time.Now()
+
+	g, _ := q.lease("w1", t0)
+	if g == nil || g.Status != StatusLease || g.Cell.Index != 0 {
+		t.Fatalf("first lease: %+v", g)
+	}
+	if g.Spec == nil || len(g.Spec.Tests) == 0 || g.Cell.Seed == 0 {
+		t.Fatalf("lease missing spec or derived seed: %+v", g)
+	}
+	// A renewal pushes the deadline out: no expiry at t0+60ms.
+	if !q.renew(g.LeaseID, t0.Add(30*time.Millisecond)) {
+		t.Fatal("renew of a live lease refused")
+	}
+	q.expire(t0.Add(60 * time.Millisecond))
+	if g2, _ := q.lease("w2", t0.Add(60*time.Millisecond)); g2 != nil {
+		t.Fatalf("cell leased twice while the first lease is live: %+v", g2)
+	}
+
+	// Past the renewed deadline the cell requeues — but only becomes
+	// leasable after the backoff.
+	q.expire(t0.Add(100 * time.Millisecond))
+	if g2, wait := q.lease("w2", t0.Add(110*time.Millisecond)); g2 != nil || wait <= 0 {
+		t.Fatalf("requeued cell leasable before its backoff (grant %+v, wait %s)", g2, wait)
+	}
+	g2, _ := q.lease("w2", t0.Add(130*time.Millisecond))
+	if g2 == nil || g2.Cell.Index != 0 {
+		t.Fatalf("requeued cell not leasable after backoff: %+v", g2)
+	}
+	if g2.LeaseID == g.LeaseID {
+		t.Fatal("replacement lease reused the dead lease id")
+	}
+
+	// The dead lease is gone for renewals.
+	if q.renew(g.LeaseID, t0.Add(140*time.Millisecond)) {
+		t.Fatal("expired lease still renewable")
+	}
+	if len(results) != 0 {
+		t.Fatalf("%d results delivered with nothing completed", len(results))
+	}
+	want := "lease,expire,requeue,lease"
+	if got := kinds(*events); got != want {
+		t.Fatalf("event trail %q, want %q", got, want)
+	}
+}
+
+// TestQueueAbandonAfterMaxAttempts pins the retry bound: a cell whose
+// leases keep expiring folds as an errored result instead of
+// requeueing forever, so the campaign still terminates.
+func TestQueueAbandonAfterMaxAttempts(t *testing.T) {
+	opts := testOpts()
+	opts.MaxAttempts = 2
+	q, results, events := newTestQueue(t, oneCellSpec(), opts)
+	now := time.Now()
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		g, wait := q.lease("w1", now)
+		if g == nil {
+			now = now.Add(wait)
+			g, _ = q.lease("w1", now)
+		}
+		if g == nil {
+			t.Fatalf("attempt %d: no lease", attempt)
+		}
+		now = now.Add(opts.LeaseTTL + time.Millisecond)
+		q.expire(now)
+	}
+	select {
+	case r := <-results:
+		if r.Err == "" || r.Index != 0 {
+			t.Fatalf("abandoned cell folded as %+v, want an errored result", r)
+		}
+	default:
+		t.Fatal("exhausted cell delivered no result")
+	}
+	if g, _ := q.lease("w1", now.Add(time.Hour)); g != nil {
+		t.Fatalf("abandoned cell leased again: %+v", g)
+	}
+	if got := kinds(*events); !strings.HasSuffix(got, "expire,abandon") {
+		t.Fatalf("event trail %q does not end in expire,abandon", got)
+	}
+}
+
+// TestQueueDuplicateComplete pins exactly-once folding at the queue:
+// the first completion of a cell is delivered, every later one — a
+// retried request, or a late result from a lease that already expired
+// and was re-run elsewhere — acknowledges OK and delivers nothing.
+func TestQueueDuplicateComplete(t *testing.T) {
+	q, results, events := newTestQueue(t, oneCellSpec(), testOpts())
+	t0 := time.Now()
+	g, _ := q.lease("w1", t0)
+	res := campaign.CellResult{Cell: *g.Cell, Faults: 8, Detected: 8}
+
+	st, err := q.complete(g.LeaseID, res, t0.Add(time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("first complete: %s, %v", st, err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("first complete delivered %d results", len(results))
+	}
+	<-results
+
+	// A retried request (the worker lost the first response).
+	st, err = q.complete(g.LeaseID, res, t0.Add(2*time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("duplicate complete: %s, %v", st, err)
+	}
+	if len(results) != 0 {
+		t.Fatal("duplicate completion delivered a second result")
+	}
+	if got := kinds(*events); got != "lease,complete,duplicate" {
+		t.Fatalf("event trail %q", got)
+	}
+}
+
+// TestQueueLateCompleteWins pins the expired-lease race: worker A's
+// lease expires and the cell is re-leased to B, then A's result
+// arrives anyway. The work is valid — A's completion is accepted, B's
+// replacement lease is revoked, and B's own completion later folds as
+// a duplicate no-op.
+func TestQueueLateCompleteWins(t *testing.T) {
+	opts := testOpts()
+	q, results, _ := newTestQueue(t, oneCellSpec(), opts)
+	t0 := time.Now()
+	gA, _ := q.lease("A", t0)
+	res := campaign.CellResult{Cell: *gA.Cell, Faults: 8, Detected: 8}
+
+	// A's lease expires; after the backoff the cell goes to B.
+	q.expire(t0.Add(opts.LeaseTTL + time.Millisecond))
+	gB, _ := q.lease("B", t0.Add(opts.LeaseTTL+opts.RetryBackoff+2*time.Millisecond))
+	if gB == nil || gB.Cell.Index != 0 {
+		t.Fatalf("requeued cell not re-leased: %+v", gB)
+	}
+
+	// A completes late, with its dead lease id.
+	st, err := q.complete(gA.LeaseID, res, t0.Add(opts.LeaseTTL+opts.RetryBackoff+3*time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("late complete: %s, %v", st, err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("late complete delivered %d results", len(results))
+	}
+
+	// B's lease was revoked with it; B's completion is a duplicate.
+	if q.renew(gB.LeaseID, t0.Add(opts.LeaseTTL+opts.RetryBackoff+4*time.Millisecond)) {
+		t.Fatal("revoked replacement lease still renewable")
+	}
+	st, err = q.complete(gB.LeaseID, res, t0.Add(opts.LeaseTTL+opts.RetryBackoff+5*time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("B's duplicate complete: %s, %v", st, err)
+	}
+	if len(results) != 1 {
+		t.Fatal("duplicate completion folded twice")
+	}
+}
+
+// TestQueueMismatchedLeaseDoesNotOrphan pins a wedge bug: a
+// completion whose lease id names one cell's lease but whose result is
+// another cell must not consume the named lease — the named lease's
+// cell would end up neither pending, leased, nor done, and the
+// campaign would never finish.
+func TestQueueMismatchedLeaseDoesNotOrphan(t *testing.T) {
+	spec := oneCellSpec()
+	spec.Words = []int{2, 3} // two cells
+	q, results, _ := newTestQueue(t, spec, testOpts())
+	t0 := time.Now()
+	g0, _ := q.lease("A", t0)
+	g1, _ := q.lease("B", t0)
+	if g0 == nil || g1 == nil || g0.Cell.Index == g1.Cell.Index {
+		t.Fatalf("setup leases: %+v %+v", g0, g1)
+	}
+
+	// Complete cell g1 under g0's lease id.
+	res1 := campaign.CellResult{Cell: *g1.Cell, Faults: 4, Detected: 4}
+	st, err := q.complete(g0.LeaseID, res1, t0.Add(time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("mismatched-lease complete: %s, %v", st, err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("complete delivered %d results, want 1", len(results))
+	}
+	<-results
+
+	// g0's lease survived; its own cell can still complete normally.
+	if !q.renew(g0.LeaseID, t0.Add(2*time.Millisecond)) {
+		t.Fatal("unrelated lease consumed by a mismatched completion")
+	}
+	res0 := campaign.CellResult{Cell: *g0.Cell, Faults: 4, Detected: 4}
+	st, err = q.complete(g0.LeaseID, res0, t0.Add(3*time.Millisecond))
+	if err != nil || st != StatusOK {
+		t.Fatalf("completing the surviving lease: %s, %v", st, err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("second cell delivered %d results, want 1", len(results))
+	}
+}
+
+// TestQueueRejectsMismatchedResult pins the wire validation: a result
+// that contradicts the coordinator's own grid expansion — wrong seed,
+// wrong geometry, out-of-range index — is an error, never folded.
+func TestQueueRejectsMismatchedResult(t *testing.T) {
+	q, results, _ := newTestQueue(t, oneCellSpec(), testOpts())
+	t0 := time.Now()
+	g, _ := q.lease("w1", t0)
+
+	tampered := campaign.CellResult{Cell: *g.Cell}
+	tampered.Seed++
+	if _, err := q.complete(g.LeaseID, tampered, t0); err == nil {
+		t.Fatal("tampered seed accepted")
+	}
+	oob := campaign.CellResult{Cell: *g.Cell}
+	oob.Index = 99
+	if _, err := q.complete(g.LeaseID, oob, t0); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if len(results) != 0 {
+		t.Fatal("rejected result delivered")
+	}
+}
+
+// TestQueueCloseGone pins the eviction path: a closed queue answers
+// gone on every verb and revokes its outstanding leases.
+func TestQueueCloseGone(t *testing.T) {
+	q, results, events := newTestQueue(t, oneCellSpec(), testOpts())
+	t0 := time.Now()
+	g, _ := q.lease("w1", t0)
+	q.close(t0.Add(time.Millisecond))
+
+	if g2, _ := q.lease("w2", t0.Add(2*time.Millisecond)); g2 != nil {
+		t.Fatalf("closed queue granted a lease: %+v", g2)
+	}
+	if q.renew(g.LeaseID, t0.Add(2*time.Millisecond)) {
+		t.Fatal("closed queue renewed a lease")
+	}
+	st, err := q.complete(g.LeaseID, campaign.CellResult{Cell: *g.Cell}, t0.Add(2*time.Millisecond))
+	if err != nil || st != StatusGone {
+		t.Fatalf("complete on closed queue: %s, %v", st, err)
+	}
+	if len(results) != 0 {
+		t.Fatal("closed queue folded a result")
+	}
+	if got := kinds(*events); got != "lease,revoke" {
+		t.Fatalf("event trail %q", got)
+	}
+}
+
+// TestQueueBackoffCapped pins the requeue delay schedule: exponential
+// from RetryBackoff, clamped at MaxBackoff.
+func TestQueueBackoffCapped(t *testing.T) {
+	q, _, _ := newTestQueue(t, oneCellSpec(), testOpts())
+	want := []time.Duration{
+		20 * time.Millisecond,  // attempt 1
+		40 * time.Millisecond,  // attempt 2
+		80 * time.Millisecond,  // attempt 3
+		100 * time.Millisecond, // attempt 4 (capped)
+		100 * time.Millisecond, // attempt 5 (capped)
+	}
+	for i, w := range want {
+		if got := q.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %s, want %s", i+1, got, w)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// Worker is the lease-poll-simulate-complete loop cmd/twmw runs: each
+// of Parallel slots independently leases a cell, simulates it locally
+// (heartbeating the lease meanwhile), and reports the result with the
+// cell's deterministic seed — so which worker ran a cell never affects
+// the campaign's output. A slot that learns its lease is gone —
+// usually because the job was evicted, canceled, or drained on the
+// coordinator — cancels its simulation mid-cell and moves on.
+type Worker struct {
+	// Client talks to the coordinator.
+	Client *Client
+	// Simulate overrides the local simulation (tests inject failures
+	// here). nil uses campaign.Simulator, one per job so each
+	// campaign's fault-population cache stays coherent.
+	Simulate func(ctx context.Context, job string, spec campaign.Spec, cell campaign.Cell) campaign.CellResult
+	// Parallel is the number of concurrent cells (default 1).
+	Parallel int
+	// Poll floors the idle wait between lease attempts when the
+	// coordinator doesn't name a longer one (default 500ms).
+	Poll time.Duration
+	// MaxIdle, when positive, makes Run return cleanly once no slot
+	// has held work for this long — how a CI-spawned worker fleet
+	// winds down instead of polling forever.
+	MaxIdle time.Duration
+	// Log receives per-lease progress lines; nil is silent.
+	Log *log.Logger
+
+	// sims caches one simulator per job (bounded; see simulator).
+	simsMu sync.Mutex
+	sims   map[string]simEntry
+	// lastWork is the UnixNano of the last held lease and inFlight the
+	// leases currently simulating, shared by the slots for the MaxIdle
+	// accounting: the worker is idle only when nothing is in flight
+	// AND nothing has been for MaxIdle.
+	lastWork atomic.Int64
+	inFlight atomic.Int64
+}
+
+// maxCachedSims bounds the per-job simulator cache; a worker serving
+// endless distinct jobs must not retain every fault enumeration.
+const maxCachedSims = 8
+
+// simEntry ties a cached simulator to the spec it was built for. A
+// Simulator's fault cache is keyed by geometry alone, so a cached one
+// is only valid for the exact spec it served — and a long-lived
+// worker can see one job id carry different specs (a journalless
+// coordinator restart resets its id sequence).
+type simEntry struct {
+	fingerprint string
+	sim         *campaign.Simulator
+}
+
+// simulator returns the cached simulator for (job, spec), replacing a
+// stale entry whose spec changed under the same job id.
+func (w *Worker) simulator(job string, spec *campaign.Spec) *campaign.Simulator {
+	fp, err := json.Marshal(spec)
+	if err != nil {
+		return campaign.NewSimulator() // can't fingerprint: don't cache
+	}
+	w.simsMu.Lock()
+	defer w.simsMu.Unlock()
+	if w.sims == nil {
+		w.sims = make(map[string]simEntry)
+	}
+	if e, ok := w.sims[job]; ok && e.fingerprint == string(fp) {
+		return e.sim
+	}
+	if len(w.sims) >= maxCachedSims {
+		for k := range w.sims {
+			delete(w.sims, k)
+			break
+		}
+	}
+	s := campaign.NewSimulator()
+	w.sims[job] = simEntry{fingerprint: string(fp), sim: s}
+	return s
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		w.Log.Printf(format, args...)
+	}
+}
+
+// Run polls the coordinator until ctx is canceled (returns ctx's
+// error) or the worker has been idle for MaxIdle (returns nil).
+func (w *Worker) Run(ctx context.Context) error {
+	parallel := w.Parallel
+	if parallel < 1 {
+		parallel = 1
+	}
+	w.lastWork.Store(time.Now().UnixNano())
+	var wg sync.WaitGroup
+	for i := 0; i < parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.slot(ctx)
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// slot is one lease loop.
+func (w *Worker) slot(ctx context.Context) {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		grant, err := w.Client.Lease(ctx)
+		wait := poll
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return
+			}
+			// The client already retried with backoff; treat a still-
+			// failing coordinator like an idle one and keep polling.
+			w.logf("twmw: lease: %v", err)
+		case grant.Status == StatusLease && grant.Cell != nil && grant.Spec != nil:
+			w.lastWork.Store(time.Now().UnixNano())
+			w.inFlight.Add(1)
+			w.runLease(ctx, grant)
+			w.lastWork.Store(time.Now().UnixNano())
+			w.inFlight.Add(-1)
+			continue // immediately try for the next cell
+		default: // idle
+			if r := time.Duration(grant.RetryNS); r > wait {
+				wait = r
+			}
+		}
+		// A sibling slot mid-cell keeps the worker alive: a cell slower
+		// than MaxIdle must not shrink the pool slot by slot.
+		if w.MaxIdle > 0 && w.inFlight.Load() == 0 &&
+			time.Since(time.Unix(0, w.lastWork.Load())) >= w.MaxIdle {
+			w.logf("twmw: idle for %s, exiting", w.MaxIdle)
+			return
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// runLease simulates one granted cell under a heartbeat. The
+// heartbeat renews at a third of the TTL; a gone response (or a renew
+// that keeps failing past the client's retries) cancels the
+// simulation so the slot stops burning CPU on a dead cell.
+func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ttl := time.Duration(g.TTLNS)
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-cctx.Done():
+				return
+			case <-t.C:
+				st, err := w.Client.Renew(cctx, g.Job, g.LeaseID)
+				if err != nil && cctx.Err() == nil {
+					w.logf("twmw: renew %s: %v", g.LeaseID, err)
+					cancel()
+					return
+				}
+				if st == StatusGone {
+					w.logf("twmw: lease %s gone, abandoning cell %d", g.LeaseID, g.Cell.Index)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	simulate := w.Simulate
+	if simulate == nil {
+		simulate = func(ctx context.Context, job string, spec campaign.Spec, cell campaign.Cell) campaign.CellResult {
+			return w.simulator(job, &spec).RunCell(ctx, spec, cell)
+		}
+	}
+	res := simulate(cctx, g.Job, *g.Spec, *g.Cell)
+	// Snapshot the cancellation state before the deferred-cancel region:
+	// a cctx canceled while simulating means the lease died and the
+	// result may be a poisoned partial tally (cancellation lands in
+	// res.Err). Never report it — the coordinator requeued the cell.
+	poisoned := cctx.Err() != nil
+	cancel()
+	hb.Wait()
+	if poisoned || ctx.Err() != nil {
+		return
+	}
+	st, err := w.Client.Complete(ctx, g.Job, g.LeaseID, res)
+	switch {
+	case err != nil:
+		w.logf("twmw: complete cell %d: %v", g.Cell.Index, err)
+	case st == StatusGone:
+		w.logf("twmw: job %s gone, result for cell %d discarded", g.Job, g.Cell.Index)
+	default:
+		w.logf("twmw: completed cell %d of %s (lease %s)", g.Cell.Index, g.Job, g.LeaseID)
+	}
+}
