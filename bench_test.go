@@ -36,6 +36,7 @@ import (
 	"twmarch/internal/march"
 	"twmarch/internal/memory"
 	"twmarch/internal/misr"
+	"twmarch/internal/obs"
 	"twmarch/internal/statecover"
 	"twmarch/internal/symmetric"
 	"twmarch/internal/tomt"
@@ -649,4 +650,23 @@ func BenchmarkE10Characterization(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*cov, "CFid_coverage_pct")
+}
+
+// BenchmarkMetricsHotPath measures the internal/obs instrumentation
+// primitives on their hot paths — counter increment, gauge set, and
+// histogram observe on pre-resolved series — per iteration, the cost
+// every simulated cell now pays. scripts/benchdiff gates it so the
+// observability layer can't silently tax the engine.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.Counter("bench_ops_total", "bench counter", "kind").With("hot")
+	g := reg.Gauge("bench_level", "bench gauge").With()
+	h := reg.Histogram("bench_duration_seconds", "bench histogram", nil).With()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Inc()
+		g.Set(float64(i))
+		h.Observe(0.003)
+	}
+	b.ReportMetric(3, "updates_per_op")
 }

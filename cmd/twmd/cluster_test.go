@@ -51,7 +51,7 @@ func TestClusterEndToEnd(t *testing.T) {
 		RetryBackoff: 10 * time.Millisecond,
 		IdleRetry:    5 * time.Millisecond,
 	})
-	s := newServer(campaign.Engine{}, 2, openStore(t, dir), coord)
+	s := newServer(campaign.Engine{}, 2, openStore(t, dir), coord, nil)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -151,7 +151,7 @@ func TestClusterEndToEnd(t *testing.T) {
 // cells.
 func TestClusterEvictionRevokesLeases(t *testing.T) {
 	coord := cluster.New(cluster.Options{LeaseTTL: 10 * time.Second, IdleRetry: 2 * time.Millisecond})
-	s := newServer(campaign.Engine{}, 2, nil, coord)
+	s := newServer(campaign.Engine{}, 2, nil, coord, nil)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -209,7 +209,7 @@ func TestClusterEvictionRevokesLeases(t *testing.T) {
 func TestClusterDrainRevokesLeases(t *testing.T) {
 	dir := t.TempDir()
 	coord := cluster.New(cluster.Options{LeaseTTL: 10 * time.Second, IdleRetry: 2 * time.Millisecond})
-	s := newServer(campaign.Engine{}, 1, openStore(t, dir), coord)
+	s := newServer(campaign.Engine{}, 1, openStore(t, dir), coord, nil)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 

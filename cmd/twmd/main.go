@@ -55,6 +55,14 @@
 //	DELETE /campaigns/{id}       cancel (if running) and evict the job,
 //	                             freeing its results and journal
 //	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text exposition (internal/obs)
+//	GET    /debug/runtime        JSON runtime snapshot (goroutines, heap,
+//	                             full registry dump)
+//	GET    /debug/pprof/...      net/http/pprof profiling surface
+//
+// Logs are structured (log/slog): every record carries component=twmd
+// plus job/lease attributes where applicable; -log-format selects
+// text or json.
 package main
 
 import (
@@ -63,7 +71,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -79,6 +87,20 @@ import (
 	"twmarch/internal/campaign"
 	"twmarch/internal/cluster"
 	"twmarch/internal/jobstore"
+	"twmarch/internal/obs"
+)
+
+// Per-job rate gauges: the one source of truth for cells_per_sec and
+// eta_ns — published from the engine's Progress, read back by both the
+// status endpoint and /metrics scrapes (via the registry's OnGather
+// hook), and deleted when the job is evicted.
+var (
+	metJobRate = obs.NewGauge("twm_job_cells_per_sec",
+		"live simulation rate per job, in grid cells per second", "job")
+	metJobETA = obs.NewGauge("twm_job_eta_ns",
+		"estimated remaining run time per job, in nanoseconds", "job")
+	metJobsByState = obs.NewGauge("twm_jobs",
+		"jobs in the server's table by state", "state")
 )
 
 func main() {
@@ -93,8 +115,10 @@ func main() {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining running jobs")
 	clusterMode := fs.Bool("cluster", false, "dispatch campaign cells to twmw workers over /cluster instead of simulating locally")
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "with -cluster, how long a leased cell lives without a worker heartbeat before it requeues")
+	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
 	fs.Parse(os.Args[1:])
 
+	logger := obs.NewLogger(os.Stderr, *logFormat, "twmd")
 	eng := campaign.Engine{Workers: *workers}
 	if *once {
 		if err := runOnce(context.Background(), eng, *specPath, *asJSON, os.Stdout); err != nil {
@@ -108,14 +132,15 @@ func main() {
 		var err error
 		store, err = jobstore.Open(*datadir)
 		if err != nil {
-			log.Fatalf("twmd: %v", err)
+			logger.Error("open jobstore failed", "datadir", *datadir, "err", err)
+			os.Exit(1)
 		}
 	}
 	var coord *cluster.Coordinator
 	if *clusterMode {
 		coord = cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
 	}
-	h := newServer(eng, *maxJobs, store, coord)
+	h := newServer(eng, *maxJobs, store, coord, logger)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -130,17 +155,18 @@ func main() {
 	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("twmd: serving campaign API on %s", *addr)
+	logger.Info("serving campaign API", "addr", *addr, "cluster", *clusterMode, "maxjobs", *maxJobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately
-	log.Printf("twmd: signal received, draining jobs (budget %s)", *drain)
+	logger.Info("signal received, draining jobs", "budget", *drain)
 	h.beginDrain()
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
@@ -149,9 +175,9 @@ func main() {
 	defer cancel2()
 	srv.Shutdown(sctx)
 	if drained {
-		log.Printf("twmd: all jobs drained, exiting")
+		logger.Info("all jobs drained, exiting")
 	} else {
-		log.Printf("twmd: drain budget exhausted; interrupted jobs left journaled for recovery")
+		logger.Warn("drain budget exhausted; interrupted jobs left journaled for recovery")
 	}
 }
 
@@ -198,6 +224,7 @@ type job struct {
 	journal *jobstore.Journal // nil without -datadir
 	cancel  context.CancelFunc
 	done    chan struct{}
+	log     *slog.Logger
 	// abandoned marks a drain-interrupted job: the runner closes the
 	// journal without a terminal marker so a restart resumes it.
 	abandoned atomic.Bool
@@ -240,7 +267,29 @@ type Status struct {
 	CellErrors int     `json:"cell_errors,omitempty"`
 }
 
+// logger returns the job's logger, or a silent one for jobs built
+// outside the server paths (tests).
+func (j *job) logger() *slog.Logger {
+	if j.log != nil {
+		return j.log
+	}
+	return obs.NopLogger()
+}
+
+// publishRates pushes the job's live simulation rate and ETA into its
+// registry gauge series and returns them. The gauges are the single
+// source of truth for these numbers: the status endpoint reads the
+// same series a /metrics scrape exports.
+func (j *job) publishRates() (rate, eta *obs.Gauge) {
+	rate = metJobRate.With(j.id)
+	eta = metJobETA.With(j.id)
+	rate.Set(j.prog.Rate())
+	eta.Set(float64(j.prog.ETA().Nanoseconds()))
+	return rate, eta
+}
+
 func (j *job) status() Status {
+	rate, eta := j.publishRates()
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	end := j.finished
@@ -275,8 +324,8 @@ func (j *job) status() Status {
 		Error:        j.errMsg,
 		ElapsedNS:    end.Sub(j.started).Nanoseconds(),
 		RunElapsedNS: j.prog.Elapsed().Nanoseconds(),
-		CellsPerSec:  j.prog.Rate(),
-		ETANS:        j.prog.ETA().Nanoseconds(),
+		CellsPerSec:  rate.Value(),
+		ETANS:        int64(eta.Value()),
 		Faults:       st.Faults,
 		Detected:     st.Detected,
 		Coverage:     coverage,
@@ -288,7 +337,11 @@ func (j *job) status() Status {
 type server struct {
 	engine campaign.Engine
 	mux    *http.ServeMux
-	store  *jobstore.Store // nil without -datadir
+	// handler is the instrumented mux (request counters and latency
+	// histograms per normalized route); ServeHTTP delegates to it.
+	handler http.Handler
+	log     *slog.Logger
+	store   *jobstore.Store // nil without -datadir
 	// coord dispatches cells to remote workers instead of running the
 	// engine locally; nil without -cluster.
 	coord *cluster.Coordinator
@@ -303,12 +356,16 @@ type server struct {
 	jobs map[string]*job
 }
 
-func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *cluster.Coordinator) *server {
+func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *cluster.Coordinator, logger *slog.Logger) *server {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
 	s := &server{
 		engine: eng,
+		log:    logger,
 		store:  store,
 		coord:  coord,
 		jobs:   make(map[string]*job),
@@ -323,8 +380,89 @@ func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *c
 	if coord != nil {
 		s.mux.Handle("/cluster/", coord)
 	}
+	obs.Mount(s.mux, obs.Default())
+	registerGatherHook(s)
+	s.handler = obs.Instrument("twmd", s.mux, routePattern)
 	s.recover()
 	return s
+}
+
+// activeServer is the server whose derived gauges the registry's
+// gather hook publishes. A process runs one server; tests that build
+// several must not leave a stale one republishing evicted series, so
+// the hook always follows the newest.
+var (
+	gatherHookOnce sync.Once
+	activeServer   atomic.Pointer[server]
+)
+
+// registerGatherHook makes s the publisher behind the default
+// registry's gather hook (registered once per process).
+func registerGatherHook(s *server) {
+	activeServer.Store(s)
+	gatherHookOnce.Do(func() {
+		obs.Default().OnGather(func() {
+			if cur := activeServer.Load(); cur != nil {
+				cur.publishMetrics()
+			}
+		})
+	})
+}
+
+// routePattern collapses request paths into a bounded route-label set
+// so per-job ids and probe paths can't blow up /metrics cardinality.
+func routePattern(r *http.Request) string {
+	p := r.URL.Path
+	switch {
+	case p == "/campaigns":
+		return "/campaigns"
+	case strings.HasPrefix(p, "/campaigns/"):
+		rest := strings.Trim(strings.TrimPrefix(p, "/campaigns/"), "/")
+		_, sub, _ := strings.Cut(rest, "/")
+		switch sub {
+		case "results", "cancel", "events":
+			return "/campaigns/{id}/" + sub
+		case "":
+			return "/campaigns/{id}"
+		}
+		return "/campaigns/{id}/other"
+	case strings.HasPrefix(p, "/cluster/"):
+		switch p {
+		case "/cluster/lease", "/cluster/renew", "/cluster/complete":
+			return p
+		}
+		return "/cluster/other"
+	case strings.HasPrefix(p, "/debug/"):
+		return "/debug/*"
+	case p == "/metrics", p == "/healthz":
+		return p
+	}
+	return "other"
+}
+
+// publishMetrics refreshes the derived gauges — per-job rate and ETA
+// plus the jobs-by-state breakdown — so every /metrics scrape reads
+// current values. Registered as the default registry's gather hook.
+func (s *server) publishMetrics() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	counts := map[string]int{
+		StateQueued: 0, StateRunning: 0, StateDone: 0,
+		StateFailed: 0, StateCanceled: 0,
+	}
+	for _, j := range jobs {
+		j.publishRates()
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	for st, n := range counts {
+		metJobsByState.With(st).Set(float64(n))
+	}
 }
 
 // recover reloads journaled jobs from the store: terminal jobs are
@@ -338,7 +476,7 @@ func (s *server) recover() {
 	}
 	jobs, err := s.store.Recover()
 	if err != nil {
-		log.Printf("twmd: journal recovery: %v", err)
+		s.log.Error("journal recovery failed", "err", err)
 		return
 	}
 	// Bump the id sequence past every directory in the store — also
@@ -363,6 +501,7 @@ func (s *server) recover() {
 			agg:     campaign.NewAggregator(rec.Spec),
 			hub:     newHub(),
 			done:    make(chan struct{}),
+			log:     s.log.With("job", rec.ID),
 			state:   StateQueued,
 			started: time.Now(),
 		}
@@ -410,18 +549,18 @@ func (s *server) recover() {
 		// resume. Reopen the journal so newly simulated cells append.
 		jn, err := s.store.Reopen(rec.ID)
 		if err != nil {
-			log.Printf("twmd: reopen journal %s: %v (job will run unjournaled)", rec.ID, err)
+			j.logger().Warn("reopen journal failed, job will run unjournaled", "err", err)
 		} else {
 			j.journal = jn
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
-		log.Printf("twmd: recovered job %s (%d/%d cells journaled), resuming", j.id, len(seeded), len(cells))
+		j.logger().Info("recovered job, resuming", "journaled", len(seeded), "cells", len(cells))
 		s.run(ctx, j)
 	}
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -498,11 +637,12 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 	j.id = fmt.Sprintf("c%d", s.seq)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
+	j.log = s.log.With("job", j.id)
 
 	if s.store != nil {
 		jn, err := s.store.Create(j.id, spec)
 		if err != nil {
-			log.Printf("twmd: journal %s: %v (job will run unjournaled)", j.id, err)
+			j.logger().Warn("journal create failed, job will run unjournaled", "err", err)
 		} else {
 			j.journal = jn
 		}
@@ -554,7 +694,7 @@ func (s *server) run(ctx context.Context, j *job) {
 		}
 		if j.journal != nil {
 			if jerr := j.journal.Err(); jerr != nil {
-				log.Printf("twmd: job %s: %v", j.id, jerr)
+				j.logger().Warn("journal write error", "err", jerr)
 			}
 		}
 		switch {
@@ -577,6 +717,11 @@ func (j *job) settle(state, errMsg string, agg *campaign.Aggregate) {
 	j.state, j.errMsg, j.aggFinal = state, errMsg, agg
 	j.mu.Unlock()
 	j.hub.close()
+	if errMsg != "" {
+		j.logger().Warn("job settled", "state", state, "err", errMsg)
+	} else {
+		j.logger().Info("job settled", "state", state)
+	}
 	if j.journal == nil {
 		return
 	}
@@ -587,7 +732,7 @@ func (j *job) settle(state, errMsg string, agg *campaign.Aggregate) {
 		err = j.journal.Finish(state, errMsg)
 	}
 	if err != nil {
-		log.Printf("twmd: job %s journal: %v", j.id, err)
+		j.logger().Warn("journal finish failed", "err", err)
 	}
 }
 
@@ -693,15 +838,22 @@ func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 			j.cancel()
 		}
 		<-j.done
+		// Snapshot the status before dropping the gauge series: status()
+		// republishes them.
+		st := j.status()
 		s.mu.Lock()
 		delete(s.jobs, id)
 		s.mu.Unlock()
+		// Drop the evicted job's gauge series so a long-lived daemon's
+		// exposition stays bounded by live jobs.
+		metJobRate.Delete(id)
+		metJobETA.Delete(id)
 		if s.store != nil {
 			if err := s.store.Remove(id); err != nil {
-				log.Printf("twmd: evict journal %s: %v", id, err)
+				s.log.Warn("evict journal failed", "job", id, "err", err)
 			}
 		}
-		writeJSON(w, http.StatusOK, j.status())
+		writeJSON(w, http.StatusOK, st)
 	case sub == "results" && r.Method == http.MethodGet:
 		s.results(w, r, j)
 	case sub == "events":

@@ -85,7 +85,7 @@ func waitState(t testing.TB, ts *httptest.Server, id, want string) Status {
 // fetch results → cancel a second campaign. The fetched aggregate must
 // be byte-identical to a direct engine run of the same spec.
 func TestEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 
 	// Submit.
@@ -217,7 +217,7 @@ func TestEndToEnd(t *testing.T) {
 // that the results report the yield section: diagnosed fault-class
 // histogram, repairability rate, and post-ECC escape rate.
 func TestPipelineSpecEndToEnd(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 
 	spec := smallSpec()
@@ -276,7 +276,7 @@ func TestPipelineSpecEndToEnd(t *testing.T) {
 // submission stays queued while the first runs, and canceling a queued
 // job resolves it without ever running.
 func TestJobQueue(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 1, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 1, nil, nil, nil))
 	defer ts.Close()
 
 	slow := smallSpec()
@@ -339,7 +339,7 @@ func readAll(resp *http.Response) ([]byte, error) {
 }
 
 func TestSubmitRejectsBadSpecs(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 	for _, body := range []string{
 		`{`,
@@ -361,7 +361,7 @@ func TestSubmitRejectsBadSpecs(t *testing.T) {
 }
 
 func TestRoutingErrors(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 	resp, err := http.Get(ts.URL + "/campaigns/c999")
 	if err != nil {

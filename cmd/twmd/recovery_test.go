@@ -48,7 +48,7 @@ func TestRestartRecovery(t *testing.T) {
 	spec.Words = []int{96, 128}
 	spec.Workers = 1
 
-	s1 := newServer(campaign.Engine{}, 1, openStore(t, dir), nil)
+	s1 := newServer(campaign.Engine{}, 1, openStore(t, dir), nil, nil)
 	ts1 := httptest.NewServer(s1)
 	sub := postSpec(t, ts1, spec)
 	id, _ := sub["id"].(string)
@@ -84,7 +84,7 @@ func TestRestartRecovery(t *testing.T) {
 
 	// Restart: the job recovers, reports the journaled cells
 	// immediately, resumes, and completes.
-	s2 := newServer(campaign.Engine{}, 1, openStore(t, dir), nil)
+	s2 := newServer(campaign.Engine{}, 1, openStore(t, dir), nil, nil)
 	ts2 := httptest.NewServer(s2)
 	defer ts2.Close()
 	st := getStatus(t, ts2, id)
@@ -146,7 +146,7 @@ func TestRecoverySkipsOrphanIDs(t *testing.T) {
 	if err := os.Mkdir(filepath.Join(dir, "c9"), 0o755); err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(campaign.Engine{}, 2, openStore(t, dir), nil)
+	s := newServer(campaign.Engine{}, 2, openStore(t, dir), nil, nil)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -171,7 +171,7 @@ func TestRecoverySkipsOrphanIDs(t *testing.T) {
 // state instead of resuming.
 func TestRecoverTerminalJobs(t *testing.T) {
 	dir := t.TempDir()
-	s1 := newServer(campaign.Engine{}, 2, openStore(t, dir), nil)
+	s1 := newServer(campaign.Engine{}, 2, openStore(t, dir), nil, nil)
 	ts1 := httptest.NewServer(s1)
 
 	sub := postSpec(t, ts1, smallSpec())
@@ -200,7 +200,7 @@ func TestRecoverTerminalJobs(t *testing.T) {
 	waitState(t, ts1, idCanceled, StateCanceled)
 	ts1.Close()
 
-	s2 := newServer(campaign.Engine{}, 2, openStore(t, dir), nil)
+	s2 := newServer(campaign.Engine{}, 2, openStore(t, dir), nil, nil)
 	ts2 := httptest.NewServer(s2)
 	defer ts2.Close()
 

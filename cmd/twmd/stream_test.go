@@ -50,7 +50,7 @@ func readEvents(t testing.TB, ts *httptest.Server, id string) []campaign.CellRes
 // checks the contract: one NDJSON line per grid cell, each cell exactly
 // once, and the folded stream matches the final aggregate.
 func TestEventsStream(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 
 	sub := postSpec(t, ts, smallSpec())
@@ -108,7 +108,7 @@ func reorder(events []campaign.CellResult) []campaign.CellResult {
 // checks the live view: partial coverage, progress, and rate/ETA from
 // the engine's timestamps, all before the grid finishes.
 func TestStatusLivePartial(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 
 	slow := smallSpec()
@@ -155,7 +155,7 @@ func TestStatusLivePartial(t *testing.T) {
 // once — submits, event subscriptions, status polls, cancels and
 // evictions — as the race-detector e2e for the streaming path.
 func TestConcurrentStreamRace(t *testing.T) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 
 	const jobs = 6
@@ -263,7 +263,7 @@ func TestConcurrentStreamRace(t *testing.T) {
 // beginDrain, submissions get 503 while reads keep working, and
 // drainJobs waits out the running jobs.
 func TestDrainRejectsSubmissions(t *testing.T) {
-	h := newServer(campaign.Engine{}, 2, nil, nil)
+	h := newServer(campaign.Engine{}, 2, nil, nil, nil)
 	ts := httptest.NewServer(h)
 	defer ts.Close()
 
@@ -297,7 +297,7 @@ func TestDrainRejectsSubmissions(t *testing.T) {
 // BenchmarkTwmdStream measures the server's full streaming round trip:
 // submit a grid, follow its NDJSON event stream to completion, evict.
 func BenchmarkTwmdStream(b *testing.B) {
-	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil))
+	ts := httptest.NewServer(newServer(campaign.Engine{}, 2, nil, nil, nil))
 	defer ts.Close()
 	spec := smallSpec()
 	for i := 0; i < b.N; i++ {

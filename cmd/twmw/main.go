@@ -7,6 +7,7 @@
 //
 //	twmw -coordinator http://twmd-host:8080
 //	twmw -coordinator http://twmd-host:8080 -parallel 8 -max-idle 30s
+//	twmw -coordinator http://twmd-host:8080 -metrics-addr :9090
 //
 // Leases are kept alive by heartbeats; if the coordinator answers
 // "gone" — the job was evicted, canceled, or drained — the worker
@@ -16,20 +17,30 @@
 // of work that long — how a CI-spawned fleet winds down — and on
 // SIGINT/SIGTERM it stops leasing and abandons in-flight cells (the
 // coordinator requeues them).
+//
+// Logs are structured (log/slog): every record carries component=twmw
+// and the worker id, and per-lease records add job/lease/cell;
+// -log-format selects text or json. With -metrics-addr the worker
+// serves its own observability sidecar — GET /metrics (Prometheus
+// text exposition covering leases processed, simulation latency,
+// retries and idle time) and /debug/pprof — on a separate listener so
+// the scrape surface never competes with simulation work.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"twmarch/internal/cluster"
+	"twmarch/internal/obs"
 )
 
 // defaultWorkerID names the worker host-pid when -id is not given, so
@@ -50,6 +61,8 @@ func main() {
 	poll := fs.Duration("poll", 500*time.Millisecond, "idle poll floor between lease attempts")
 	maxIdle := fs.Duration("max-idle", 0, "exit cleanly after this long without work (0 = poll forever)")
 	quiet := fs.Bool("quiet", false, "suppress per-lease log lines")
+	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	fs.Parse(os.Args[1:])
 
 	if *coordinator == "" {
@@ -60,7 +73,7 @@ func main() {
 	if worker == "" {
 		worker = defaultWorkerID()
 	}
-	logger := log.New(os.Stderr, "", log.LstdFlags)
+	logger := obs.NewLogger(os.Stderr, *logFormat, "twmw").With("worker", worker)
 	w := &cluster.Worker{
 		Client:   &cluster.Client{Base: *coordinator, Worker: worker},
 		Parallel: *parallel,
@@ -71,16 +84,37 @@ func main() {
 		w.Log = logger
 	}
 
+	if *metricsAddr != "" {
+		msrv := &http.Server{
+			Addr: *metricsAddr,
+			Handler: obs.Instrument("twmw", obs.DebugMux(obs.Default()), func(r *http.Request) string {
+				if strings.HasPrefix(r.URL.Path, "/debug/") {
+					return "/debug/*"
+				}
+				return r.URL.Path
+			}),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Info("serving metrics", "addr", *metricsAddr)
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	logger.Printf("twmw: worker %s polling %s (parallel %d)", worker, *coordinator, *parallel)
+	logger.Info("polling coordinator", "coordinator", *coordinator, "parallel", *parallel)
 	err := w.Run(ctx)
 	switch {
 	case err == nil:
-		logger.Printf("twmw: idle limit reached, exiting")
+		logger.Info("idle limit reached, exiting")
 	case ctx.Err() != nil:
-		logger.Printf("twmw: signal received, exiting; in-flight leases will expire and requeue")
+		logger.Info("signal received, exiting; in-flight leases will expire and requeue")
 	default:
-		logger.Fatalf("twmw: %v", err)
+		logger.Error("worker failed", "err", err)
+		os.Exit(1)
 	}
 }

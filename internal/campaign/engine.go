@@ -210,6 +210,8 @@ func (e Engine) Stream(ctx context.Context, spec Spec, prog *Progress, agg *Aggr
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			metActiveWorkers.Inc()
+			defer metActiveWorkers.Dec()
 			for shard := range jobs {
 				for _, c := range shard {
 					if ctx.Err() != nil {

@@ -113,6 +113,11 @@ func runCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) CellResu
 	start := time.Now()
 	res := simulateCell(ctx, spec, c, cache)
 	res.DurationNS = time.Since(start).Nanoseconds()
+	metCells.Inc()
+	if res.Err != "" {
+		metCellErrors.Inc()
+	}
+	metCellDur.Observe(time.Duration(res.DurationNS).Seconds())
 	return res
 }
 
@@ -136,6 +141,7 @@ func (fc *faultCache) faults(spec Spec, words, width int) ([]faults.Fault, error
 		return nil, err
 	}
 	if fc == nil {
+		metCacheMisses.Inc()
 		return FaultList(spec.Classes, scope, words, width)
 	}
 	key := [2]int{words, width}
@@ -143,8 +149,10 @@ func (fc *faultCache) faults(spec Spec, words, width int) ([]faults.Fault, error
 	list, ok := fc.lists[key]
 	fc.mu.Unlock()
 	if ok {
+		metCacheHits.Inc()
 		return list, nil
 	}
+	metCacheMisses.Inc()
 	// Enumerate outside the lock; concurrent workers may duplicate the
 	// work for the same geometry, but the result is identical.
 	list, err = FaultList(spec.Classes, scope, words, width)

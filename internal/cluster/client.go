@@ -102,6 +102,7 @@ func (c *Client) post(ctx context.Context, path string, reqBody, respBody any) e
 		if !retryable(resp) || attempt >= maxRetries {
 			return last
 		}
+		metWorkerRetries.Inc()
 		d := c.retryDelay(attempt, resp)
 		select {
 		case <-time.After(d):

@@ -86,6 +86,7 @@ func (c *Coordinator) register(job string, q *queue) error {
 	}
 	c.jobs[job] = q
 	c.order = append(c.order, job)
+	metJobsDispatching.Set(float64(len(c.jobs)))
 	return nil
 }
 
@@ -95,6 +96,7 @@ func (c *Coordinator) unregister(job string) {
 	c.mu.Lock()
 	q := c.jobs[job]
 	delete(c.jobs, job)
+	metJobsDispatching.Set(float64(len(c.jobs)))
 	for i, id := range c.order {
 		if id == job {
 			c.order = append(c.order[:i], c.order[i+1:]...)
@@ -131,11 +133,14 @@ func (c *Coordinator) heartbeat(worker string, now time.Time) {
 	cutoff := now.Add(-seenHorizon * c.opts.LeaseTTL)
 	c.mu.Lock()
 	c.seen[worker] = now
+	metWorkerHeartbeat.With(worker).Set(float64(now.UnixNano()) / 1e9)
 	for w, t := range c.seen {
 		if t.Before(cutoff) {
 			delete(c.seen, w)
+			metWorkerHeartbeat.Delete(w)
 		}
 	}
+	metWorkersLive.Set(float64(len(c.seen)))
 	c.mu.Unlock()
 }
 

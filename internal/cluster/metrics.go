@@ -1,0 +1,46 @@
+package cluster
+
+// Cluster metrics on the process-default obs registry. Lease-lifecycle
+// counters are recorded centrally from the queue's own event stream
+// (recordEvents), so the dispatch journal and /metrics can never
+// disagree about what happened; gauges track the live queue state and
+// are deleted when their job's dispatch ends, keeping label
+// cardinality bounded by in-flight jobs.
+
+import "twmarch/internal/obs"
+
+var (
+	metLeaseEvents = obs.NewCounter("twm_cluster_lease_events_total",
+		"cluster scheduling events by kind (lease, expire, requeue, complete, duplicate, revoke, abandon)",
+		"kind")
+	metLeasesRenewed = obs.NewCounter("twm_cluster_leases_renewed_total",
+		"lease heartbeats accepted").With()
+	metQueueDepth = obs.NewGauge("twm_cluster_queue_depth",
+		"cells waiting to be leased, per dispatching job", "job")
+	metLeasesOut = obs.NewGauge("twm_cluster_leases_outstanding",
+		"cells currently leased to workers, per dispatching job", "job")
+	metJobsDispatching = obs.NewGauge("twm_cluster_jobs_dispatching",
+		"jobs currently dispatching cells to the cluster").With()
+	metWorkersLive = obs.NewGauge("twm_cluster_workers_live",
+		"workers in the coordinator's heartbeat view").With()
+	metWorkerHeartbeat = obs.NewGauge("twm_cluster_worker_heartbeat_timestamp_seconds",
+		"unix time of each worker's last heartbeat; series are pruned with the heartbeat view", "worker")
+
+	// Worker-side metrics (cmd/twmw).
+	metWorkerLeases = obs.NewCounter("twm_worker_leases_total",
+		"leases processed by this worker, by outcome (completed, gone, abandoned, error)",
+		"outcome")
+	metWorkerRetries = obs.NewCounter("twm_worker_retries_total",
+		"client calls retried after a transport error, 5xx, or 429").With()
+	metWorkerIdle = obs.NewCounter("twm_worker_idle_seconds_total",
+		"seconds worker slots spent waiting for work").With()
+)
+
+// recordEvents tallies queue scheduling events into the lease-event
+// counters. Shared by every queue regardless of whether a dispatch
+// journal hook is attached.
+func recordEvents(evs []Event) {
+	for _, ev := range evs {
+		metLeaseEvents.With(ev.Kind).Inc()
+	}
+}

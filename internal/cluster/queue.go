@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/obs"
 )
 
 // pendingCell is one cell waiting to be leased. eligible gates
@@ -47,6 +48,11 @@ type queue struct {
 	results chan<- campaign.CellResult
 	opts    Options
 	events  func(Event)
+
+	// depth and out are this job's queue-depth and outstanding-lease
+	// gauges, resolved once; close deletes the series.
+	depth *obs.Gauge
+	out   *obs.Gauge
 }
 
 // newQueue builds the queue for one Dispatch call. cells is the full
@@ -63,6 +69,8 @@ func newQueue(job string, spec campaign.Spec, cells, pending []campaign.Cell, re
 		results: results,
 		opts:    opts,
 		events:  events,
+		depth:   metQueueDepth.With(job),
+		out:     metLeasesOut.With(job),
 	}
 	for _, c := range cells {
 		q.done[c.Index] = true
@@ -72,11 +80,21 @@ func newQueue(job string, spec campaign.Spec, cells, pending []campaign.Cell, re
 		q.done[c.Index] = false
 		q.pending = append(q.pending, pendingCell{cell: c})
 	}
+	q.depth.Set(float64(len(q.pending)))
 	return q
 }
 
-// emit fires the dispatch-event hook outside the queue lock.
+// gaugesLocked refreshes the queue's depth and outstanding-lease
+// gauges; callers hold q.mu.
+func (q *queue) gaugesLocked() {
+	q.depth.Set(float64(len(q.pending)))
+	q.out.Set(float64(len(q.leases)))
+}
+
+// emit tallies the events into the cluster metrics and fires the
+// dispatch-event hook, both outside the queue lock.
 func (q *queue) emit(evs []Event) {
+	recordEvents(evs)
 	if q.events == nil {
 		return
 	}
@@ -94,6 +112,7 @@ func (q *queue) lease(worker string, now time.Time) (*LeaseGrant, time.Duration)
 	defer func() { q.emit(evs) }()
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	defer q.gaugesLocked()
 	evs = q.expireLocked(now)
 	if q.closed {
 		return nil, 0
@@ -138,6 +157,7 @@ func (q *queue) renew(leaseID string, now time.Time) bool {
 	defer func() { q.emit(evs) }()
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	defer q.gaugesLocked()
 	evs = q.expireLocked(now)
 	if q.closed {
 		return false
@@ -147,6 +167,7 @@ func (q *queue) renew(leaseID string, now time.Time) bool {
 		return false
 	}
 	l.deadline = now.Add(q.opts.LeaseTTL)
+	metLeasesRenewed.Inc()
 	return true
 }
 
@@ -162,6 +183,7 @@ func (q *queue) complete(leaseID string, res campaign.CellResult, now time.Time)
 	defer func() { q.emit(evs) }()
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	defer q.gaugesLocked()
 	evs = q.expireLocked(now)
 	if q.closed {
 		return StatusGone, nil
@@ -208,6 +230,7 @@ func (q *queue) complete(leaseID string, res campaign.CellResult, now time.Time)
 func (q *queue) expire(now time.Time) {
 	q.mu.Lock()
 	evs := q.expireLocked(now)
+	q.gaugesLocked()
 	q.mu.Unlock()
 	q.emit(evs)
 }
@@ -282,6 +305,10 @@ func (q *queue) close(now time.Time) {
 		q.pending = nil
 	}
 	q.mu.Unlock()
+	// The job's dispatch is over: drop its gauge series so a long-lived
+	// coordinator's exposition stays bounded by in-flight jobs.
+	metQueueDepth.Delete(q.job)
+	metLeasesOut.Delete(q.job)
 	q.emit(evs)
 }
 

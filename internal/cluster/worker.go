@@ -3,12 +3,13 @@ package cluster
 import (
 	"context"
 	"encoding/json"
-	"log"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/obs"
 )
 
 // Worker is the lease-poll-simulate-complete loop cmd/twmw runs: each
@@ -34,8 +35,10 @@ type Worker struct {
 	// has held work for this long — how a CI-spawned worker fleet
 	// winds down instead of polling forever.
 	MaxIdle time.Duration
-	// Log receives per-lease progress lines; nil is silent.
-	Log *log.Logger
+	// Log receives structured per-lease progress records; every record
+	// carries job/lease/cell attributes (cmd/twmw adds component and
+	// worker). nil is silent.
+	Log *slog.Logger
 
 	// sims caches one simulator per job (bounded; see simulator).
 	simsMu sync.Mutex
@@ -88,10 +91,12 @@ func (w *Worker) simulator(job string, spec *campaign.Spec) *campaign.Simulator 
 	return s
 }
 
-func (w *Worker) logf(format string, args ...any) {
+// log returns the worker's logger, or a silent one.
+func (w *Worker) log() *slog.Logger {
 	if w.Log != nil {
-		w.Log.Printf(format, args...)
+		return w.Log
 	}
+	return obs.NopLogger()
 }
 
 // Run polls the coordinator until ctx is canceled (returns ctx's
@@ -133,7 +138,7 @@ func (w *Worker) slot(ctx context.Context) {
 			}
 			// The client already retried with backoff; treat a still-
 			// failing coordinator like an idle one and keep polling.
-			w.logf("twmw: lease: %v", err)
+			w.log().Warn("lease request failed", "err", err)
 		case grant.Status == StatusLease && grant.Cell != nil && grant.Spec != nil:
 			w.lastWork.Store(time.Now().UnixNano())
 			w.inFlight.Add(1)
@@ -150,9 +155,10 @@ func (w *Worker) slot(ctx context.Context) {
 		// than MaxIdle must not shrink the pool slot by slot.
 		if w.MaxIdle > 0 && w.inFlight.Load() == 0 &&
 			time.Since(time.Unix(0, w.lastWork.Load())) >= w.MaxIdle {
-			w.logf("twmw: idle for %s, exiting", w.MaxIdle)
+			w.log().Info("idle limit reached, slot exiting", "max_idle", w.MaxIdle)
 			return
 		}
+		metWorkerIdle.Add(wait.Seconds())
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -166,6 +172,7 @@ func (w *Worker) slot(ctx context.Context) {
 // that keeps failing past the client's retries) cancels the
 // simulation so the slot stops burning CPU on a dead cell.
 func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
+	log := w.log().With("job", g.Job, "lease", g.LeaseID, "cell", g.Cell.Index)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ttl := time.Duration(g.TTLNS)
@@ -185,12 +192,12 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 			case <-t.C:
 				st, err := w.Client.Renew(cctx, g.Job, g.LeaseID)
 				if err != nil && cctx.Err() == nil {
-					w.logf("twmw: renew %s: %v", g.LeaseID, err)
+					log.Warn("lease renew failed, abandoning cell", "err", err)
 					cancel()
 					return
 				}
 				if st == StatusGone {
-					w.logf("twmw: lease %s gone, abandoning cell %d", g.LeaseID, g.Cell.Index)
+					log.Info("lease gone, abandoning cell")
 					cancel()
 					return
 				}
@@ -213,15 +220,19 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 	cancel()
 	hb.Wait()
 	if poisoned || ctx.Err() != nil {
+		metWorkerLeases.With("abandoned").Inc()
 		return
 	}
 	st, err := w.Client.Complete(ctx, g.Job, g.LeaseID, res)
 	switch {
 	case err != nil:
-		w.logf("twmw: complete cell %d: %v", g.Cell.Index, err)
+		metWorkerLeases.With("error").Inc()
+		log.Warn("complete failed", "err", err)
 	case st == StatusGone:
-		w.logf("twmw: job %s gone, result for cell %d discarded", g.Job, g.Cell.Index)
+		metWorkerLeases.With("gone").Inc()
+		log.Info("job gone, result discarded")
 	default:
-		w.logf("twmw: completed cell %d of %s (lease %s)", g.Cell.Index, g.Job, g.LeaseID)
+		metWorkerLeases.With("completed").Inc()
+		log.Info("cell completed")
 	}
 }

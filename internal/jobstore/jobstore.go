@@ -121,6 +121,7 @@ func (s *Store) Reopen(id string) (*Journal, error) {
 		if err := os.Truncate(wal, valid); err != nil {
 			return nil, fmt.Errorf("jobstore: truncate torn tail: %v", err)
 		}
+		metTornRepairs.Inc()
 	}
 	return openWAL(dir)
 }
@@ -185,6 +186,8 @@ func (s *Store) Recover() ([]Job, error) {
 				j.State, j.Err = m.State, m.Error
 			}
 		}
+		metRecoveredJobs.Inc()
+		metRecoveredCells.Add(float64(len(j.Done)))
 		jobs = append(jobs, j)
 	}
 	sort.Slice(jobs, func(a, b int) bool {
@@ -270,13 +273,17 @@ func (j *Journal) Emit(r campaign.CellResult) {
 	raw, err := json.Marshal(r)
 	if err != nil {
 		j.err = fmt.Errorf("jobstore: encode cell %d: %v", r.Index, err)
+		metAppendErrors.Inc()
 		return
 	}
 	// One write syscall per line keeps torn writes to the tail, which
 	// replay detects and drops.
 	if _, err := j.f.Write(append(raw, '\n')); err != nil {
 		j.err = fmt.Errorf("jobstore: append cell %d: %v", r.Index, err)
+		metAppendErrors.Inc()
+		return
 	}
+	metWALAppends.Inc()
 }
 
 // Dispatch appends one cluster scheduling event — any JSON-marshalable
@@ -298,6 +305,7 @@ func (j *Journal) Dispatch(ev any) {
 		f, err := os.OpenFile(filepath.Join(j.dir, "dispatch.ndjson"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			j.dfErr = fmt.Errorf("jobstore: %v", err)
+			metAppendErrors.Inc()
 			return
 		}
 		j.df = f
@@ -305,11 +313,15 @@ func (j *Journal) Dispatch(ev any) {
 	raw, err := json.Marshal(ev)
 	if err != nil {
 		j.dfErr = fmt.Errorf("jobstore: encode dispatch event: %v", err)
+		metAppendErrors.Inc()
 		return
 	}
 	if _, err := j.df.Write(append(raw, '\n')); err != nil {
 		j.dfErr = fmt.Errorf("jobstore: append dispatch event: %v", err)
+		metAppendErrors.Inc()
+		return
 	}
+	metDispatchEvents.Inc()
 }
 
 // DispatchLog reads a job's dispatch side log as raw NDJSON lines

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteProm writes the registry in the Prometheus text exposition
+// format (version 0.0.4): a # HELP and # TYPE line per family, then
+// one line per series. Output order is deterministic — families by
+// name, series by label values — so scrapes are golden-testable.
+func (r *Registry) WriteProm(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.sortedSeries() {
+			switch m := s.metric.(type) {
+			case *Counter:
+				writeSample(bw, f.name, f.labels, s.values, "", "", m.Value())
+			case *Gauge:
+				writeSample(bw, f.name, f.labels, s.values, "", "", m.Value())
+			case *Histogram:
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					writeSample(bw, f.name+"_bucket", f.labels, s.values, "le", formatFloat(b), float64(cum))
+				}
+				writeSample(bw, f.name+"_bucket", f.labels, s.values, "le", "+Inf", float64(m.Count()))
+				writeSample(bw, f.name+"_sum", f.labels, s.values, "", "", m.Sum())
+				writeSample(bw, f.name+"_count", f.labels, s.values, "", "", float64(m.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// series pairs a metric with its decoded label values for exposition.
+type series struct {
+	values []string
+	metric any
+}
+
+// sortedSeries snapshots a family's series sorted by label values.
+func (f *family) sortedSeries() []series {
+	f.mu.RLock()
+	out := make([]series, 0, len(f.series))
+	for k, m := range f.series {
+		var values []string
+		if len(f.labels) > 0 {
+			values = strings.Split(k, labelSep)
+		}
+		out = append(out, series{values: values, metric: m})
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		for i := range out[a].values {
+			if out[a].values[i] != out[b].values[i] {
+				return out[a].values[i] < out[b].values[i]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// writeSample writes one exposition line. extraName/extraVal append a
+// synthetic label (the histogram "le").
+func writeSample(w io.Writer, name string, labels, values []string, extraName, extraVal string, v float64) {
+	io.WriteString(w, name)
+	if len(labels) > 0 || extraName != "" {
+		io.WriteString(w, "{")
+		first := true
+		for i, l := range labels {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			first = false
+			fmt.Fprintf(w, "%s=%q", l, escapeLabel(values[i]))
+		}
+		if extraName != "" {
+			if !first {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", extraName, escapeLabel(extraVal))
+		}
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, " ")
+	io.WriteString(w, formatFloat(v))
+	io.WriteString(w, "\n")
+}
+
+// escapeLabel escapes a label value per the exposition format. %q in
+// writeSample adds the quotes and escapes " and \; newlines are the
+// one case %q would render differently from the exposition spec, and
+// its \n form happens to match, so plain %q suffices — this helper
+// exists to make that contract explicit and keep call sites uniform.
+func escapeLabel(v string) string { return v }
+
+// escapeHelp escapes a help string: backslashes and newlines.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// formatFloat renders a sample value: integral values without an
+// exponent or decimal point, everything else in Go's shortest 'g'
+// form, which Prometheus parsers accept.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the registry as a /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteProm(w)
+	})
+}
+
+// FamilySnapshot is one metric family in a structured registry dump —
+// the JSON form served by the /debug runtime snapshot.
+type FamilySnapshot struct {
+	// Name, Type and Help mirror the exposition metadata.
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Help string `json:"help,omitempty"`
+	// Series holds the family's series in deterministic label order.
+	Series []SeriesSnapshot `json:"series,omitempty"`
+}
+
+// SeriesSnapshot is one labeled series in a FamilySnapshot.
+type SeriesSnapshot struct {
+	// Labels maps label names to this series' values (nil when the
+	// family is unlabeled).
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is the counter or gauge value (histograms use Count/Sum).
+	Value float64 `json:"value"`
+	// Count and Sum are the histogram totals.
+	Count uint64 `json:"count,omitempty"`
+	// Sum is the histogram's observation sum.
+	Sum float64 `json:"sum,omitempty"`
+	// Buckets maps histogram upper bounds ("le") to cumulative counts.
+	Buckets map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot dumps every family and series as structured data, in the
+// same deterministic order as WriteProm.
+func (r *Registry) Snapshot() []FamilySnapshot {
+	fams := r.sortedFamilies()
+	out := make([]FamilySnapshot, 0, len(fams))
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Type: f.typ, Help: f.help}
+		for _, s := range f.sortedSeries() {
+			ss := SeriesSnapshot{}
+			if len(f.labels) > 0 {
+				ss.Labels = make(map[string]string, len(f.labels))
+				for i, l := range f.labels {
+					ss.Labels[l] = s.values[i]
+				}
+			}
+			switch m := s.metric.(type) {
+			case *Counter:
+				ss.Value = m.Value()
+			case *Gauge:
+				ss.Value = m.Value()
+			case *Histogram:
+				ss.Count, ss.Sum = m.Count(), m.Sum()
+				ss.Buckets = make(map[string]uint64, len(m.bounds)+1)
+				cum := uint64(0)
+				for i, b := range m.bounds {
+					cum += m.counts[i].Load()
+					ss.Buckets[formatFloat(b)] = cum
+				}
+				ss.Buckets["+Inf"] = m.Count()
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out = append(out, fs)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// HTTP-layer metrics, shared by every Instrument wrapper in the
+// process. The component label separates the daemons (twmd, twmw);
+// route is the normalized route pattern, never a raw path, so label
+// cardinality stays bounded.
+var (
+	httpReqs = NewCounter("twm_http_requests_total",
+		"HTTP requests served, by component, route, method and status code",
+		"component", "route", "method", "code")
+	httpDur = NewHistogram("twm_http_request_duration_seconds",
+		"HTTP request handling latency, by component and route",
+		nil, "component", "route")
+)
+
+// Instrument wraps an HTTP handler with request counting and latency
+// observation on the default registry. route maps a request to its
+// bounded route pattern (e.g. "/campaigns/{id}/events"); nil uses the
+// raw URL path, which is only safe for muxes with a fixed path set.
+func Instrument(component string, next http.Handler, route func(*http.Request) string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pattern := r.URL.Path
+		if route != nil {
+			pattern = route(r)
+		}
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		httpReqs.With(component, pattern, r.Method, strconv.Itoa(sw.code)).Inc()
+		httpDur.With(component, pattern).Observe(time.Since(start).Seconds())
+	})
+}
+
+// statusWriter captures the response code for the request counter. It
+// forwards Flush and exposes Unwrap so http.ResponseController (the
+// event stream's rolling write deadline) reaches the real writer.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+// WriteHeader records the status code.
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer when it supports flushing.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// RuntimeSnapshot is the JSON body of the /debug runtime endpoint: a
+// point-in-time view of the Go runtime plus a full registry dump.
+type RuntimeSnapshot struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// GOMAXPROCS and NumCPU describe the scheduler's parallelism.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+	// HeapAllocBytes through NextGCBytes are lifted from
+	// runtime.MemStats.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes    uint64 `json:"heap_sys_bytes"`
+	HeapObjects     uint64 `json:"heap_objects"`
+	StackInuseBytes uint64 `json:"stack_inuse_bytes"`
+	GCCycles        uint32 `json:"gc_cycles"`
+	GCPauseTotalNS  uint64 `json:"gc_pause_total_ns"`
+	NextGCBytes     uint64 `json:"next_gc_bytes"`
+	// Metrics is the registry dump, families in name order.
+	Metrics []FamilySnapshot `json:"metrics"`
+}
+
+// NewRuntimeSnapshot captures the current runtime state and reg's
+// registry dump (nil reg dumps the default registry).
+func NewRuntimeSnapshot(reg *Registry) RuntimeSnapshot {
+	if reg == nil {
+		reg = Default()
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeSnapshot{
+		Goroutines:      runtime.NumGoroutine(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		HeapAllocBytes:  ms.HeapAlloc,
+		HeapSysBytes:    ms.HeapSys,
+		HeapObjects:     ms.HeapObjects,
+		StackInuseBytes: ms.StackInuse,
+		GCCycles:        ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+		NextGCBytes:     ms.NextGC,
+		Metrics:         reg.Snapshot(),
+	}
+}
+
+// Mount wires the observability surfaces onto an existing mux:
+//
+//	/metrics            Prometheus text exposition of reg
+//	/debug/runtime      JSON runtime snapshot (goroutines, heap, registry)
+//	/debug/pprof/...    the standard net/http/pprof handlers
+//
+// cmd/twmd mounts these on its API mux; cmd/twmw serves DebugMux on
+// its -metrics-addr.
+func Mount(mux *http.ServeMux, reg *Registry) {
+	if reg == nil {
+		reg = Default()
+	}
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(NewRuntimeSnapshot(reg))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// DebugMux returns a standalone mux serving the Mount surfaces — the
+// whole of a worker's -metrics-addr listener.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	Mount(mux, reg)
+	return mux
+}

@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger and the daemons' -log-format flag.
+const (
+	// LogText is the human-oriented key=value format (slog.TextHandler).
+	LogText = "text"
+	// LogJSON is the machine-oriented one-object-per-line format
+	// (slog.JSONHandler), for log shippers.
+	LogJSON = "json"
+)
+
+// NewLogger builds a structured logger writing to w in the given
+// format (LogText unless format is LogJSON), with a component
+// attribute — "twmd", "twmw" — on every record. Call-site attributes
+// (job, lease, worker, cell) are added per call or via With, replacing
+// the old hand-rolled "twmd: " prefixes.
+func NewLogger(w io.Writer, format, component string) *slog.Logger {
+	var h slog.Handler
+	if format == LogJSON {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	l := slog.New(h)
+	if component != "" {
+		l = l.With("component", component)
+	}
+	return l
+}
+
+// NopLogger returns a logger that discards every record — the default
+// for library types (cluster.Worker) and tests that pass no logger.
+func NopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+}

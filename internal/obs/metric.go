@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DurationBuckets is the default histogram bucket ladder, in seconds:
+// half a millisecond to ten seconds, the range a grid cell simulation
+// or an HTTP request plausibly spans.
+var DurationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// atomicFloat is a float64 with atomic add/store on its bit pattern.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat) load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// Counter is a monotonically increasing series. Inc and Add are
+// lock-free; negative adds are ignored to keep the monotonic contract.
+type Counter struct{ v atomicFloat }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.add(1) }
+
+// Add adds v (ignored when negative).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	c.v.add(v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return c.v.load() }
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ v atomicFloat }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.v.store(v) }
+
+// Add adds v (negative to subtract).
+func (g *Gauge) Add(v float64) { g.v.add(v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v.load() }
+
+// Histogram is a fixed-bucket distribution: observations land in the
+// first bucket whose upper bound is ≥ the value (the Prometheus "le"
+// contract), with a running sum and count. Observe is lock-free.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; the +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1, non-cumulative
+	sum    atomicFloat
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// CounterVec is a labeled counter family.
+type CounterVec struct{ fam *family }
+
+// With resolves the series for the label values (created on first
+// use). Hoist the result out of hot loops.
+func (v *CounterVec) With(values ...string) *Counter { return v.fam.get(values).(*Counter) }
+
+// Delete drops the series for the label values, removing it from
+// exposition — the cleanup path when a label value (a job id, a
+// worker id) leaves the system.
+func (v *CounterVec) Delete(values ...string) { v.fam.delete(values) }
+
+// GaugeVec is a labeled gauge family.
+type GaugeVec struct{ fam *family }
+
+// With resolves the series for the label values (created on first use).
+func (v *GaugeVec) With(values ...string) *Gauge { return v.fam.get(values).(*Gauge) }
+
+// Delete drops the series for the label values.
+func (v *GaugeVec) Delete(values ...string) { v.fam.delete(values) }
+
+// HistogramVec is a labeled histogram family.
+type HistogramVec struct{ fam *family }
+
+// With resolves the series for the label values (created on first use).
+func (v *HistogramVec) With(values ...string) *Histogram { return v.fam.get(values).(*Histogram) }
+
+// Delete drops the series for the label values.
+func (v *HistogramVec) Delete(values ...string) { v.fam.delete(values) }

@@ -1,0 +1,227 @@
+// Package obs is the fleet observability layer: a zero-dependency
+// metrics registry (labeled counters, gauges, and histograms with
+// atomic hot paths and a deterministic Prometheus text exposition),
+// structured-logging helpers on log/slog, and the HTTP surfaces —
+// /metrics, /debug/pprof, and a JSON runtime snapshot — that cmd/twmd
+// and cmd/twmw serve.
+//
+// Instrumented packages declare their metrics once at init against the
+// process-default registry and hold the resolved series:
+//
+//	var cells = obs.Counter("twm_engine_cells_total",
+//		"grid cells simulated to completion").With()
+//	...
+//	cells.Inc()
+//
+// Inc/Add/Set/Observe are single atomic operations (no locks, no
+// allocation), cheap enough for the simulation hot path; label
+// resolution (With) takes a read lock and should be hoisted out of
+// loops. Gather output is deterministically ordered — families by
+// name, series by label values — so exposition is golden-testable.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metric families are one of three types, mirroring the Prometheus
+// exposition TYPE line.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// family is one named metric and its series, keyed by joined label
+// values.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64 // histogram families only
+
+	mu     sync.RWMutex
+	series map[string]any // *Counter | *Gauge | *Histogram
+}
+
+// labelKey joins label values into the series map key. \xff cannot
+// appear in a utf-8 label value's first byte position ambiguously
+// enough to matter here; values containing it would still collide only
+// with themselves.
+const labelSep = "\xff"
+
+func (f *family) key(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has labels %v, got %d value(s)", f.name, f.labels, len(values)))
+	}
+	return strings.Join(values, labelSep)
+}
+
+// get returns the series for the label values, creating it on first
+// use.
+func (f *family) get(values []string) any {
+	k := f.key(values)
+	f.mu.RLock()
+	m, ok := f.series[k]
+	f.mu.RUnlock()
+	if ok {
+		return m
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.series[k]; ok {
+		return m
+	}
+	switch f.typ {
+	case typeCounter:
+		m = &Counter{}
+	case typeGauge:
+		m = &Gauge{}
+	case typeHistogram:
+		m = newHistogram(f.buckets)
+	}
+	f.series[k] = m
+	return m
+}
+
+// delete drops the series for the label values (no-op when absent).
+func (f *family) delete(values []string) {
+	k := f.key(values)
+	f.mu.Lock()
+	delete(f.series, k)
+	f.mu.Unlock()
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// use NewRegistry (or the process-wide Default). All methods are safe
+// for concurrent use.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	order    []string // registration order; sorted at gather time
+	gatherFn []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry the package-level
+// helpers register against; cmd/twmd and cmd/twmw expose it.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register adds (or returns the existing, identical) family. A name
+// collision with a different type or label set panics: two packages
+// fighting over one metric name is a programming error, caught at
+// init.
+func (r *Registry) register(name, help, typ string, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s%v (was %s%v)", name, typ, labels, f.typ, f.labels))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: buckets,
+		series:  make(map[string]any),
+	}
+	r.families[name] = f
+	r.order = append(r.order, name)
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Counter registers (idempotently) a counter family with the given
+// label names and returns its vec.
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers a gauge family and returns its vec.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.register(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers a histogram family with the given bucket upper
+// bounds (nil means DurationBuckets) and returns its vec.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DurationBuckets
+	}
+	b := append([]float64(nil), buckets...)
+	sort.Float64s(b)
+	return &HistogramVec{fam: r.register(name, help, typeHistogram, labels, b)}
+}
+
+// OnGather registers a hook run at the start of every Gather (and
+// therefore every /metrics scrape): the place to refresh gauges that
+// are derived from other state — cmd/twmd publishes per-job rate
+// gauges here. Hooks must not call Gather.
+func (r *Registry) OnGather(f func()) {
+	r.mu.Lock()
+	r.gatherFn = append(r.gatherFn, f)
+	r.mu.Unlock()
+}
+
+// sortedFamilies snapshots the family list in name order, firing the
+// OnGather hooks first.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	hooks := append([]func(){}, r.gatherFn...)
+	r.mu.RUnlock()
+	for _, h := range hooks {
+		h()
+	}
+	r.mu.RLock()
+	names := append([]string{}, r.order...)
+	sort.Strings(names)
+	fams := make([]*family, 0, len(names))
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	r.mu.RUnlock()
+	return fams
+}
+
+// Package-level helpers registering against the Default registry —
+// what instrumented packages use at init.
+
+// NewCounter registers a counter family on the default registry.
+func NewCounter(name, help string, labels ...string) *CounterVec {
+	return defaultRegistry.Counter(name, help, labels...)
+}
+
+// NewGauge registers a gauge family on the default registry.
+func NewGauge(name, help string, labels ...string) *GaugeVec {
+	return defaultRegistry.Gauge(name, help, labels...)
+}
+
+// NewHistogram registers a histogram family on the default registry.
+func NewHistogram(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return defaultRegistry.Histogram(name, help, buckets, labels...)
+}
