@@ -72,6 +72,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -115,6 +116,8 @@ func main() {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-shutdown budget for draining running jobs")
 	clusterMode := fs.Bool("cluster", false, "dispatch campaign cells to twmw workers over /cluster instead of simulating locally")
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "with -cluster, how long a leased cell lives without a worker heartbeat before it requeues")
+	chaosMode := fs.Bool("chaos", false, "with -cluster, expose the /cluster/chaos fault-injection surface (soak harnesses only; never in production)")
+	addrFile := fs.String("addr-file", "", "write the resolved listen address to this file once serving (lets harnesses use -addr 127.0.0.1:0)")
 	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
 	fs.Parse(os.Args[1:])
 
@@ -138,7 +141,7 @@ func main() {
 	}
 	var coord *cluster.Coordinator
 	if *clusterMode {
-		coord = cluster.New(cluster.Options{LeaseTTL: *leaseTTL})
+		coord = cluster.New(cluster.Options{LeaseTTL: *leaseTTL, Chaos: *chaosMode})
 	}
 	h := newServer(eng, *maxJobs, store, coord, logger)
 	srv := &http.Server{
@@ -153,9 +156,23 @@ func main() {
 		WriteTimeout: 2 * time.Minute,
 		IdleTimeout:  2 * time.Minute,
 	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	// The spawn-under-test helper: a harness that started us on :0
+	// learns the real port from the addr file (written atomically so a
+	// poller never reads a partial address).
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			logger.Error("write addr file failed", "path", *addrFile, "err", err)
+			os.Exit(1)
+		}
+	}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	logger.Info("serving campaign API", "addr", *addr, "cluster", *clusterMode, "maxjobs", *maxJobs)
+	go func() { errc <- srv.Serve(ln) }()
+	logger.Info("serving campaign API", "addr", ln.Addr().String(), "cluster", *clusterMode, "maxjobs", *maxJobs)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -179,6 +196,16 @@ func main() {
 	} else {
 		logger.Warn("drain budget exhausted; interrupted jobs left journaled for recovery")
 	}
+}
+
+// writeAddrFile publishes the resolved listen address via temp file
+// and rename, so harness pollers never observe a torn write.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // runOnce is the scriptable batch mode: load a spec, run it to
@@ -428,7 +455,7 @@ func routePattern(r *http.Request) string {
 		return "/campaigns/{id}/other"
 	case strings.HasPrefix(p, "/cluster/"):
 		switch p {
-		case "/cluster/lease", "/cluster/renew", "/cluster/complete":
+		case "/cluster/lease", "/cluster/renew", "/cluster/complete", "/cluster/workers", "/cluster/chaos":
 			return p
 		}
 		return "/cluster/other"

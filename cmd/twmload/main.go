@@ -1,0 +1,121 @@
+// Command twmload is the seeded load-generator and chaos soak harness
+// for the twmd/twmw cluster. It compiles and spawns a real coordinator
+// plus a worker fleet, drives them with a deterministic workload
+// profile, optionally injects faults (response delays, 429/500 bursts,
+// worker SIGKILL mid-lease, coordinator SIGKILL+restart), then drains
+// every campaign and verifies the cluster's promises: completed
+// results byte-identical to a local engine run, and /metrics counters
+// that account for every injected fault.
+//
+//	twmload -profile interactive -seed 1 -duration 30s
+//	twmload -profile chaos -seed 1                    the full fault script
+//	twmload -profile mixed -report load-report.json
+//
+// Profiles (all seeded; same -profile and -seed replays the same spec
+// sequence): interactive (small grids, tight submit/poll loops), batch
+// (larger March C-/B grids), streaming (tails /events), cancelstorm
+// (submits then cancels mid-run), mixed (one of each), chaos (mixed
+// plus the fault-injection controller; starts twmd with -chaos).
+//
+// The JSON report carries per-endpoint p50/p99/p999 latencies, error
+// counts and throughput, job outcome counts, chaos accounting, and
+// the violation list. scripts/benchdiff -load gates a report against
+// the checked-in LOAD_BASELINE.json. Exit status: 0 when the run
+// completed with zero violations, 1 otherwise.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"twmarch/internal/loadgen"
+)
+
+func main() {
+	fs := flag.NewFlagSet("twmload", flag.ExitOnError)
+	profile := fs.String("profile", "mixed", "workload profile: "+strings.Join(loadgen.ProfileNames(), ", "))
+	seed := fs.Int64("seed", 1, "root seed; (profile, seed) replays the same workload")
+	duration := fs.Duration("duration", 30*time.Second, "submission window (drain and verification run after)")
+	workers := fs.Int("twmw", 3, "twmw worker fleet size")
+	maxJobs := fs.Int("maxjobs", 0, "stop submitting after this many campaigns (0 = until -duration)")
+	leaseTTL := fs.Duration("lease-ttl", 5*time.Second, "coordinator lease TTL (bounds worker-kill recovery time)")
+	report := fs.String("report", "twmload-report.json", "write the JSON report here (empty = don't)")
+	dir := fs.String("dir", "", "scratch directory (default: a temp dir, removed on exit)")
+	twmdBin := fs.String("twmd-bin", "", "prebuilt twmd binary (default: build into the scratch dir)")
+	twmwBin := fs.String("twmw-bin", "", "prebuilt twmw binary (default: build into the scratch dir)")
+	race := fs.Bool("race", false, "build the daemons with the race detector")
+	keep := fs.Bool("keep", false, "keep the scratch dir (logs, datadir) for postmortems")
+	quiet := fs.Bool("quiet", false, "suppress progress lines")
+	fs.Parse(os.Args[1:])
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "twmload: "+format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Profile:  *profile,
+		Seed:     *seed,
+		Duration: *duration,
+		Workers:  *workers,
+		MaxJobs:  *maxJobs,
+		LeaseTTL: *leaseTTL,
+		Dir:      *dir,
+		TwmdBin:  *twmdBin,
+		TwmwBin:  *twmwBin,
+		Race:     *race,
+		Keep:     *keep,
+		Logf:     logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twmload: %v\n", err)
+		os.Exit(1)
+	}
+	if *report != "" {
+		if err := rep.WriteFile(*report); err != nil {
+			fmt.Fprintf(os.Stderr, "twmload: write report: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	printSummary(rep)
+	if len(rep.Violations) > 0 {
+		os.Exit(1)
+	}
+}
+
+func printSummary(rep *loadgen.Report) {
+	fmt.Printf("profile %s seed %d: %d submitted, %d done (%d verified byte-identical), %d canceled, %d failed in %v\n",
+		rep.Profile, rep.Seed, rep.Jobs.Submitted, rep.Jobs.Done, rep.Jobs.Verified,
+		rep.Jobs.Canceled, rep.Jobs.Failed, time.Duration(rep.DurationNS).Round(time.Millisecond))
+	for _, name := range rep.EndpointNames() {
+		st := rep.Endpoints[name]
+		fmt.Printf("  %-8s %6d calls %4d errors  p50 %8s  p99 %8s  p999 %8s  %.1f/s\n",
+			name, st.Count, st.Errors,
+			time.Duration(st.P50NS).Round(time.Microsecond),
+			time.Duration(st.P99NS).Round(time.Microsecond),
+			time.Duration(st.P999NS).Round(time.Microsecond), st.RPS)
+	}
+	c := rep.Chaos
+	if c.DelaysInjected+c.ErrorsInjected > 0 || c.WorkerKills+c.CoordinatorKills > 0 {
+		fmt.Printf("  chaos: %d delays, %d errors, %d worker kills, %d coordinator kills; %d expiries = %d requeues + %d abandons; %d jobs recovered; %d worker retries\n",
+			c.DelaysInjected, c.ErrorsInjected, c.WorkerKills, c.CoordinatorKills,
+			c.LeaseExpiries, c.Requeues, c.Abandons, c.RecoveredJobs, c.WorkerRetries)
+	}
+	for _, v := range rep.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+	if len(rep.Violations) == 0 {
+		fmt.Println("  invariants held: zero violations")
+	}
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"twmarch/internal/loadgen"
+)
+
+// TestChaosSoakE2E runs the full harness — real twmd coordinator, real
+// twmw fleet, mixed traffic, the complete fault script (delays, 429s,
+// 500s, worker SIGKILL mid-lease, coordinator SIGKILL+restart) — at a
+// small scale and demands a clean report: every campaign drained,
+// every completed aggregate byte-identical, every fault accounted.
+// This is the harness's own regression test; the nightly CI soak runs
+// the same thing bigger and with -race.
+func TestChaosSoakE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a process cluster and runs a multi-second soak")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		Profile:  "chaos",
+		Seed:     1,
+		Duration: 8 * time.Second,
+		Workers:  2,
+		LeaseTTL: 3 * time.Second,
+		Dir:      t.TempDir(),
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Jobs.Submitted == 0 || rep.Jobs.Done == 0 {
+		t.Fatalf("no work flowed: %+v", rep.Jobs)
+	}
+	if rep.Jobs.Verified != rep.Jobs.Done {
+		t.Errorf("verified %d of %d done jobs", rep.Jobs.Verified, rep.Jobs.Done)
+	}
+	if rep.Chaos.WorkerKills == 0 || rep.Chaos.CoordinatorKills == 0 {
+		t.Errorf("chaos script incomplete: %+v", rep.Chaos)
+	}
+	if rep.Chaos.DelaysInjected == 0 || rep.Chaos.ErrorsInjected == 0 {
+		t.Errorf("no faults injected: %+v", rep.Chaos)
+	}
+	for _, endpoint := range []string{"submit", "status", "results"} {
+		if rep.Endpoints[endpoint].Count == 0 {
+			t.Errorf("endpoint %s saw no traffic", endpoint)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -63,6 +64,7 @@ func main() {
 	quiet := fs.Bool("quiet", false, "suppress per-lease log lines")
 	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+	addrFile := fs.String("addr-file", "", "write the resolved -metrics-addr listen address to this file (lets harnesses use :0)")
 	fs.Parse(os.Args[1:])
 
 	if *coordinator == "" {
@@ -85,8 +87,25 @@ func main() {
 	}
 
 	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			logger.Error("metrics listen failed", "addr", *metricsAddr, "err", err)
+			os.Exit(1)
+		}
+		// Spawn-under-test helper: a harness that asked for :0 learns
+		// the real scrape address from the addr file (written via
+		// rename so a poller never reads a partial address).
+		if *addrFile != "" {
+			tmp := *addrFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err == nil {
+				err = os.Rename(tmp, *addrFile)
+			}
+			if err != nil {
+				logger.Error("write addr file failed", "path", *addrFile, "err", err)
+				os.Exit(1)
+			}
+		}
 		msrv := &http.Server{
-			Addr: *metricsAddr,
 			Handler: obs.Instrument("twmw", obs.DebugMux(obs.Default()), func(r *http.Request) string {
 				if strings.HasPrefix(r.URL.Path, "/debug/") {
 					return "/debug/*"
@@ -96,12 +115,12 @@ func main() {
 			ReadHeaderTimeout: 10 * time.Second,
 		}
 		go func() {
-			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				logger.Error("metrics listener failed", "addr", *metricsAddr, "err", err)
+			if err := msrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("metrics listener failed", "addr", ln.Addr().String(), "err", err)
 			}
 		}()
 		defer msrv.Close()
-		logger.Info("serving metrics", "addr", *metricsAddr)
+		logger.Info("serving metrics", "addr", ln.Addr().String())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos injection: the coordinator's fault-injection test hooks,
+// exercised by cmd/twmload's soak harness. When Options.Chaos is set
+// the coordinator exposes POST/GET /cluster/chaos, and armed
+// injections apply to the worker-facing endpoints (lease, renew,
+// complete): a pending delay budget sleeps matching requests, a
+// pending error budget answers them with a chosen status (and an
+// optional Retry-After header) instead of handling them — driving the
+// worker Client's retry/backoff path from outside the process.
+// Injections are counted both here (served back by GET /cluster/chaos)
+// and in the twm_cluster_chaos_injections_total metric, so a soak run
+// can assert the two surfaces agree and that every injected fault is
+// accounted for. Without Options.Chaos the endpoint answers 404 and no
+// interception happens — production coordinators carry no chaos
+// surface.
+
+// ChaosRequest arms one round of injections (POST /cluster/chaos). A
+// new request replaces any pending budgets; injected totals are
+// cumulative across rounds.
+type ChaosRequest struct {
+	// Path restricts the injection to one worker-facing endpoint
+	// ("lease", "renew", or "complete"); empty matches all three.
+	Path string `json:"path,omitempty"`
+	// DelayMS delays the next DelayN matching requests by this many
+	// milliseconds before handling them.
+	DelayMS int `json:"delay_ms,omitempty"`
+	DelayN  int `json:"delay_n,omitempty"`
+	// Code answers the next CodeN matching requests with this HTTP
+	// status (400-599) instead of handling them.
+	Code  int `json:"code,omitempty"`
+	CodeN int `json:"code_n,omitempty"`
+	// RetryAfter, when non-empty, is sent as the Retry-After header on
+	// injected errors — delta-seconds ("2") or an HTTP-date.
+	RetryAfter string `json:"retry_after,omitempty"`
+}
+
+// ChaosStatus is the GET /cluster/chaos response (and the POST
+// acknowledgment): pending budgets plus cumulative injected totals.
+type ChaosStatus struct {
+	Enabled        bool  `json:"enabled"`
+	PendingDelays  int   `json:"pending_delays"`
+	PendingErrors  int   `json:"pending_errors"`
+	DelaysInjected int64 `json:"delays_injected"`
+	ErrorsInjected int64 `json:"errors_injected"`
+}
+
+// chaos holds the armed injection state. The zero value is inert.
+type chaos struct {
+	mu             sync.Mutex
+	path           string
+	delay          time.Duration
+	delayN         int
+	code           int
+	codeN          int
+	retryAfter     string
+	delaysInjected int64
+	errorsInjected int64
+}
+
+// arm validates and installs one injection round.
+func (c *chaos) arm(req ChaosRequest) error {
+	switch req.Path {
+	case "", "lease", "renew", "complete":
+	default:
+		return fmt.Errorf("cluster: chaos path %q is not lease, renew, or complete", req.Path)
+	}
+	if req.DelayN < 0 || req.CodeN < 0 || req.DelayMS < 0 {
+		return fmt.Errorf("cluster: chaos budgets must be non-negative")
+	}
+	if req.CodeN > 0 && (req.Code < 400 || req.Code > 599) {
+		return fmt.Errorf("cluster: chaos code %d out of range [400, 599]", req.Code)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.path = req.Path
+	c.delay = time.Duration(req.DelayMS) * time.Millisecond
+	c.delayN = req.DelayN
+	c.code = req.Code
+	c.codeN = req.CodeN
+	c.retryAfter = req.RetryAfter
+	return nil
+}
+
+// status snapshots the injection state.
+func (c *chaos) status(enabled bool) ChaosStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChaosStatus{
+		Enabled:        enabled,
+		PendingDelays:  c.delayN,
+		PendingErrors:  c.codeN,
+		DelaysInjected: c.delaysInjected,
+		ErrorsInjected: c.errorsInjected,
+	}
+}
+
+// intercept applies pending injections to one worker-facing request.
+// It reports true when it wrote the response itself (an injected
+// error); a pure delay sleeps and then lets normal handling proceed.
+func (c *chaos) intercept(w http.ResponseWriter, r *http.Request) bool {
+	op := strings.TrimPrefix(r.URL.Path, "/cluster/")
+	if op != "lease" && op != "renew" && op != "complete" {
+		return false
+	}
+	c.mu.Lock()
+	if c.path != "" && c.path != op {
+		c.mu.Unlock()
+		return false
+	}
+	var sleep time.Duration
+	if c.delayN > 0 {
+		c.delayN--
+		c.delaysInjected++
+		sleep = c.delay
+	}
+	inject := false
+	var code int
+	var retryAfter string
+	if c.codeN > 0 {
+		c.codeN--
+		c.errorsInjected++
+		code, retryAfter = c.code, c.retryAfter
+		inject = true
+	}
+	c.mu.Unlock()
+	if sleep > 0 {
+		metChaosInjections.With("delay").Inc()
+		time.Sleep(sleep)
+	}
+	if !inject {
+		return false
+	}
+	metChaosInjections.With("error").Inc()
+	if retryAfter != "" {
+		w.Header().Set("Retry-After", retryAfter)
+	}
+	writeError(w, code, fmt.Errorf("cluster: chaos injected %d", code))
+	return true
+}
+
+// serveChaos handles /cluster/chaos: GET reads the injection status,
+// POST arms a round. Both answer 404 unless the coordinator was built
+// with Options.Chaos.
+func (c *Coordinator) serveChaos(w http.ResponseWriter, r *http.Request) {
+	if !c.opts.Chaos {
+		writeError(w, http.StatusNotFound, fmt.Errorf("chaos injection disabled (coordinator runs without the chaos option)"))
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, c.chaos.status(true))
+	case http.MethodPost:
+		var req ChaosRequest
+		if !decodeInto(w, r, &req) {
+			return
+		}
+		if err := c.chaos.arm(req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, c.chaos.status(true))
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed", r.Method))
+	}
+}

@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func postChaos(t *testing.T, base string, req ChaosRequest) (ChaosStatus, int) {
+	t.Helper()
+	raw, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/cluster/chaos", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ChaosStatus
+	json.NewDecoder(resp.Body).Decode(&st)
+	return st, resp.StatusCode
+}
+
+func getChaos(t *testing.T, base string) ChaosStatus {
+	t.Helper()
+	resp, err := http.Get(base + "/cluster/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st ChaosStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestChaosDisabledByDefault: a coordinator built without the chaos
+// option serves no injection surface and intercepts nothing.
+func TestChaosDisabledByDefault(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}))
+	defer ts.Close()
+	if _, code := postChaos(t, ts.URL, ChaosRequest{Code: 500, CodeN: 1}); code != http.StatusNotFound {
+		t.Fatalf("chaos POST on plain coordinator: got %d, want 404", code)
+	}
+	resp, err := http.Get(ts.URL + "/cluster/chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("chaos GET on plain coordinator: got %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestChaosErrorInjection: an armed error budget answers the next N
+// worker-facing requests with the chosen status and Retry-After, the
+// worker Client absorbs them through its retry path, and the injected
+// totals account for every fault.
+func TestChaosErrorInjection(t *testing.T) {
+	coord := New(Options{Chaos: true, IdleRetry: time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	st, code := postChaos(t, ts.URL, ChaosRequest{Code: 429, CodeN: 2, RetryAfter: "0"})
+	if code != http.StatusOK || st.PendingErrors != 2 {
+		t.Fatalf("arm: code %d, status %+v", code, st)
+	}
+
+	// The client sees 429+Retry-After twice, retries, and the lease
+	// call still succeeds (idle grant).
+	cl := &Client{Base: ts.URL, Worker: "w", Backoff: time.Millisecond}
+	grant, err := cl.Lease(context.Background())
+	if err != nil {
+		t.Fatalf("lease through injected 429s: %v", err)
+	}
+	if grant.Status != StatusIdle {
+		t.Fatalf("grant status %q, want idle", grant.Status)
+	}
+
+	st = getChaos(t, ts.URL)
+	if st.ErrorsInjected != 2 || st.PendingErrors != 0 {
+		t.Fatalf("after injection: %+v, want 2 injected 0 pending", st)
+	}
+}
+
+// TestChaosDelayAndPathFilter: a delay budget scoped to one endpoint
+// slows only that endpoint and is spent exactly N times.
+func TestChaosDelayAndPathFilter(t *testing.T) {
+	coord := New(Options{Chaos: true, IdleRetry: time.Millisecond})
+	ts := httptest.NewServer(coord)
+	defer ts.Close()
+
+	if _, code := postChaos(t, ts.URL, ChaosRequest{Path: "renew", DelayMS: 300, DelayN: 1}); code != http.StatusOK {
+		t.Fatalf("arm: %d", code)
+	}
+	cl := &Client{Base: ts.URL, Worker: "w", Backoff: time.Millisecond}
+
+	// Lease is not matched by the renew-scoped budget, so its delay
+	// budget must still be intact afterwards.
+	if _, err := cl.Lease(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := getChaos(t, ts.URL); st.PendingDelays != 1 || st.DelaysInjected != 0 {
+		t.Fatalf("after lease under renew-only budget: %+v, want 1 pending 0 injected", st)
+	}
+
+	// The first renew burns the delay budget (the unknown lease still
+	// answers gone — injection happens before handling).
+	start := time.Now()
+	stRenew, err := cl.Renew(context.Background(), "nojob", "nolease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 300*time.Millisecond {
+		t.Fatalf("renew returned in %v, want >= 300ms injected delay", d)
+	}
+	if stRenew != StatusGone {
+		t.Fatalf("renew status %q, want gone", stRenew)
+	}
+	st := getChaos(t, ts.URL)
+	if st.DelaysInjected != 1 || st.PendingDelays != 0 {
+		t.Fatalf("after delayed renew: %+v, want 1 injected 0 pending", st)
+	}
+}
+
+// TestChaosArmValidation: malformed arms are rejected with 400.
+func TestChaosArmValidation(t *testing.T) {
+	ts := httptest.NewServer(New(Options{Chaos: true}))
+	defer ts.Close()
+	for _, req := range []ChaosRequest{
+		{Code: 200, CodeN: 1},    // not an error status
+		{Code: 700, CodeN: 1},    // out of range
+		{Path: "evict"},          // unknown endpoint
+		{DelayMS: -1, DelayN: 1}, // negative delay
+	} {
+		if _, code := postChaos(t, ts.URL, req); code != http.StatusBadRequest {
+			t.Errorf("arm %+v: got %d, want 400", req, code)
+		}
+	}
+}

@@ -150,12 +150,21 @@ func retryable(resp *http.Response) bool {
 
 // retryDelay picks the wait before the next attempt: Retry-After when
 // the server sent one, otherwise exponential backoff with equal
-// jitter.
+// jitter. Both RFC 9110 Retry-After forms are honored — delta-seconds
+// ("2") and HTTP-date (an absolute time, waited for relative to now; a
+// date already in the past means retry immediately). A header that
+// parses as neither falls through to the computed backoff.
 func (c *Client) retryDelay(attempt int, resp *http.Response) time.Duration {
 	if resp != nil {
 		if s := resp.Header.Get("Retry-After"); s != "" {
 			if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
 				return time.Duration(secs) * time.Second
+			}
+			if when, err := http.ParseTime(s); err == nil {
+				if d := time.Until(when); d > 0 {
+					return d
+				}
+				return 0
 			}
 		}
 	}

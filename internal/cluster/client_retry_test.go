@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// respondWith builds a minimal response carrying one Retry-After value.
+func respondWith(retryAfter string) *http.Response {
+	h := make(http.Header)
+	if retryAfter != "" {
+		h.Set("Retry-After", retryAfter)
+	}
+	return &http.Response{StatusCode: http.StatusTooManyRequests, Header: h}
+}
+
+// TestRetryDelayRetryAfterForms covers both RFC 9110 Retry-After forms
+// (delta-seconds and HTTP-date) plus garbage values that must fall
+// back to the computed backoff.
+func TestRetryDelayRetryAfterForms(t *testing.T) {
+	c := &Client{Backoff: 200 * time.Millisecond, MaxBackoff: 5 * time.Second}
+	// The jittered fallback for attempt 0 is in [Backoff/2, Backoff].
+	backMin, backMax := 100*time.Millisecond, 200*time.Millisecond
+
+	cases := []struct {
+		name       string
+		retryAfter string
+		// Exact expectation, or a [min, max] window for values derived
+		// from the wall clock (HTTP-date) or from jitter (fallback).
+		min, max time.Duration
+	}{
+		{"delta seconds", "3", 3 * time.Second, 3 * time.Second},
+		{"delta zero", "0", 0, 0},
+		{"http date future", time.Now().Add(2 * time.Second).UTC().Format(http.TimeFormat), 500 * time.Millisecond, 2 * time.Second},
+		{"http date past", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat), 0, 0},
+		{"http date ANSI C form", time.Now().Add(2 * time.Second).UTC().Format(time.ANSIC), 500 * time.Millisecond, 2 * time.Second},
+		{"negative delta falls back", "-5", backMin, backMax},
+		{"garbage falls back", "banana", backMin, backMax},
+		{"empty falls back", "", backMin, backMax},
+		{"float delta falls back", "1.5", backMin, backMax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := c.retryDelay(0, respondWith(tc.retryAfter))
+			if d < tc.min || d > tc.max {
+				t.Errorf("retryDelay(%q) = %v, want in [%v, %v]", tc.retryAfter, d, tc.min, tc.max)
+			}
+		})
+	}
+}
+
+// TestRetryDelayNoResponse exercises the transport-error path (no
+// response at all): pure jittered backoff, doubling per attempt up to
+// the cap.
+func TestRetryDelayNoResponse(t *testing.T) {
+	c := &Client{Backoff: 200 * time.Millisecond, MaxBackoff: time.Second}
+	for attempt, max := range map[int]time.Duration{0: 200 * time.Millisecond, 1: 400 * time.Millisecond, 5: time.Second} {
+		d := c.retryDelay(attempt, nil)
+		if d < max/2 || d > max {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, max/2, max)
+		}
+	}
+}

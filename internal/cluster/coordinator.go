@@ -31,6 +31,11 @@ type Options struct {
 	// IdleRetry is the poll backoff advertised to workers when nothing
 	// is leasable. Default 500ms.
 	IdleRetry time.Duration
+	// Chaos exposes the /cluster/chaos fault-injection surface (see
+	// chaos.go) — delays and error answers on the worker-facing
+	// endpoints, driven from outside the process by the twmload soak
+	// harness. Never enable it on a production coordinator.
+	Chaos bool
 }
 
 // withDefaults fills zero fields.
@@ -58,7 +63,8 @@ func (o Options) withDefaults() Options {
 // API workers poll. Safe for concurrent use; any number of jobs
 // dispatch at once.
 type Coordinator struct {
-	opts Options
+	opts  Options
+	chaos chaos
 
 	mu    sync.Mutex
 	jobs  map[string]*queue
@@ -312,6 +318,13 @@ func (c *Coordinator) Dispatch(ctx context.Context, job string, spec campaign.Sp
 // renew, and complete, plus GET workers (the heartbeat listing).
 // cmd/twmd mounts this on its mux when -cluster is set.
 func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/cluster/chaos" {
+		c.serveChaos(w, r)
+		return
+	}
+	if c.opts.Chaos && c.chaos.intercept(w, r) {
+		return
+	}
 	now := time.Now()
 	switch r.URL.Path {
 	case "/cluster/lease":

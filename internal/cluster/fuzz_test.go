@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzClusterAPIDecode throws malformed, truncated, and type-confused
+// JSON at every POST decoder of the /cluster API (lease, renew,
+// complete, chaos). The chaos soak harness generates plenty of hostile
+// traffic — killed workers mid-write, injected proxies, retried
+// partial bodies — and the contract is strict: the coordinator answers
+// 400 for anything it cannot decode and never panics. Valid decodes
+// must answer 200 (lease/renew/chaos; an unknown job is still a clean
+// answer) with a JSON body either way.
+func FuzzClusterAPIDecode(f *testing.F) {
+	valid := [][]byte{
+		[]byte(`{"worker":"w1"}`),
+		[]byte(`{"worker":"w1","job":"c1","lease_id":"c1-1"}`),
+		[]byte(`{"worker":"w1","job":"c1","lease_id":"c1-1","result":{"index":0,"faults":3,"detected":3}}`),
+		[]byte(`{"delay_ms":10,"delay_n":2,"code":429,"code_n":1,"retry_after":"1"}`),
+	}
+	for i, body := range valid {
+		f.Add(uint8(i), body)
+	}
+	// Hostile seeds: truncations, wrong types, deep nesting, huge
+	// numbers, trailing garbage, raw bytes.
+	for _, body := range [][]byte{
+		[]byte(`{"worker":`),
+		[]byte(`{"worker":123}`),
+		[]byte(`{"result":"notanobject"}`),
+		[]byte(`{"result":{"index":99999999999999999999999}}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`"just a string"`),
+		[]byte(`{"worker":"w"}{"worker":"w2"}`),
+		[]byte("\x00\xff\xfe"),
+		[]byte(`{"result":{"cell":{"seed":-1,"width":"wide"}}}`),
+		bytes.Repeat([]byte(`{"result":`), 50),
+		{},
+	} {
+		for which := uint8(0); which < 4; which++ {
+			f.Add(which, body)
+		}
+	}
+
+	paths := []string{"/cluster/lease", "/cluster/renew", "/cluster/complete", "/cluster/chaos"}
+	f.Fuzz(func(t *testing.T, which uint8, body []byte) {
+		coord := New(Options{Chaos: true, IdleRetry: time.Millisecond})
+		path := paths[int(which)%len(paths)]
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		coord.ServeHTTP(rec, req) // must not panic, whatever the body
+
+		if rec.Code != http.StatusOK && rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s with %q: status %d, want 200 or 400", path, body, rec.Code)
+		}
+		if !json.Valid(rec.Body.Bytes()) {
+			t.Fatalf("%s with %q: non-JSON response %q", path, body, rec.Body.Bytes())
+		}
+	})
+}

@@ -25,6 +25,9 @@ var (
 		"workers in the coordinator's heartbeat view").With()
 	metWorkerHeartbeat = obs.NewGauge("twm_cluster_worker_heartbeat_timestamp_seconds",
 		"unix time of each worker's last heartbeat; series are pruned with the heartbeat view", "worker")
+	metChaosInjections = obs.NewCounter("twm_cluster_chaos_injections_total",
+		"faults injected by the /cluster/chaos test surface, by kind (delay, error)",
+		"kind")
 
 	// Worker-side metrics (cmd/twmw).
 	metWorkerLeases = obs.NewCounter("twm_worker_leases_total",

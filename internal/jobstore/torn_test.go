@@ -1,0 +1,147 @@
+package jobstore
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twmarch/internal/campaign"
+)
+
+func tornSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:    "torn",
+		Tests:   []string{"MATS"},
+		Widths:  []int{2},
+		Words:   []int{4, 6},
+		Classes: []string{"SAF"},
+		Modes:   []string{"compare"},
+		Seed:    7,
+	}
+}
+
+// TestTornTailRepairEveryOffset is the crash-consistency sweep for the
+// WAL: a SIGKILL can tear the final record at any byte, so for every
+// truncation offset inside the last line (from zero bytes of it up to
+// all of it minus the newline) recovery must (a) replay exactly the
+// intact prefix, (b) repair the tail on reopen so later appends land
+// on a clean record boundary, and (c) resume to an aggregate
+// byte-identical to an uninterrupted run.
+func TestTornTailRepairEveryOffset(t *testing.T) {
+	spec := tornSpec()
+	ctx := context.Background()
+
+	// Reference: an uninterrupted streaming run, capturing the emitted
+	// results in order.
+	var results []campaign.CellResult
+	ref, err := campaign.Engine{}.Stream(ctx, spec, &campaign.Progress{}, nil,
+		campaign.SinkFunc(func(r campaign.CellResult) { results = append(results, r) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 2 {
+		t.Fatalf("spec expanded to %d cells, need >= 2", len(results))
+	}
+
+	// Journal every result once to get the intact WAL bytes.
+	store, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn, err := store.Create("intact", spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		jn.Emit(r)
+	}
+	if err := jn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(store.Dir(), "intact", "wal.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastStart := bytes.LastIndexByte(bytes.TrimSuffix(wal, []byte("\n")), '\n') + 1
+
+	for cut := lastStart; cut < len(wal); cut++ {
+		id := fmt.Sprintf("cut%d", cut)
+		j, err := store.Create(id, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		walPath := filepath.Join(store.Dir(), id, "wal.ndjson")
+		if err := os.WriteFile(walPath, wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		// (a) Recovery replays the intact prefix, nothing more.
+		done := readWAL(walPath)
+		if len(done) != len(results)-1 {
+			t.Fatalf("cut %d: recovered %d results, want %d", cut, len(done), len(results)-1)
+		}
+		for i := range done {
+			if !reflect.DeepEqual(done[i], results[i]) {
+				t.Fatalf("cut %d: recovered result %d diverges from the journaled one", cut, i)
+			}
+		}
+
+		// (b) Reopen truncates the torn fragment away so appends start on
+		// a record boundary.
+		rj, err := store.Reopen(id)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		fi, err := os.Stat(walPath)
+		if err != nil {
+			t.Fatalf("cut %d: stat repaired WAL: %v", cut, err)
+		}
+		if fi.Size() != int64(lastStart) {
+			t.Fatalf("cut %d: WAL is %d bytes after repair, want %d", cut, fi.Size(), lastStart)
+		}
+
+		// (c) Resume the run the way twmd does — seed an aggregator from
+		// the recovered cells, stream the remainder into the reopened
+		// journal — and demand byte-identity with the uninterrupted run.
+		agg := campaign.NewAggregator(spec)
+		for _, r := range done {
+			agg.Add(r)
+		}
+		resumed, err := campaign.Engine{}.Stream(ctx, spec, &campaign.Progress{}, agg, rj)
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", cut, err)
+		}
+		got, err := resumed.Canonical()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("cut %d: resumed aggregate diverges from uninterrupted run", cut)
+		}
+		if err := rj.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// The repaired-and-resumed WAL replays whole again.
+		if done := readWAL(walPath); len(done) != len(results) {
+			t.Fatalf("cut %d: post-resume WAL replays %d results, want %d", cut, len(done), len(results))
+		}
+		if err := store.Remove(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastStart+1 >= len(wal) {
+		t.Fatalf("final WAL record is only %d bytes; sweep covered nothing", len(wal)-lastStart)
+	}
+}

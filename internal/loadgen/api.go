@@ -1,0 +1,212 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// JobStatus is the subset of twmd's campaign status the harness polls.
+type JobStatus struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	Cells    int     `json:"cells"`
+	Done     int64   `json:"done"`
+	Fraction float64 `json:"fraction"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// Terminal reports whether the job has settled.
+func (s JobStatus) Terminal() bool {
+	switch s.State {
+	case "done", "failed", "canceled":
+		return true
+	}
+	return false
+}
+
+// APIClient drives the twmd campaign API, recording every request's
+// latency and outcome into the Recorder under a stable endpoint name
+// (submit, status, results, cancel, events). A request "fails" when
+// the transport errors or the server answers 5xx — exactly the
+// conditions a coordinator kill produces — so error rates in the
+// report expose how much traffic each outage absorbed.
+type APIClient struct {
+	Base string
+	Rec  *Recorder
+	HTTP *http.Client
+}
+
+func (c *APIClient) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// observe times fn against endpoint and folds the outcome into the
+// Recorder.
+func (c *APIClient) observe(endpoint string, fn func() (int, error)) error {
+	start := time.Now()
+	code, err := fn()
+	c.Rec.Observe(endpoint, time.Since(start), err != nil || code >= 500)
+	return err
+}
+
+// Submit posts a campaign spec and returns the job id.
+func (c *APIClient) Submit(ctx context.Context, spec campaign.Spec) (string, error) {
+	var id string
+	err := c.observe("submit", func() (int, error) {
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/campaigns", bytes.NewReader(raw))
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			return resp.StatusCode, fmt.Errorf("submit: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+		}
+		var out struct {
+			ID string `json:"id"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return resp.StatusCode, fmt.Errorf("submit: decode: %w", err)
+		}
+		id = out.ID
+		return resp.StatusCode, nil
+	})
+	return id, err
+}
+
+// Status polls one job.
+func (c *APIClient) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.observe("status", func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/"+id, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("status %s: %d", id, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			return resp.StatusCode, fmt.Errorf("status %s: decode: %w", id, err)
+		}
+		return resp.StatusCode, nil
+	})
+	return st, err
+}
+
+// Results fetches a done job's canonical aggregate bytes.
+func (c *APIClient) Results(ctx context.Context, id string) ([]byte, error) {
+	var body []byte
+	err := c.observe("results", func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/"+id+"/results", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("results %s: status %d", id, resp.StatusCode)
+		}
+		body, err = io.ReadAll(resp.Body)
+		return resp.StatusCode, err
+	})
+	return body, err
+}
+
+// Cancel requests cancellation of a running job.
+func (c *APIClient) Cancel(ctx context.Context, id string) error {
+	return c.observe("cancel", func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/campaigns/"+id+"/cancel", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	})
+}
+
+// TailEvents follows the job's NDJSON event stream until it closes,
+// maxEvents lines arrive, or the context ends, returning the line
+// count. Each tail is one long-lived request; its recorded latency is
+// the stream's lifetime, so the events endpoint's histogram measures
+// stream duration rather than per-line latency.
+func (c *APIClient) TailEvents(ctx context.Context, id string, maxEvents int) (int, error) {
+	var lines int
+	err := c.observe("events", func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/"+id+"/events", nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("events %s: status %d", id, resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+				lines++
+			}
+			if maxEvents > 0 && lines >= maxEvents {
+				break
+			}
+		}
+		// A stream cut mid-line by a coordinator kill is an error for
+		// accounting, but the lines already read still count.
+		return resp.StatusCode, sc.Err()
+	})
+	return lines, err
+}
+
+// Healthy reports whether the coordinator answers its liveness probe.
+// It does not record into the histogram: health polls are harness
+// bookkeeping, not workload.
+func (c *APIClient) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}

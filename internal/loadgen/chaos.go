@@ -1,0 +1,354 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"twmarch/internal/cluster"
+)
+
+// ChaosController scripts the fault sequence of the chaos profile
+// against a live ProcCluster while the load sessions keep driving
+// traffic. Every fault is verified against the coordinator's own
+// accounting: injected delays and errors must appear one-for-one in
+// twm_cluster_chaos_injections_total, a worker SIGKILL mid-lease must
+// surface as lease expiries that are each either requeued or
+// abandoned, and a coordinator SIGKILL+restart must replay its live
+// jobs from the journal. Failures to account are recorded as
+// violations, which fail the run.
+type ChaosController struct {
+	Cluster *ProcCluster
+	Rec     *Recorder
+	Logf    func(format string, args ...any)
+
+	Stats ChaosStats
+}
+
+func (cc *ChaosController) logf(format string, args ...any) {
+	if cc.Logf != nil {
+		cc.Logf("chaos: "+format, args...)
+	}
+}
+
+func (cc *ChaosController) base() string { return cc.Cluster.BaseURL() }
+
+// arm posts a chaos budget to the coordinator.
+func (cc *ChaosController) arm(req cluster.ChaosRequest) (cluster.ChaosStatus, error) {
+	raw, _ := json.Marshal(req)
+	resp, err := http.Post(cc.base()+"/cluster/chaos", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return cluster.ChaosStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st cluster.ChaosStatus
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return st, fmt.Errorf("arm chaos: status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+func (cc *ChaosController) chaosStatus() (cluster.ChaosStatus, error) {
+	resp, err := http.Get(cc.base() + "/cluster/chaos")
+	if err != nil {
+		return cluster.ChaosStatus{}, err
+	}
+	defer resp.Body.Close()
+	var st cluster.ChaosStatus
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("chaos status: %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// waitSpent polls until the armed budgets are fully injected, then
+// returns the cumulative status. On timeout it clears the leftover
+// budget so a stalled stage cannot bleed faults into later ones.
+func (cc *ChaosController) waitSpent(ctx context.Context, timeout time.Duration) (cluster.ChaosStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := cc.chaosStatus()
+		if err == nil && st.PendingDelays == 0 && st.PendingErrors == 0 {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			cleared, cerr := cc.arm(cluster.ChaosRequest{}) // drop leftovers
+			if cerr != nil {
+				return cleared, cerr
+			}
+			cc.logf("budget not fully spent within %v (workers idle?); cleared", timeout)
+			return cleared, nil
+		}
+		select {
+		case <-ctx.Done():
+			return cluster.ChaosStatus{}, ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// metrics scrapes the coordinator's /metrics.
+func (cc *ChaosController) metrics() (*PromSnapshot, error) {
+	return ScrapeProm(cc.base() + "/metrics")
+}
+
+func (cc *ChaosController) leaseEvents(snap *PromSnapshot, kind string) float64 {
+	return snap.Sum("twm_cluster_lease_events_total", map[string]string{"kind": kind})
+}
+
+// waitWorkerWithLease polls /cluster/workers for any live worker
+// holding at least one lease and returns its index, or -1 on timeout.
+func (cc *ChaosController) waitWorkerWithLease(ctx context.Context, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for time.Now().Before(deadline) {
+		resp, err := client.Get(cc.base() + "/cluster/workers")
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var rows []cluster.WorkerStatus
+			err = json.NewDecoder(resp.Body).Decode(&rows)
+			resp.Body.Close()
+			if err == nil {
+				for _, row := range rows {
+					n, convErr := strconv.Atoi(strings.TrimPrefix(row.Worker, "loadw"))
+					if convErr == nil && row.Leases > 0 && cc.Cluster.workers[n] != nil {
+						return n, nil
+					}
+				}
+			}
+		} else if resp != nil {
+			resp.Body.Close()
+		}
+		select {
+		case <-ctx.Done():
+			return -1, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return -1, nil
+}
+
+// Run executes the chaos script. Stage order matters: the injection
+// accounting and the worker kill are verified against the first
+// coordinator process's counters, which the later SIGKILL wipes.
+func (cc *ChaosController) Run(ctx context.Context) {
+	// Let the sessions put real work on the queue first.
+	select {
+	case <-time.After(1500 * time.Millisecond):
+	case <-ctx.Done():
+		return
+	}
+
+	// Stage 1+2+3: response delays, then 429s with Retry-After (the
+	// client's header-honoring path), then plain 500s (its backoff
+	// path). Workers absorb all of it; the totals must match.
+	if _, err := cc.arm(cluster.ChaosRequest{DelayMS: 150, DelayN: 20}); err != nil {
+		cc.Rec.Violation("chaos: arm delays: %v", err)
+		return
+	}
+	st, err := cc.waitSpent(ctx, 30*time.Second)
+	if err != nil {
+		cc.Rec.Violation("chaos: delay stage: %v", err)
+		return
+	}
+	cc.logf("delay stage done: %d injected", st.DelaysInjected)
+
+	if _, err := cc.arm(cluster.ChaosRequest{Code: 429, CodeN: 10, RetryAfter: "1"}); err != nil {
+		cc.Rec.Violation("chaos: arm 429s: %v", err)
+		return
+	}
+	if st, err = cc.waitSpent(ctx, 30*time.Second); err != nil {
+		cc.Rec.Violation("chaos: 429 stage: %v", err)
+		return
+	}
+	if _, err := cc.arm(cluster.ChaosRequest{Code: 500, CodeN: 6}); err != nil {
+		cc.Rec.Violation("chaos: arm 500s: %v", err)
+		return
+	}
+	if st, err = cc.waitSpent(ctx, 30*time.Second); err != nil {
+		cc.Rec.Violation("chaos: 500 stage: %v", err)
+		return
+	}
+	cc.Stats.DelaysInjected, cc.Stats.ErrorsInjected = st.DelaysInjected, st.ErrorsInjected
+	cc.logf("error stages done: %d errors injected", st.ErrorsInjected)
+
+	// Accounting check 1: the chaos surface's own counters and the
+	// /metrics registry must agree exactly.
+	snap, err := cc.metrics()
+	if err != nil {
+		cc.Rec.Violation("chaos: scrape metrics: %v", err)
+		return
+	}
+	chaosKind := func(kind string) float64 {
+		return snap.Sum("twm_cluster_chaos_injections_total", map[string]string{"kind": kind})
+	}
+	if got := chaosKind("delay"); got != float64(st.DelaysInjected) {
+		cc.Rec.Violation("chaos accounting: metrics report %v injected delays, chaos status says %d", got, st.DelaysInjected)
+	}
+	if got := chaosKind("error"); got != float64(st.ErrorsInjected) {
+		cc.Rec.Violation("chaos accounting: metrics report %v injected errors, chaos status says %d", got, st.ErrorsInjected)
+	}
+
+	// Stage 4: SIGKILL a worker that provably holds a lease. Pin
+	// completes behind a short delay first so the victim cannot slip
+	// its lease back before the kill lands.
+	preKill, err := cc.metrics()
+	if err != nil {
+		cc.Rec.Violation("chaos: scrape metrics before worker kill: %v", err)
+		return
+	}
+	if _, err := cc.arm(cluster.ChaosRequest{Path: "complete", DelayMS: 300, DelayN: 5}); err != nil {
+		cc.Rec.Violation("chaos: arm complete pin: %v", err)
+		return
+	}
+	victim, err := cc.waitWorkerWithLease(ctx, 30*time.Second)
+	if err != nil {
+		return // context canceled
+	}
+	if victim < 0 {
+		cc.Rec.Violation("chaos: no worker ever held a lease; cannot test kill-mid-lease")
+		return
+	}
+	if err := cc.Cluster.KillWorker(victim); err != nil {
+		cc.Rec.Violation("chaos: kill worker %d: %v", victim, err)
+		return
+	}
+	cc.Stats.WorkerKills++
+	cc.arm(cluster.ChaosRequest{}) // unpin completes
+
+	// The victim's leases must expire within the TTL and every expiry
+	// must be requeued or abandoned — no cell may leak.
+	expireBase := cc.leaseEvents(preKill, "expire")
+	deadline := time.Now().Add(cc.Cluster.LeaseTTL + 30*time.Second)
+	accounted := false
+	for time.Now().Before(deadline) {
+		snap, err := cc.metrics()
+		if err == nil {
+			expires := cc.leaseEvents(snap, "expire")
+			requeues := cc.leaseEvents(snap, "requeue")
+			abandons := cc.leaseEvents(snap, "abandon")
+			if expires > expireBase && expires == requeues+abandons {
+				cc.Stats.LeaseExpiries = int64(expires)
+				cc.Stats.Requeues = int64(requeues)
+				cc.Stats.Abandons = int64(abandons)
+				accounted = true
+				break
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+	if !accounted {
+		cc.Rec.Violation("chaos accounting: worker %d killed mid-lease but expiries never balanced (expire == requeue + abandon) within %v",
+			victim, cc.Cluster.LeaseTTL+30*time.Second)
+	} else {
+		cc.logf("worker %d kill accounted: %d expiries = %d requeues + %d abandons",
+			victim, cc.Stats.LeaseExpiries, cc.Stats.Requeues, cc.Stats.Abandons)
+	}
+	if err := cc.Cluster.StartWorker(ctx, victim); err != nil {
+		cc.Rec.Violation("chaos: restart worker %d: %v", victim, err)
+		return
+	}
+
+	// Stage 5: SIGKILL the coordinator mid-campaign and restart it on
+	// the same address and datadir. If any job was live at the kill,
+	// the restarted process must report journal recoveries.
+	hadLive := cc.liveJobs()
+	if err := cc.Cluster.KillCoordinator(); err != nil {
+		cc.Rec.Violation("chaos: kill coordinator: %v", err)
+		return
+	}
+	cc.Stats.CoordinatorKills++
+	select {
+	case <-time.After(500 * time.Millisecond):
+	case <-ctx.Done():
+		return
+	}
+	if err := cc.Cluster.StartCoordinator(ctx); err != nil {
+		cc.Rec.Violation("chaos: restart coordinator: %v", err)
+		return
+	}
+	cc.logf("coordinator restarted after SIGKILL (%d jobs were live)", hadLive)
+	if hadLive > 0 {
+		recovered := false
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if snap, err := cc.metrics(); err == nil {
+				if n := snap.Sum("twm_jobstore_recovered_jobs_total", nil); n >= 1 {
+					cc.Stats.RecoveredJobs = int64(n)
+					recovered = true
+					break
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(200 * time.Millisecond):
+			}
+		}
+		if !recovered {
+			cc.Rec.Violation("chaos accounting: %d jobs were live at coordinator SIGKILL but the restart reports zero journal recoveries", hadLive)
+		}
+	}
+}
+
+// liveJobs counts non-terminal campaigns on the coordinator.
+func (cc *ChaosController) liveJobs() int {
+	resp, err := http.Get(cc.base() + "/campaigns")
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	var rows []JobStatus
+	if json.NewDecoder(resp.Body).Decode(&rows) != nil {
+		return 0
+	}
+	n := 0
+	for _, row := range rows {
+		if !row.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// FinalChecks runs the end-of-soak accounting that must hold whatever
+// profile ran: expiries balance against requeues+abandons in the
+// current coordinator's life, and — when faults were injected — the
+// surviving workers' own retry counters prove the Client retry path
+// actually absorbed them.
+func (cc *ChaosController) FinalChecks(workerMetricsURLs []string) {
+	snap, err := cc.metrics()
+	if err != nil {
+		cc.Rec.Violation("final accounting: scrape coordinator metrics: %v", err)
+		return
+	}
+	expires := cc.leaseEvents(snap, "expire")
+	requeues := cc.leaseEvents(snap, "requeue")
+	abandons := cc.leaseEvents(snap, "abandon")
+	if expires != requeues+abandons {
+		cc.Rec.Violation("final accounting: %v lease expiries but %v requeues + %v abandons", expires, requeues, abandons)
+	}
+	var retries float64
+	for _, u := range workerMetricsURLs {
+		if u == "" {
+			continue
+		}
+		if ws, err := ScrapeProm(u + "/metrics"); err == nil {
+			retries += ws.Sum("twm_worker_retries_total", nil)
+		}
+	}
+	cc.Stats.WorkerRetries = int64(retries)
+	if (cc.Stats.ErrorsInjected > 0 || cc.Stats.CoordinatorKills > 0) && retries == 0 {
+		cc.Rec.Violation("final accounting: faults were injected but no surviving worker recorded a single client retry")
+	}
+}

@@ -1,0 +1,119 @@
+// Package loadgen is the seeded load-generator and chaos soak harness
+// for the twmd/twmw cluster. It spawns a real coordinator and worker
+// fleet as subprocesses, drives them with deterministic mixed
+// workloads (interactive submit/poll, batch grids, streaming event
+// tailers, cancel storms), injects faults through the coordinator's
+// /cluster/chaos surface and by killing processes outright, and
+// verifies the system's two load-bearing promises under that abuse:
+// every completed campaign's canonical aggregate is byte-identical to
+// an undisturbed local engine run, and the /metrics counters account
+// for every injected fault. Latency histograms per API endpoint are
+// folded into a JSON Report that scripts/benchdiff gates against a
+// checked-in baseline.
+package loadgen
+
+import (
+	"sync"
+	"time"
+)
+
+// Histogram bucket geometry: log-spaced bounds from 1µs growing by
+// 25% per bucket. 85 buckets reach past 120s, far beyond any sane
+// request latency, so the overflow bucket only catches pathology.
+const (
+	histBuckets = 85
+	histBase    = float64(time.Microsecond)
+	histGrowth  = 1.25
+)
+
+// histBounds[i] is the inclusive upper bound of bucket i in
+// nanoseconds. Computed once; shared by every Hist.
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	bound := histBase
+	for i := range b {
+		b[i] = int64(bound)
+		bound *= histGrowth
+	}
+	return b
+}()
+
+// Hist is a fixed-geometry latency histogram, safe for concurrent
+// observers. Quantiles are read from bucket upper bounds, so they
+// over-report by at most the bucket growth factor (25%) — plenty for
+// regression gating, and the geometry never needs tuning per run.
+type Hist struct {
+	mu     sync.Mutex
+	counts [histBuckets + 1]int64 // +1: overflow
+	count  int64
+	max    int64
+}
+
+// Observe records one latency sample.
+func (h *Hist) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < histBuckets && histBounds[i] < ns {
+		i++
+	}
+	h.mu.Lock()
+	h.counts[i]++
+	h.count++
+	if ns > h.max {
+		h.max = ns
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Max returns the largest recorded sample.
+func (h *Hist) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return time.Duration(h.max)
+}
+
+// Quantile returns the latency at quantile q in [0, 1] as the upper
+// bound of the bucket holding the q-th sample, clamped to the observed
+// max. Zero samples yields zero.
+func (h *Hist) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the target sample, 1-based.
+	rank := int64(q*float64(h.count-1)) + 1
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			var bound int64
+			if i < histBuckets {
+				bound = histBounds[i]
+			} else {
+				bound = h.max // overflow: best answer is the max
+			}
+			if bound > h.max {
+				bound = h.max
+			}
+			return time.Duration(bound)
+		}
+	}
+	return time.Duration(h.max)
+}

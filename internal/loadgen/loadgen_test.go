@@ -1,0 +1,179 @@
+package loadgen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report zero")
+	}
+	// 1000 samples spread 1ms..1000ms: quantiles must land within one
+	// bucket's growth factor of the exact value.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("max %v", h.Max())
+	}
+	for _, tc := range []struct {
+		q     float64
+		exact time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{0.999, 999 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.exact || got > time.Duration(float64(tc.exact)*histGrowth) {
+			t.Errorf("q%.3f = %v, want in [%v, %v]", tc.q, got, tc.exact,
+				time.Duration(float64(tc.exact)*histGrowth))
+		}
+	}
+	// The quantile is clamped to the observed max, never a bucket
+	// bound beyond it.
+	if got := h.Quantile(1); got != time.Second {
+		t.Errorf("q1 = %v, want exactly the max", got)
+	}
+}
+
+func TestHistOverflow(t *testing.T) {
+	var h Hist
+	h.Observe(10 * time.Minute) // beyond the last bucket bound
+	h.Observe(time.Millisecond)
+	if got := h.Quantile(1); got != 10*time.Minute {
+		t.Errorf("overflow quantile = %v, want the max", got)
+	}
+}
+
+func TestParseProm(t *testing.T) {
+	text := `# HELP twm_cluster_lease_events_total cluster scheduling events
+# TYPE twm_cluster_lease_events_total counter
+twm_cluster_lease_events_total{kind="lease"} 42
+twm_cluster_lease_events_total{kind="expire"} 3
+twm_cluster_lease_events_total{kind="requeue"} 2
+twm_cluster_lease_events_total{kind="abandon"} 1
+twm_worker_retries_total 7
+twm_weird{label="a\"b,c"} 1.5
+garbage line without a value
+`
+	snap, err := ParseProm(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Sum("twm_cluster_lease_events_total", map[string]string{"kind": "expire"}); got != 3 {
+		t.Errorf("expire sum %v, want 3", got)
+	}
+	if got := snap.Sum("twm_cluster_lease_events_total", nil); got != 48 {
+		t.Errorf("family sum %v, want 48", got)
+	}
+	if got := snap.Sum("twm_worker_retries_total", nil); got != 7 {
+		t.Errorf("bare sample sum %v, want 7", got)
+	}
+	if got := snap.Sum("twm_weird", map[string]string{"label": `a"b,c`}); got != 1.5 {
+		t.Errorf("escaped label sum %v, want 1.5", got)
+	}
+	if got := snap.Sum("never_emitted", nil); got != 0 {
+		t.Errorf("missing family sum %v, want 0", got)
+	}
+}
+
+// TestProfileDeterminism: a (seed, session) pair must replay the same
+// spec sequence — the whole point of a seeded load generator.
+func TestProfileDeterminism(t *testing.T) {
+	for _, kind := range []string{"interactive", "batch", "streaming", "cancel"} {
+		a, b := SessionRand(42, 1), SessionRand(42, 1)
+		for n := 0; n < 20; n++ {
+			sa, sb := SpecForKind(kind, a, n), SpecForKind(kind, b, n)
+			if !reflect.DeepEqual(sa, sb) {
+				t.Fatalf("%s spec %d diverged under the same seed", kind, n)
+			}
+		}
+		// A different session index must diverge somewhere in the
+		// sequence (seeds differ).
+		c := SessionRand(42, 2)
+		same := true
+		a = SessionRand(42, 1)
+		for n := 0; n < 20; n++ {
+			if !reflect.DeepEqual(SpecForKind(kind, a, n), SpecForKind(kind, c, n)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s: sessions 1 and 2 generated identical sequences", kind)
+		}
+	}
+}
+
+// TestProfileSpecsValid: every generated spec must pass twmd's own
+// validation, or the load generator would just measure 400s.
+func TestProfileSpecsValid(t *testing.T) {
+	for _, kind := range []string{"interactive", "batch", "streaming", "cancel"} {
+		r := SessionRand(7, 3)
+		for n := 0; n < 50; n++ {
+			spec := SpecForKind(kind, r, n)
+			if err := spec.Validate(); err != nil {
+				t.Fatalf("%s spec %d invalid: %v", kind, n, err)
+			}
+			if spec.CellCount() == 0 {
+				t.Fatalf("%s spec %d expands to zero cells", kind, n)
+			}
+		}
+	}
+}
+
+func TestProfileCatalog(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Plans) == 0 {
+			t.Errorf("profile %s has no sessions", name)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile must error")
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	rec.Observe("submit", 5*time.Millisecond, false)
+	rec.Observe("submit", 7*time.Millisecond, true)
+	rec.Violation("example %d", 1)
+	rep := &Report{
+		Profile:    "mixed",
+		Seed:       1,
+		Workers:    3,
+		DurationNS: int64(2 * time.Second),
+		Endpoints:  rec.Snapshot(2 * time.Second),
+		Violations: rec.Violations(),
+	}
+	path := t.TempDir() + "/report.json"
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", rep, got)
+	}
+	st := got.Endpoints["submit"]
+	if st.Count != 2 || st.Errors != 1 || st.RPS != 1 {
+		t.Fatalf("submit stats %+v", st)
+	}
+	if st.P50NS <= 0 || st.MaxNS < st.P50NS {
+		t.Fatalf("suspicious quantiles %+v", st)
+	}
+}

@@ -1,0 +1,230 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// ProcCluster spawns and supervises a real twmd coordinator plus a
+// twmw worker fleet as subprocesses — the system under test. It owns
+// their scratch directory (datadir, logs, addr files) and exposes the
+// kill/restart primitives the chaos controller scripts against. The
+// coordinator listens on a fixed pre-picked port so workers and
+// clients reconnect to the same address after a SIGKILL+restart.
+type ProcCluster struct {
+	Dir      string        // scratch directory (must exist)
+	TwmdBin  string        // built twmd binary
+	TwmwBin  string        // built twmw binary
+	Addr     string        // coordinator listen address, e.g. 127.0.0.1:41873
+	LeaseTTL time.Duration // coordinator -lease-ttl
+	MaxJobs  int           // coordinator -maxjobs (0 = twmd default)
+	Chaos    bool          // expose /cluster/chaos on the coordinator
+	Logf     func(format string, args ...any)
+
+	coord   *exec.Cmd
+	workers map[int]*exec.Cmd
+	wokeAt  map[int]string // worker metrics base URL, from its addr file
+}
+
+// BuildBinaries compiles twmd and twmw into dir, optionally with the
+// race detector, and returns their paths. Building once up front keeps
+// restarts instant — a chaos restart must not pay a compile.
+func BuildBinaries(ctx context.Context, dir string, race bool) (twmd, twmw string, err error) {
+	for _, tool := range []string{"twmd", "twmw"} {
+		out := filepath.Join(dir, tool)
+		args := []string{"build"}
+		if race {
+			args = append(args, "-race")
+		}
+		args = append(args, "-o", out, "twmarch/cmd/"+tool)
+		cmd := exec.CommandContext(ctx, "go", args...)
+		if raw, err := cmd.CombinedOutput(); err != nil {
+			return "", "", fmt.Errorf("build %s: %v: %s", tool, err, raw)
+		}
+	}
+	return filepath.Join(dir, "twmd"), filepath.Join(dir, "twmw"), nil
+}
+
+// FreePort reserves and releases a localhost port. The small window
+// between release and the daemon's bind is harmless here: the harness
+// owns the whole scratch environment and nothing else is binding.
+func FreePort() (int, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, err
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port, nil
+}
+
+func (p *ProcCluster) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+	}
+}
+
+// BaseURL is the coordinator's API base.
+func (p *ProcCluster) BaseURL() string { return "http://" + p.Addr }
+
+// DataDir is the coordinator's journal directory — shared across
+// restarts, which is the whole point.
+func (p *ProcCluster) DataDir() string { return filepath.Join(p.Dir, "data") }
+
+// openLog opens name in the scratch dir for appending, so a restarted
+// process continues the same log.
+func (p *ProcCluster) openLog(name string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(p.Dir, name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// StartCoordinator launches twmd -cluster on the fixed address and
+// waits until it answers /healthz. Idempotent across restarts: the
+// same datadir makes the new process recover the old one's jobs.
+func (p *ProcCluster) StartCoordinator(ctx context.Context) error {
+	if err := os.MkdirAll(p.DataDir(), 0o755); err != nil {
+		return err
+	}
+	args := []string{
+		"-addr", p.Addr,
+		"-cluster",
+		"-datadir", p.DataDir(),
+		"-lease-ttl", p.LeaseTTL.String(),
+		"-log-format", "json",
+	}
+	if p.MaxJobs > 0 {
+		args = append(args, "-maxjobs", fmt.Sprint(p.MaxJobs))
+	}
+	if p.Chaos {
+		args = append(args, "-chaos")
+	}
+	logf, err := p.openLog("twmd.log")
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(p.TwmdBin, args...)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("start twmd: %w", err)
+	}
+	go func() { cmd.Wait(); logf.Close() }()
+	p.coord = cmd
+	p.logf("twmd pid %d on %s", cmd.Process.Pid, p.Addr)
+	return p.waitHealthy(ctx, 15*time.Second)
+}
+
+func (p *ProcCluster) waitHealthy(ctx context.Context, timeout time.Duration) error {
+	api := &APIClient{Base: p.BaseURL(), Rec: NewRecorder()}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if api.Healthy(ctx) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("twmd on %s not healthy after %v", p.Addr, timeout)
+}
+
+// KillCoordinator SIGKILLs twmd — the crash the journal exists for.
+func (p *ProcCluster) KillCoordinator() error {
+	if p.coord == nil || p.coord.Process == nil {
+		return fmt.Errorf("no coordinator running")
+	}
+	p.logf("SIGKILL twmd pid %d", p.coord.Process.Pid)
+	err := p.coord.Process.Kill()
+	p.coord = nil
+	return err
+}
+
+// StartWorker launches twmw number i (id loadw{i}) with a metrics
+// sidecar on an ephemeral port, published through an addr file.
+func (p *ProcCluster) StartWorker(ctx context.Context, i int) error {
+	if p.workers == nil {
+		p.workers = make(map[int]*exec.Cmd)
+		p.wokeAt = make(map[int]string)
+	}
+	addrFile := filepath.Join(p.Dir, fmt.Sprintf("w%d.addr", i))
+	os.Remove(addrFile)
+	logf, err := p.openLog(fmt.Sprintf("twmw%d.log", i))
+	if err != nil {
+		return err
+	}
+	cmd := exec.Command(p.TwmwBin,
+		"-coordinator", p.BaseURL(),
+		"-id", fmt.Sprintf("loadw%d", i),
+		"-parallel", "1",
+		"-poll", "50ms",
+		"-metrics-addr", "127.0.0.1:0",
+		"-addr-file", addrFile,
+		"-log-format", "json",
+	)
+	cmd.Stdout, cmd.Stderr = logf, logf
+	if err := cmd.Start(); err != nil {
+		logf.Close()
+		return fmt.Errorf("start twmw %d: %w", i, err)
+	}
+	go func() { cmd.Wait(); logf.Close() }()
+	p.workers[i] = cmd
+	addr, err := waitAddrFile(ctx, addrFile, 10*time.Second)
+	if err != nil {
+		return fmt.Errorf("twmw %d: %w", i, err)
+	}
+	p.wokeAt[i] = "http://" + addr
+	p.logf("twmw%d pid %d metrics on %s", i, cmd.Process.Pid, addr)
+	return nil
+}
+
+func waitAddrFile(ctx context.Context, path string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		raw, err := os.ReadFile(path)
+		if err == nil && len(raw) > 0 {
+			return strings.TrimSpace(string(raw)), nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	return "", fmt.Errorf("addr file %s never appeared", path)
+}
+
+// WorkerMetricsURL returns worker i's metrics sidecar base URL.
+func (p *ProcCluster) WorkerMetricsURL(i int) string { return p.wokeAt[i] }
+
+// KillWorker SIGKILLs worker i mid-whatever-it-was-doing.
+func (p *ProcCluster) KillWorker(i int) error {
+	cmd := p.workers[i]
+	if cmd == nil || cmd.Process == nil {
+		return fmt.Errorf("no worker %d running", i)
+	}
+	p.logf("SIGKILL twmw%d pid %d", i, cmd.Process.Pid)
+	err := cmd.Process.Kill()
+	delete(p.workers, i)
+	return err
+}
+
+// StopAll terminates every remaining process: workers first (SIGKILL —
+// the coordinator requeues their leases), then the coordinator.
+func (p *ProcCluster) StopAll() {
+	for i, cmd := range p.workers {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+		delete(p.workers, i)
+	}
+	if p.coord != nil && p.coord.Process != nil {
+		p.coord.Process.Kill()
+		p.coord = nil
+	}
+}

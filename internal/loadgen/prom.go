@@ -1,0 +1,156 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// promSample is one parsed Prometheus text-exposition sample.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// PromSnapshot is a parsed /metrics scrape. The chaos controller diffs
+// snapshots taken around each injected fault to prove the counters
+// account for it.
+type PromSnapshot struct {
+	samples []promSample
+}
+
+// ParseProm parses Prometheus text exposition (the subset internal/obs
+// emits: `name{l1="v1",...} value` and `name value`, with # comment
+// lines). Unparseable lines are skipped — the harness only ever sums
+// well-known counter families.
+func ParseProm(r io.Reader) (*PromSnapshot, error) {
+	snap := &PromSnapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, ok := parsePromLine(line)
+		if ok {
+			snap.samples = append(snap.samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+func parsePromLine(line string) (promSample, bool) {
+	var s promSample
+	name := line
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		name = line[:i]
+		end := strings.LastIndexByte(line, '}')
+		if end < i {
+			return s, false
+		}
+		labels, ok := parsePromLabels(line[i+1 : end])
+		if !ok {
+			return s, false
+		}
+		s.labels = labels
+		rest = strings.TrimSpace(line[end+1:])
+	} else if i := strings.IndexByte(line, ' '); i >= 0 {
+		name = line[:i]
+		rest = strings.TrimSpace(line[i+1:])
+	} else {
+		return s, false
+	}
+	// Histogram samples can carry a timestamp after the value; take
+	// the first field only.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, false
+	}
+	s.name, s.value = name, v
+	return s, true
+}
+
+func parsePromLabels(body string) (map[string]string, bool) {
+	labels := make(map[string]string)
+	for body != "" {
+		eq := strings.IndexByte(body, '=')
+		if eq < 0 || len(body) < eq+2 || body[eq+1] != '"' {
+			return nil, false
+		}
+		key := body[:eq]
+		rest := body[eq+2:]
+		var b strings.Builder
+		i := 0
+		for i < len(rest) && rest[i] != '"' {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				switch rest[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(rest[i+1])
+				}
+				i += 2
+				continue
+			}
+			b.WriteByte(rest[i])
+			i++
+		}
+		if i >= len(rest) {
+			return nil, false
+		}
+		labels[key] = b.String()
+		body = strings.TrimPrefix(strings.TrimPrefix(rest[i+1:], ","), " ")
+	}
+	return labels, true
+}
+
+// Sum adds every sample of family name whose labels include all the
+// given key=value pairs (pass none to sum the whole family). A family
+// that never appeared sums to zero — counters in internal/obs only
+// exist once incremented.
+func (p *PromSnapshot) Sum(name string, match map[string]string) float64 {
+	if p == nil {
+		return 0
+	}
+	var sum float64
+sample:
+	for _, s := range p.samples {
+		if s.name != name {
+			continue
+		}
+		for k, v := range match {
+			if s.labels[k] != v {
+				continue sample
+			}
+		}
+		sum += s.value
+	}
+	return sum
+}
+
+// ScrapeProm fetches and parses url's Prometheus text exposition.
+func ScrapeProm(url string) (*PromSnapshot, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	return ParseProm(resp.Body)
+}

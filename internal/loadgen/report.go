@@ -1,0 +1,163 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// EndpointStats is the per-endpoint summary folded into the Report.
+// Latencies are nanoseconds so the JSON is unit-unambiguous and
+// diffable by scripts/benchdiff -load.
+type EndpointStats struct {
+	Count  int64   `json:"count"`
+	Errors int64   `json:"errors"`
+	P50NS  int64   `json:"p50_ns"`
+	P99NS  int64   `json:"p99_ns"`
+	P999NS int64   `json:"p999_ns"`
+	MaxNS  int64   `json:"max_ns"`
+	RPS    float64 `json:"rps"`
+}
+
+// JobStats counts campaign outcomes across the run.
+type JobStats struct {
+	Submitted int `json:"submitted"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// Verified counts done jobs whose served results were re-derived
+	// locally and matched byte for byte.
+	Verified int `json:"verified"`
+}
+
+// ChaosStats counts the faults the harness injected and the recovery
+// events it confirmed in the coordinator's metrics.
+type ChaosStats struct {
+	DelaysInjected   int64 `json:"delays_injected,omitempty"`
+	ErrorsInjected   int64 `json:"errors_injected,omitempty"`
+	WorkerKills      int   `json:"worker_kills,omitempty"`
+	CoordinatorKills int   `json:"coordinator_kills,omitempty"`
+	LeaseExpiries    int64 `json:"lease_expiries,omitempty"`
+	Requeues         int64 `json:"requeues,omitempty"`
+	Abandons         int64 `json:"abandons,omitempty"`
+	RecoveredJobs    int64 `json:"recovered_jobs,omitempty"`
+	WorkerRetries    int64 `json:"worker_retries,omitempty"`
+}
+
+// Report is the run summary twmload emits. benchdiff -load compares
+// the per-endpoint quantiles against LOAD_BASELINE.json; the driver
+// fails the run when Violations is non-empty.
+type Report struct {
+	Profile    string                   `json:"profile"`
+	Seed       int64                    `json:"seed"`
+	Workers    int                      `json:"workers"`
+	DurationNS int64                    `json:"duration_ns"`
+	Endpoints  map[string]EndpointStats `json:"endpoints"`
+	Jobs       JobStats                 `json:"jobs"`
+	Chaos      ChaosStats               `json:"chaos"`
+	Violations []string                 `json:"violations"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// ReadReport loads a Report written by WriteFile.
+func ReadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// EndpointNames returns the report's endpoints sorted by name.
+func (r *Report) EndpointNames() []string {
+	names := make([]string, 0, len(r.Endpoints))
+	for n := range r.Endpoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Recorder accumulates per-endpoint latency and error counts during a
+// run and collects invariant violations. All methods are safe for
+// concurrent use by the session goroutines and the chaos controller.
+type Recorder struct {
+	mu         sync.Mutex
+	hists      map[string]*Hist
+	errors     map[string]int64
+	violations []string
+}
+
+// NewRecorder returns an empty Recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{hists: make(map[string]*Hist), errors: make(map[string]int64)}
+}
+
+// Observe records one request against endpoint with its latency and
+// whether it failed (transport error or 5xx).
+func (rec *Recorder) Observe(endpoint string, d time.Duration, failed bool) {
+	rec.mu.Lock()
+	h := rec.hists[endpoint]
+	if h == nil {
+		h = &Hist{}
+		rec.hists[endpoint] = h
+	}
+	if failed {
+		rec.errors[endpoint]++
+	}
+	rec.mu.Unlock()
+	h.Observe(d)
+}
+
+// Violation records a broken invariant. Any violation fails the run.
+func (rec *Recorder) Violation(format string, args ...any) {
+	rec.mu.Lock()
+	rec.violations = append(rec.violations, fmt.Sprintf(format, args...))
+	rec.mu.Unlock()
+}
+
+// Violations returns a copy of the recorded violations.
+func (rec *Recorder) Violations() []string {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]string(nil), rec.violations...)
+}
+
+// Snapshot folds the recorded histograms into per-endpoint stats over
+// the given wall-clock window.
+func (rec *Recorder) Snapshot(elapsed time.Duration) map[string]EndpointStats {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	out := make(map[string]EndpointStats, len(rec.hists))
+	secs := elapsed.Seconds()
+	for name, h := range rec.hists {
+		st := EndpointStats{
+			Count:  h.Count(),
+			Errors: rec.errors[name],
+			P50NS:  int64(h.Quantile(0.50)),
+			P99NS:  int64(h.Quantile(0.99)),
+			P999NS: int64(h.Quantile(0.999)),
+			MaxNS:  int64(h.Max()),
+		}
+		if secs > 0 {
+			st.RPS = float64(st.Count) / secs
+		}
+		out[name] = st
+	}
+	return out
+}

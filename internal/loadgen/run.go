@@ -1,0 +1,343 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twmarch/internal/campaign"
+)
+
+// Config parameterizes one twmload run.
+type Config struct {
+	Profile  string        // workload profile name (see ProfileNames)
+	Seed     int64         // root seed; (profile, seed) replays the same specs
+	Duration time.Duration // submission window; drain and verify run after
+	Workers  int           // twmw fleet size
+	MaxJobs  int           // cap on total submissions (0 = unlimited)
+	LeaseTTL time.Duration // coordinator lease TTL
+	Dir      string        // scratch dir ("" = temp dir, removed unless Keep)
+	TwmdBin  string        // prebuilt twmd ("" = build into Dir)
+	TwmwBin  string        // prebuilt twmw ("" = build into Dir)
+	Race     bool          // build the daemons with -race
+	Keep     bool          // keep the scratch dir for postmortems
+	Logf     func(format string, args ...any)
+}
+
+// tracked is the harness-side registry of every submitted campaign —
+// the ground truth the byte-identity verification replays against.
+type trackedJob struct {
+	id       string
+	spec     campaign.Spec
+	canceled bool // the session asked for cancellation
+	final    JobStatus
+}
+
+// Run executes one load/chaos soak: build (if needed) and spawn the
+// cluster, drive the profile's sessions for the duration, run the
+// chaos script when the profile asks for it, drain every submitted
+// job to a terminal state, verify byte-identity of all completed
+// results against a local engine run, apply the final accounting
+// checks, and fold everything into a Report. The error return is for
+// harness failures (cannot build, cannot spawn); invariant breaks are
+// reported as Report.Violations.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	profile, err := ProfileByName(cfg.Profile)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 3
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 30 * time.Second
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 5 * time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	dir := cfg.Dir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "twmload-")
+		if err != nil {
+			return nil, err
+		}
+		if !cfg.Keep {
+			defer os.RemoveAll(dir)
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	logf("scratch dir %s", dir)
+
+	twmdBin, twmwBin := cfg.TwmdBin, cfg.TwmwBin
+	if twmdBin == "" || twmwBin == "" {
+		logf("building twmd and twmw (race=%v)", cfg.Race)
+		twmdBin, twmwBin, err = BuildBinaries(ctx, dir, cfg.Race)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	port, err := FreePort()
+	if err != nil {
+		return nil, err
+	}
+	pc := &ProcCluster{
+		Dir:      dir,
+		TwmdBin:  twmdBin,
+		TwmwBin:  twmwBin,
+		Addr:     fmt.Sprintf("127.0.0.1:%d", port),
+		LeaseTTL: cfg.LeaseTTL,
+		Chaos:    cfg.Profile == "chaos",
+		Logf:     logf,
+	}
+	defer pc.StopAll()
+	if err := pc.StartCoordinator(ctx); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		if err := pc.StartWorker(ctx, i); err != nil {
+			return nil, err
+		}
+	}
+
+	rec := NewRecorder()
+	api := &APIClient{Base: pc.BaseURL(), Rec: rec, HTTP: &http.Client{}}
+
+	var (
+		mu        sync.Mutex
+		jobs      []*trackedJob
+		submitted atomic.Int64
+	)
+	track := func(id string, spec campaign.Spec, canceled bool) *trackedJob {
+		tj := &trackedJob{id: id, spec: spec, canceled: canceled}
+		mu.Lock()
+		jobs = append(jobs, tj)
+		mu.Unlock()
+		return tj
+	}
+
+	start := time.Now()
+	subDeadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for i, plan := range profile.Plans {
+		wg.Add(1)
+		go func(i int, plan SessionPlan) {
+			defer wg.Done()
+			runSession(ctx, api, plan, SessionRand(cfg.Seed, i), subDeadline, cfg.MaxJobs, &submitted, track, logf)
+		}(i, plan)
+	}
+
+	cc := &ChaosController{Cluster: pc, Rec: rec, Logf: logf}
+	chaosDone := make(chan struct{})
+	if pc.Chaos {
+		go func() {
+			defer close(chaosDone)
+			cc.Run(ctx)
+		}()
+	} else {
+		close(chaosDone)
+	}
+
+	wg.Wait()
+	<-chaosDone
+	logf("submission window closed: %d campaigns submitted", submitted.Load())
+
+	// Drain: every tracked job must reach a terminal state. The
+	// coordinator and fleet are healthy again by now, so anything that
+	// stays live past the budget is stuck — a violation, not a wait.
+	drainCtx, cancel := context.WithTimeout(ctx, 120*time.Second)
+	defer cancel()
+	drain(drainCtx, api, rec, jobs)
+
+	// Byte-identity: each completed campaign's served aggregate must
+	// equal a local single-process engine run of the same spec.
+	stats := verify(ctx, api, rec, jobs, logf)
+	stats.Submitted = int(submitted.Load())
+
+	// Final accounting (all profiles; the worker-retry check only
+	// applies when faults were injected).
+	urls := make([]string, 0, cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		urls = append(urls, pc.WorkerMetricsURL(i))
+	}
+	cc.FinalChecks(urls)
+
+	rep := &Report{
+		Profile:    cfg.Profile,
+		Seed:       cfg.Seed,
+		Workers:    cfg.Workers,
+		DurationNS: int64(time.Since(start)),
+		Endpoints:  rec.Snapshot(time.Since(start)),
+		Jobs:       stats,
+		Chaos:      cc.Stats,
+		Violations: rec.Violations(),
+	}
+	sort.Strings(rep.Violations)
+	return rep, nil
+}
+
+// runSession is one client session: submit a campaign, follow it per
+// the plan, think, repeat until the submission deadline or job cap.
+func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand.Rand,
+	deadline time.Time, maxJobs int, submitted *atomic.Int64,
+	track func(string, campaign.Spec, bool) *trackedJob, logf func(string, ...any)) {
+	for n := 0; time.Now().Before(deadline); n++ {
+		if ctx.Err() != nil {
+			return
+		}
+		if maxJobs > 0 && submitted.Load() >= int64(maxJobs) {
+			return
+		}
+		spec := SpecForKind(plan.Kind, rng, n)
+		id, err := api.Submit(ctx, spec)
+		if err != nil {
+			// Expected during coordinator outages: count it (Observe
+			// already did) and retry after a beat.
+			sleepCtx(ctx, 200*time.Millisecond)
+			continue
+		}
+		submitted.Add(1)
+		tj := track(id, spec, plan.Kind == "cancel")
+
+		switch plan.Kind {
+		case "cancel":
+			// Let it run long enough to be mid-flight, then cancel.
+			sleepCtx(ctx, time.Duration(50+rng.Intn(200))*time.Millisecond)
+			api.Cancel(ctx, id)
+			followStatus(ctx, api, tj, plan.Poll, deadline)
+		case "streaming":
+			// Tail the event stream to completion (or until it breaks —
+			// a chaos kill mid-stream is recorded, not fatal).
+			api.TailEvents(ctx, id, tj.spec.CellCount())
+			followStatus(ctx, api, tj, plan.Poll, deadline)
+		default:
+			followStatus(ctx, api, tj, plan.Poll, deadline)
+		}
+		sleepCtx(ctx, plan.Think)
+	}
+}
+
+// followStatus polls one job until it settles or the deadline passes
+// (the drain phase finishes the slow ones).
+func followStatus(ctx context.Context, api *APIClient, tj *trackedJob, poll time.Duration, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		st, err := api.Status(ctx, tj.id)
+		if err == nil {
+			tj.final = st
+			if st.Terminal() {
+				return
+			}
+		}
+		if !sleepCtx(ctx, poll) {
+			return
+		}
+	}
+}
+
+// drain polls every non-terminal tracked job until it settles; a job
+// still live when the context expires is a violation.
+func drain(ctx context.Context, api *APIClient, rec *Recorder, jobs []*trackedJob) {
+	for {
+		live := 0
+		for _, tj := range jobs {
+			if tj.final.Terminal() {
+				continue
+			}
+			st, err := api.Status(ctx, tj.id)
+			if err == nil {
+				tj.final = st
+			}
+			if !tj.final.Terminal() {
+				live++
+			}
+		}
+		if live == 0 {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			for _, tj := range jobs {
+				if !tj.final.Terminal() {
+					rec.Violation("drain: job %s (%s) still %q when the drain budget expired",
+						tj.id, tj.spec.Name, tj.final.State)
+				}
+			}
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// verify re-derives every completed campaign locally and demands the
+// cluster served exactly those bytes, whatever faults were injected.
+func verify(ctx context.Context, api *APIClient, rec *Recorder, jobs []*trackedJob, logf func(string, ...any)) JobStats {
+	var stats JobStats
+	eng := campaign.Engine{}
+	for _, tj := range jobs {
+		switch tj.final.State {
+		case "done":
+			stats.Done++
+		case "canceled":
+			stats.Canceled++
+			continue
+		case "failed":
+			stats.Failed++
+			if !tj.canceled {
+				rec.Violation("job %s (%s) failed: %s", tj.id, tj.spec.Name, tj.final.Error)
+			}
+			continue
+		default:
+			continue // already flagged by drain
+		}
+		served, err := api.Results(ctx, tj.id)
+		if err != nil {
+			rec.Violation("job %s done but results unfetchable: %v", tj.id, err)
+			continue
+		}
+		agg, err := eng.Stream(ctx, tj.spec, &campaign.Progress{}, nil)
+		if err != nil {
+			rec.Violation("job %s: local reference run failed: %v", tj.id, err)
+			continue
+		}
+		want, err := agg.Canonical()
+		if err != nil {
+			rec.Violation("job %s: canonicalize reference: %v", tj.id, err)
+			continue
+		}
+		want = append(want, '\n')
+		if !bytes.Equal(served, want) {
+			rec.Violation("byte-identity: job %s (%s) served %d bytes diverging from the local reference run",
+				tj.id, tj.spec.Name, len(served))
+			continue
+		}
+		stats.Verified++
+	}
+	logf("verified %d/%d completed campaigns byte-identical", stats.Verified, stats.Done)
+	return stats
+}
+
+// sleepCtx sleeps unless the context ends first; reports survival.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

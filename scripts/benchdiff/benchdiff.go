@@ -21,6 +21,17 @@
 // comparison; refresh with -update when results drift for reasons the
 // calibration cannot express (a new runner class with different
 // relative costs, an accepted optimization).
+//
+// With -load the gate switches subject: instead of go test -bench
+// output it reads a twmload soak report (cmd/twmload) and compares
+// per-endpoint p99 latency against LOAD_BASELINE.json, with a looser
+// default threshold (-threshold 3.0) suited to wall-clock load
+// numbers on shared runners. -update refreshes the load baseline from
+// the report; a report carrying invariant violations always fails.
+//
+//	go run ./cmd/twmload -profile chaos -seed 1 -report load-report.json
+//	go run ./scripts/benchdiff -load load-report.json            # gate
+//	go run ./scripts/benchdiff -load load-report.json -update    # refresh
 package main
 
 import (
@@ -153,14 +164,31 @@ func gate(base, fresh map[string]Entry, threshold float64, calibrate string) (re
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	benchPath := fs.String("bench", "-", "go test -bench output to parse (\"-\" = stdin)")
-	basePath := fs.String("baseline", "BENCH_BASELINE.json", "baseline JSON to gate against or update")
-	threshold := fs.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+	basePath := fs.String("baseline", "", "baseline JSON to gate against or update (default BENCH_BASELINE.json, or LOAD_BASELINE.json with -load)")
+	threshold := fs.Float64("threshold", -1, "maximum tolerated regression (default 0.25 = +25% ns/op, or 3.0 = 4x p99 with -load)")
 	update := fs.Bool("update", false, "rewrite the baseline from the fresh results instead of gating")
 	outPath := fs.String("out", "", "also write the fresh results as JSON (CI artifact)")
 	note := fs.String("note", "", "with -update: provenance note stored in the baseline")
 	calibrate := fs.String("calibrate", "", "scale the baseline by this benchmark's fresh/base ns/op ratio before gating (machine-speed normalization)")
+	loadPath := fs.String("load", "", "gate a twmload JSON report (per-endpoint p99) instead of bench output")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *loadPath != "" {
+		if *basePath == "" {
+			*basePath = "LOAD_BASELINE.json"
+		}
+		if *threshold < 0 {
+			*threshold = 3.0
+		}
+		return runLoad(*loadPath, *basePath, *threshold, *update, *note, stdout)
+	}
+	if *basePath == "" {
+		*basePath = "BENCH_BASELINE.json"
+	}
+	if *threshold < 0 {
+		*threshold = 0.25
 	}
 
 	in := io.Reader(os.Stdin)

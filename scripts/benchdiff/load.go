@@ -1,0 +1,148 @@
+package main
+
+// The -load mode gates a twmload soak report (internal/loadgen.Report)
+// against LOAD_BASELINE.json the same way the bench mode gates ns/op:
+// per endpoint, the fresh p99 latency may not regress beyond the
+// threshold. Load latencies on a shared CI runner are far noisier than
+// microbenchmarks, so the default load threshold is deliberately loose
+// (3.0 = 4x) — it exists to catch order-of-magnitude regressions
+// (an accidental O(n^2) status handler, a lost streaming fast path),
+// not single-digit drift. A report carrying violations fails the gate
+// outright, whatever the latencies: byte-identity and fault accounting
+// are correctness, not performance.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"twmarch/internal/loadgen"
+)
+
+func writeJSONAny(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string, v any) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("benchdiff: %s: %v", path, err)
+	}
+	return nil
+}
+
+// LoadBaseline is the JSON schema of LOAD_BASELINE.json.
+type LoadBaseline struct {
+	// Note documents how the numbers were produced.
+	Note string `json:"note,omitempty"`
+	// Profile and Seed pin the workload the numbers describe; gating a
+	// report from a different profile is refused.
+	Profile string `json:"profile"`
+	Seed    int64  `json:"seed"`
+	// Endpoints maps endpoint name to its recorded stats.
+	Endpoints map[string]loadgen.EndpointStats `json:"endpoints"`
+}
+
+// gateLoad compares fresh endpoint stats against the baseline.
+func gateLoad(base, fresh map[string]loadgen.EndpointStats, threshold float64) (report []string, failures []string) {
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b := base[n]
+		f, ok := fresh[n]
+		if !ok {
+			report = append(report, fmt.Sprintf("FAIL %-8s missing from fresh report (baseline p99 %v)",
+				n, time.Duration(b.P99NS)))
+			failures = append(failures, n)
+			continue
+		}
+		if b.P99NS <= 0 {
+			report = append(report, fmt.Sprintf("ok   %-8s baseline p99 is zero; not gated", n))
+			continue
+		}
+		delta := float64(f.P99NS)/float64(b.P99NS) - 1
+		status := "ok  "
+		if delta > threshold {
+			status = "FAIL"
+			failures = append(failures, n)
+		}
+		report = append(report, fmt.Sprintf("%s %-8s baseline p99 %10v   fresh p99 %10v   %+6.1f%%  (p50 %v -> %v)",
+			status, n, time.Duration(b.P99NS), time.Duration(f.P99NS), 100*delta,
+			time.Duration(b.P50NS), time.Duration(f.P50NS)))
+	}
+	var extra []string
+	for n := range fresh {
+		if _, ok := base[n]; !ok {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		report = append(report, fmt.Sprintf("new  %-8s fresh p99 %v (not gated; add with -update)",
+			n, time.Duration(fresh[n].P99NS)))
+	}
+	return report, failures
+}
+
+// runLoad is the -load entry point.
+func runLoad(reportPath, basePath string, threshold float64, update bool, note string, stdout io.Writer) error {
+	rep, err := loadgen.ReadReport(reportPath)
+	if err != nil {
+		return err
+	}
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Fprintf(stdout, "VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("benchdiff: load report %s carries %d invariant violations; refusing to gate latencies on a broken run",
+			reportPath, len(rep.Violations))
+	}
+
+	if update {
+		if note == "" {
+			note = "refresh with: go run ./cmd/twmload -profile " + rep.Profile +
+				" -report load-report.json && go run ./scripts/benchdiff -load load-report.json -update"
+		}
+		base := LoadBaseline{Note: note, Profile: rep.Profile, Seed: rep.Seed, Endpoints: rep.Endpoints}
+		if err := writeJSONAny(basePath, base); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "benchdiff: load baseline %s updated with %d endpoints (profile %s seed %d)\n",
+			basePath, len(rep.Endpoints), rep.Profile, rep.Seed)
+		return nil
+	}
+
+	var base LoadBaseline
+	if err := readJSON(basePath, &base); err != nil {
+		return err
+	}
+	if len(base.Endpoints) == 0 {
+		return fmt.Errorf("benchdiff: %s tracks no endpoints", basePath)
+	}
+	if base.Profile != "" && base.Profile != rep.Profile {
+		return fmt.Errorf("benchdiff: baseline %s records profile %q but the report ran %q; latencies are not comparable",
+			basePath, base.Profile, rep.Profile)
+	}
+	report, failures := gateLoad(base.Endpoints, rep.Endpoints, threshold)
+	for _, l := range report {
+		fmt.Fprintln(stdout, l)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchdiff: %d endpoint(s) regressed beyond %.0f%%: %v", len(failures), 100*threshold, failures)
+	}
+	fmt.Fprintf(stdout, "benchdiff: %d endpoints within %.0f%% of baseline, zero violations\n", len(base.Endpoints), 100*threshold)
+	return nil
+}

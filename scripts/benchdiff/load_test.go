@@ -1,0 +1,121 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"twmarch/internal/loadgen"
+)
+
+func writeLoadReport(t *testing.T, dir, name string, rep loadgen.Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func ep(p50, p99 int64) loadgen.EndpointStats {
+	return loadgen.EndpointStats{Count: 100, P50NS: p50, P99NS: p99, P999NS: p99, MaxNS: p99}
+}
+
+func TestLoadGate(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "LOAD_BASELINE.json")
+	baseRep := loadgen.Report{
+		Profile: "chaos", Seed: 1, Workers: 3,
+		Endpoints: map[string]loadgen.EndpointStats{
+			"submit": ep(1_000_000, 10_000_000),
+			"status": ep(500_000, 5_000_000),
+		},
+		Violations: []string{},
+	}
+	repPath := writeLoadReport(t, dir, "base-report.json", baseRep)
+
+	// Seed the baseline via -update.
+	var out strings.Builder
+	if err := run([]string{"-load", repPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatalf("update: %v", err)
+	}
+
+	// Identical report passes.
+	out.Reset()
+	if err := run([]string{"-load", repPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("self-gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "2 endpoints within") {
+		t.Fatalf("unexpected gate output:\n%s", out.String())
+	}
+
+	// A 10x p99 regression on one endpoint fails; a new ungated
+	// endpoint is reported but does not fail.
+	bad := baseRep
+	bad.Endpoints = map[string]loadgen.EndpointStats{
+		"submit": ep(1_000_000, 100_000_000),
+		"status": ep(500_000, 5_000_000),
+		"events": ep(2_000_000, 20_000_000),
+	}
+	badPath := writeLoadReport(t, dir, "bad-report.json", bad)
+	out.Reset()
+	err := run([]string{"-load", badPath, "-baseline", basePath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "submit") {
+		t.Fatalf("regression not caught: err=%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new  events") {
+		t.Fatalf("new endpoint not reported:\n%s", out.String())
+	}
+
+	// Within the loose default threshold (4x), a 2x drift passes.
+	drift := baseRep
+	drift.Endpoints = map[string]loadgen.EndpointStats{
+		"submit": ep(2_000_000, 20_000_000),
+		"status": ep(1_000_000, 10_000_000),
+	}
+	driftPath := writeLoadReport(t, dir, "drift-report.json", drift)
+	if err := run([]string{"-load", driftPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("2x drift must pass the 4x default threshold: %v", err)
+	}
+
+	// An endpoint missing from the fresh report fails.
+	missing := baseRep
+	missing.Endpoints = map[string]loadgen.EndpointStats{"submit": ep(1_000_000, 10_000_000)}
+	missingPath := writeLoadReport(t, dir, "missing-report.json", missing)
+	if err := run([]string{"-load", missingPath, "-baseline", basePath}, &out); err == nil {
+		t.Fatal("missing endpoint must fail the gate")
+	}
+}
+
+func TestLoadGateRefusesViolationsAndProfileMismatch(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "LOAD_BASELINE.json")
+	good := loadgen.Report{
+		Profile:    "chaos",
+		Seed:       1,
+		Endpoints:  map[string]loadgen.EndpointStats{"submit": ep(1, 2)},
+		Violations: []string{},
+	}
+	goodPath := writeLoadReport(t, dir, "good.json", good)
+	var out strings.Builder
+	if err := run([]string{"-load", goodPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Violations poison the gate even with healthy latencies.
+	broken := good
+	broken.Violations = []string{"byte-identity: job c9 diverged"}
+	brokenPath := writeLoadReport(t, dir, "broken.json", broken)
+	err := run([]string{"-load", brokenPath, "-baseline", basePath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "violation") {
+		t.Fatalf("violating report must fail: %v", err)
+	}
+
+	// A report from another profile is not comparable.
+	other := good
+	other.Profile = "interactive"
+	otherPath := writeLoadReport(t, dir, "other.json", other)
+	if err := run([]string{"-load", otherPath, "-baseline", basePath}, &out); err == nil {
+		t.Fatal("profile mismatch must fail")
+	}
+}
