@@ -8,9 +8,11 @@
 // Every enumerated fault is injected into a memory with pseudo-random
 // contents; the report shows per-class coverage of the generated
 // TWMarch and, for comparison, of the Scheme 1 baseline. Simulation
-// uses the reference-trace fast path (the fault-free march is captured
-// once and each fault replays against it); -naive falls back to the
-// one-shot per-fault loop for debugging — results are identical.
+// rides the bit-parallel lane path by default (the fault-free march is
+// captured once and up to 64 faults replay against it per pass);
+// -lanes=false drops to the scalar one-fault-per-replay reference, and
+// -naive to the one-shot per-fault loop — results are identical on all
+// three paths.
 //
 // With -grid the single simulation becomes a campaign: the comma lists
 // in -tests, -widths and -sizes span a grid that is fanned out over the
@@ -68,7 +70,8 @@ func run(args []string, out, errOut io.Writer) error {
 	scope := fs.String("scope", "all", "coupling pair scope: all, intra, inter")
 	mode := fs.String("mode", "compare", "detection mode: compare or signature")
 	seed := fs.Int64("seed", 1, "initial-contents seed")
-	naive := fs.Bool("naive", false, "debugging escape hatch: use the naive per-fault simulation path instead of the reference-trace fast path (identical results)")
+	naive := fs.Bool("naive", false, "debugging escape hatch: use the naive per-fault simulation path instead of the reference-trace fast path (identical results; zeroed in the canonical JSON aggregate)")
+	lanes := fs.Bool("lanes", true, "use the bit-parallel 64-lane replay; -lanes=false pins the scalar per-fault reference (identical results; zeroed in the canonical JSON aggregate)")
 	baseline := fs.Bool("baseline", true, "also run the Scheme 1 baseline")
 	characterize := fs.Bool("characterize", false, "print the catalog-wide coverage matrix and exit")
 	grid := fs.Bool("grid", false, "run a campaign grid on the internal/campaign engine")
@@ -106,7 +109,7 @@ func run(args []string, out, errOut io.Writer) error {
 			tests: orDefault(*tests, *testName), widths: orDefault(*widths, strconv.Itoa(*width)),
 			sizes: orDefault(*sizes, strconv.Itoa(*words)), classes: *classes, scope: *scope,
 			mode: *mode, seed: *seed, baseline: *baseline, workers: *workers, asJSON: *asJSON,
-			naive: *naive, pipeline: ps, progress: *progress,
+			naive: *naive, noLanes: !*lanes, pipeline: ps, progress: *progress,
 		})
 	}
 
@@ -134,7 +137,7 @@ func run(args []string, out, errOut io.Writer) error {
 			len(list), *words, *width, dm, *seed),
 		Header: []string{"test", "class", "detected", "total", "coverage"},
 	}
-	if err := coverageRows(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, *naive, list); err != nil {
+	if err := coverageRows(tb, "TWMarch", res.TWMarch, dm, *words, *width, *seed, *naive, !*lanes, list); err != nil {
 		return err
 	}
 	if *baseline {
@@ -142,7 +145,7 @@ func run(args []string, out, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := coverageRows(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, *naive, list); err != nil {
+		if err := coverageRows(tb, "Scheme 1", s1.Test, dm, *words, *width, *seed, *naive, !*lanes, list); err != nil {
 			return err
 		}
 	}
@@ -177,8 +180,8 @@ func characterizeCatalog(out io.Writer, words int) error {
 	return err
 }
 
-func coverageRows(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, naive bool, list []faults.Fault) error {
-	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed, Naive: naive}
+func coverageRows(tb *report.Table, label string, t *march.Test, mode faultsim.DetectMode, words, width int, seed int64, naive, noLanes bool, list []faults.Fault) error {
+	c := faultsim.Campaign{Test: t, Words: words, Width: width, Mode: mode, Seed: seed, Naive: naive, NoLanes: noLanes}
 	rep, err := faultsim.Run(c, list)
 	if err != nil {
 		return err
@@ -229,6 +232,7 @@ type gridFlags struct {
 	workers              int
 	asJSON               bool
 	naive                bool
+	noLanes              bool
 	pipeline             *campaign.PipelineSpec
 	progress             bool
 }
@@ -266,6 +270,7 @@ func runGrid(out, errOut io.Writer, f gridFlags) error {
 		Seed:     f.seed,
 		Workers:  f.workers,
 		Naive:    f.naive,
+		NoLanes:  f.noLanes,
 		Pipeline: f.pipeline,
 	}
 	prog := &campaign.Progress{}

@@ -279,10 +279,12 @@ func TestJobQueue(t *testing.T) {
 	ts := httptest.NewServer(newServer(campaign.Engine{}, 1, nil, nil, nil))
 	defer ts.Close()
 
+	// Seconds of single-worker simulation even on the bit-parallel
+	// lane path; the test cancels it long before it finishes.
 	slow := smallSpec()
 	slow.Name = "slow"
-	slow.Words = []int{64, 96, 128}
-	slow.Widths = []int{8, 16}
+	slow.Words = []int{512, 768, 1024}
+	slow.Widths = []int{16, 32}
 	slow.Workers = 1
 	sub1 := postSpec(t, ts, slow)
 	id1, _ := sub1["id"].(string)

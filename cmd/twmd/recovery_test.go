@@ -40,12 +40,12 @@ func crash(t testing.TB, s *server) {
 // spec.
 func TestRestartRecovery(t *testing.T) {
 	dir := t.TempDir()
-	// Cells around 10ms each: the crash lands mid-grid with a wide
-	// margin on either side.
+	// Cells tens of milliseconds each even on the bit-parallel lane
+	// path: the crash lands mid-grid with a wide margin on either side.
 	spec := smallSpec()
 	spec.Name = "durable"
 	spec.Widths = []int{4, 8}
-	spec.Words = []int{96, 128}
+	spec.Words = []int{768, 1024}
 	spec.Workers = 1
 
 	s1 := newServer(campaign.Engine{}, 1, openStore(t, dir), nil, nil)
@@ -186,9 +186,12 @@ func TestRecoverTerminalJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Big enough that the cancel below always lands mid-run, even on
+	// the bit-parallel lane path.
 	slow := smallSpec()
 	slow.Name = "to-cancel"
-	slow.Words = []int{64, 96, 128}
+	slow.Words = []int{512, 768, 1024}
+	slow.Widths = []int{16, 32}
 	slow.Workers = 1
 	sub2 := postSpec(t, ts1, slow)
 	idCanceled, _ := sub2["id"].(string)

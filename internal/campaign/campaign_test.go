@@ -171,6 +171,41 @@ func TestNaiveMatchesFast(t *testing.T) {
 	}
 }
 
+// TestNoLanesMatchesLanes pins the third tier of the oracle tower: the
+// same grid run over the default bit-parallel lane path and with the
+// NoLanes escape hatch (scalar per-fault reference replay) must fold
+// into byte-identical canonical aggregates, exactly like the Naive
+// knob above.
+func TestNoLanesMatchesLanes(t *testing.T) {
+	spec := gridSpec()
+	ctx := context.Background()
+
+	lanes, err := Engine{}.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarSpec := spec
+	scalarSpec.NoLanes = true
+	scalar, err := Engine{}.Run(ctx, scalarSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := lanes.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := scalar.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cl, cs) {
+		t.Fatalf("no-lanes aggregate diverges from lane path:\nlanes:\n%s\nno-lanes:\n%s", cl, cs)
+	}
+	if lanes.Errors != 0 {
+		t.Fatalf("%d cells errored: %s", lanes.Errors, cl)
+	}
+}
+
 // TestParallelMatchesSerial is the subsystem's core guarantee: the
 // same spec and seed produce byte-identical canonical aggregates with
 // workers=1 and workers=GOMAXPROCS. Run under -race it also serves as

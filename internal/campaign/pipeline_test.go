@@ -280,6 +280,40 @@ func TestPipelineNaiveMatchesFast(t *testing.T) {
 	}
 }
 
+// Like the Naive check above, the NoLanes escape hatch must leave the
+// pipeline's canonical aggregate untouched: detection verdicts are the
+// same whether batches ride the bit-parallel lane path or the scalar
+// reference replay.
+func TestPipelineNoLanesMatchesLanes(t *testing.T) {
+	spec := pipelineSpec(1, 1, ECCSECDED)
+	spec.Modes = []string{ModeCompare, ModeSignature}
+	ctx := context.Background()
+	lanes, err := Engine{}.Run(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarSpec := spec
+	scalarSpec.NoLanes = true
+	scalar, err := Engine{}.Run(ctx, scalarSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := lanes.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := scalar.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cl, cs) {
+		t.Fatalf("pipeline no-lanes aggregate diverges from lane path:\nlanes:\n%s\nno-lanes:\n%s", cl, cs)
+	}
+	if lanes.Errors != 0 {
+		t.Fatalf("%d cells errored", lanes.Errors)
+	}
+}
+
 func TestECCOutcome(t *testing.T) {
 	sec := ecc.MustNewHamming(4, false)
 	secded := ecc.MustNewHamming(4, true)

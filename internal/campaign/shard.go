@@ -212,12 +212,13 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		mode = faultsim.Signature
 	}
 	cfg := faultsim.Campaign{
-		Test:  test,
-		Words: c.Words,
-		Width: c.Width,
-		Mode:  mode,
-		Seed:  c.Seed,
-		Naive: spec.Naive,
+		Test:    test,
+		Words:   c.Words,
+		Width:   c.Width,
+		Mode:    mode,
+		Seed:    c.Seed,
+		Naive:   spec.Naive,
+		NoLanes: spec.NoLanes,
 	}
 	res.ByClass = make(map[string]ClassCount)
 	if spec.Pipeline.On() {
@@ -228,8 +229,9 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 		return res
 	}
 	// One fault-free reference per cell, shared across the cell's
-	// whole fault population; spec.Naive falls back to the one-shot
-	// per-fault loop (identical tallies, only slower).
+	// whole fault population, riding the bit-parallel lane path unless
+	// spec.NoLanes pins the scalar replay; spec.Naive falls back to
+	// the one-shot per-fault loop (identical tallies, only slower).
 	runBatch := func(batch []faults.Fault) (*faultsim.Report, error) {
 		return faultsim.Run(cfg, batch)
 	}
@@ -239,7 +241,11 @@ func simulateCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) Cel
 			res.Err = err.Error()
 			return res
 		}
-		runBatch = ref.Run
+		if spec.NoLanes {
+			runBatch = ref.Run
+		} else {
+			runBatch = ref.RunLanes
+		}
 	}
 	// Simulate in batches so cancellation has bounded latency even for
 	// a cell with millions of faults. Faults are independent, so the

@@ -110,6 +110,12 @@ type Spec struct {
 	// and is zeroed in the canonical aggregate like the other
 	// scheduling knobs.
 	Naive bool `json:"naive,omitempty"`
+	// NoLanes forces the scalar per-fault reference replay instead of
+	// the bit-parallel lane path that batches up to 64 faults per
+	// replay. Results are bit-identical either way — like Naive it is
+	// a debugging escape hatch, zeroed in the canonical aggregate, and
+	// it has no effect when Naive is set.
+	NoLanes bool `json:"no_lanes,omitempty"`
 	// Pipeline, when enabled, runs the diagnosis-and-repair stage
 	// after detection: mismatch syndromes are diagnosed, suspect sites
 	// fed to the spare-row/column allocator, and test escapes checked

@@ -13,13 +13,17 @@
 // fault populations on small memories, comparing the transparent
 // word-oriented test against its nontransparent counterpart.
 //
-// Batch evaluation has two implementations with bit-identical
-// verdicts. Detects is the naive one-shot path: fresh memory,
-// re-randomized contents and a full march per fault. Reference is the
-// fast path: the fault-free run is captured once per configuration
-// (ordered access trace, expected reads, MISR prefix states) and each
-// fault replays against it on a pooled memory arena. Run and Compare
-// use the fast path unless Campaign.Naive forces the one-shot loop.
+// Batch evaluation has three implementations with bit-identical
+// verdicts, each the oracle for the next. Detects is the naive
+// one-shot path: fresh memory, re-randomized contents and a full march
+// per fault. Reference.Detects is the scalar fast path: the fault-free
+// run is captured once per configuration (ordered access trace,
+// expected reads, MISR prefix states) and each fault replays against
+// it on a pooled memory arena. Reference.DetectLane is the
+// bit-parallel path: up to 64 faults packed into uint64 bit-planes and
+// replayed at once (see lane.go). Run rides the lane path unless
+// Campaign.NoLanes drops it to the scalar replay or Campaign.Naive to
+// the one-shot loop; Compare and per-fault callers use Detector.
 package faultsim
 
 import (
@@ -78,6 +82,11 @@ type Campaign struct {
 	// either way (the equivalence suite asserts it over the full fault
 	// catalog); the flag exists as a debugging escape hatch.
 	Naive bool
+	// NoLanes forces Run onto the scalar per-fault reference replay
+	// instead of the bit-parallel lane path (Reference.RunLanes).
+	// Reports are byte-identical either way; like Naive, the flag is a
+	// debugging escape hatch. It has no effect when Naive is set.
+	NoLanes bool
 }
 
 // newMemory materializes the campaign's pre-existing contents. The
@@ -226,22 +235,30 @@ func (r *Report) Classes() []string {
 	return out
 }
 
-// Run executes the campaign over the fault list. It evaluates through
-// a Reference built once for the configuration unless Campaign.Naive
-// forces the one-shot per-fault path; the Report is identical either
-// way.
+// Run executes the campaign over the fault list. By default it builds
+// a Reference once for the configuration and rides the bit-parallel
+// lane path (Reference.RunLanes); Campaign.NoLanes drops to the scalar
+// per-fault reference replay and Campaign.Naive to the one-shot loop.
+// The Report is byte-identical on all three paths.
 func Run(c Campaign, list []faults.Fault) (*Report, error) {
-	det, err := c.Detector()
+	if c.Naive {
+		return runWith(func(f faults.Fault) (bool, error) { return Detects(c, f) }, list)
+	}
+	ref, err := NewReference(c)
 	if err != nil {
 		return nil, err
 	}
-	return runWith(det, list)
+	if c.NoLanes {
+		return ref.Run(list)
+	}
+	return ref.RunLanes(list)
 }
 
 // Detector returns the campaign's per-fault verdict function: the
 // naive one-shot loop when Naive is set, a shared Reference otherwise.
-// It is the single place the path selection lives — Run, Compare and
-// the campaign engine's pipeline stage all go through it.
+// Per-fault callers (Compare, the campaign engine's pipeline stage) go
+// through it; batch callers use Run, which additionally selects the
+// bit-parallel lane path over whole fault lists.
 func (c Campaign) Detector() (func(faults.Fault) (bool, error), error) {
 	if c.Naive {
 		return func(f faults.Fault) (bool, error) { return Detects(c, f) }, nil

@@ -108,7 +108,15 @@ type Reference struct {
 	testFeeds  []word.Word
 	testStates []word.Word
 
-	pool sync.Pool
+	// Bit-parallel lane path (lane.go): the schedules lowered into
+	// broadcast rows, the MISR polynomial's tap positions (Signature
+	// mode), and the pooled lane arenas.
+	laneSched     []laneOp
+	lanePredSched []laneOp
+	polyBits      []int
+
+	pool     sync.Pool
+	lanePool sync.Pool
 }
 
 // NewReference precomputes the fault-free reference for the campaign
@@ -155,9 +163,20 @@ func NewReference(c Campaign) (*Reference, error) {
 		if err != nil {
 			return nil, err
 		}
+		poly, err := misr.LookupPoly(c.Width)
+		if err != nil {
+			return nil, err
+		}
+		for b := 0; b < c.Width; b++ {
+			if poly.Bit(b) == 1 {
+				r.polyBits = append(r.polyBits, b)
+			}
+		}
+		r.lanePredSched = compileLaneOps(r.predSched, c.Width)
 	default:
 		return nil, fmt.Errorf("faultsim: unknown mode %v", c.Mode)
 	}
+	r.laneSched = compileLaneOps(r.sched, c.Width)
 	r.pool.New = func() any {
 		a := &arena{
 			mem:  memory.MustNew(r.words, r.width),
@@ -168,6 +187,7 @@ func NewReference(c Campaign) (*Reference, error) {
 		}
 		return a
 	}
+	r.lanePool.New = func() any { return newLaneArena(r) }
 	return r, nil
 }
 

@@ -195,16 +195,21 @@ func (cc *ChaosController) Run(ctx context.Context) {
 		cc.Rec.Violation("chaos accounting: metrics report %v injected errors, chaos status says %d", got, st.ErrorsInjected)
 	}
 
-	// Stage 4: SIGKILL a worker that provably holds a lease. Pin
-	// completes behind a short delay first so the victim cannot slip
-	// its lease back before the kill lands.
+	// Stage 4: SIGKILL a worker that provably holds a lease. Reject
+	// completes first so the victim cannot slip its lease back before
+	// the kill lands: a merely *delayed* complete would still be
+	// processed by the coordinator after the worker dies (cells
+	// simulate fast enough that the victim often sits inside its
+	// complete call at the moment we observe the lease), but a
+	// rejected one never lands — the victim's retry loop dies with
+	// it, so its lease must expire.
 	preKill, err := cc.metrics()
 	if err != nil {
 		cc.Rec.Violation("chaos: scrape metrics before worker kill: %v", err)
 		return
 	}
-	if _, err := cc.arm(cluster.ChaosRequest{Path: "complete", DelayMS: 300, DelayN: 5}); err != nil {
-		cc.Rec.Violation("chaos: arm complete pin: %v", err)
+	if _, err := cc.arm(cluster.ChaosRequest{Path: "complete", Code: 500, CodeN: 100000}); err != nil {
+		cc.Rec.Violation("chaos: arm complete rejection: %v", err)
 		return
 	}
 	victim, err := cc.waitWorkerWithLease(ctx, 30*time.Second)

@@ -1,0 +1,64 @@
+package memory
+
+import "twmarch/internal/word"
+
+// Bit-plane transposition helpers for the bit-parallel fault-simulation
+// lanes in internal/faultsim.
+//
+// A plane set represents the contents of up to 64 simulated memories
+// ("lanes") of identical geometry at once. It is a flat []uint64 of
+// length words*width, indexed planes[addr*width+b]: bit L of that
+// element is the value of memory bit (addr, b) in lane machine L. March
+// operations then apply to all 64 machines with ordinary bitwise ops
+// on whole planes instead of one scalar replay per machine.
+
+// PlaneIndex returns the index of the plane holding bit b of the word
+// at addr in a plane set of the given width.
+func PlaneIndex(width, addr, b int) int { return addr*width + b }
+
+// BroadcastPlanes fills dst (length words*width) so that every lane of
+// every plane holds the corresponding bit of snapshot: lane L of plane
+// (addr, b) is bit b of snapshot[addr], for all 64 lanes. It is the
+// plane-set analogue of Restore — all lane machines start from the same
+// scalar contents.
+func BroadcastPlanes(dst []uint64, snapshot []word.Word, width int) {
+	for addr, w := range snapshot {
+		base := addr * width
+		for b := 0; b < width; b++ {
+			var bit uint64
+			if b < 64 {
+				bit = w.Lo >> uint(b) & 1
+			} else {
+				bit = w.Hi >> uint(b-64) & 1
+			}
+			// -bit broadcasts the single bit to all 64 lanes.
+			dst[base+b] = -bit
+		}
+	}
+}
+
+// LaneWord reassembles the scalar word stored at addr in lane machine
+// lane (0..63) from a plane set of the given width.
+func LaneWord(planes []uint64, width, addr, lane int) word.Word {
+	var w word.Word
+	base := addr * width
+	for b := 0; b < width; b++ {
+		if planes[base+b]>>uint(lane)&1 == 1 {
+			w = w.SetBit(b, 1)
+		}
+	}
+	return w
+}
+
+// LaneSnapshot reassembles the full contents of lane machine lane
+// (0..63) as a scalar snapshot, the inverse of BroadcastPlanes for a
+// single lane. It is the debugging bridge between the bit-parallel
+// representation and the scalar Memory model: the result can be fed to
+// Restore to replay one lane's state on a plain simulator.
+func LaneSnapshot(planes []uint64, words, width, lane int) []word.Word {
+	out := make([]word.Word, words)
+	for addr := range out {
+		out[addr] = LaneWord(planes, width, addr, lane)
+	}
+	return out
+}

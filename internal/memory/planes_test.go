@@ -1,0 +1,100 @@
+package memory
+
+import (
+	"math/rand"
+	"testing"
+
+	"twmarch/internal/word"
+)
+
+// randomSnapshot builds a deterministic pseudo-random snapshot for the
+// given geometry.
+func randomSnapshot(rng *rand.Rand, words, width int) []word.Word {
+	out := make([]word.Word, words)
+	for i := range out {
+		w := word.FromUint64(rng.Uint64())
+		for b := 64; b < width; b++ {
+			if rng.Intn(2) == 1 {
+				w = w.SetBit(b, 1)
+			}
+		}
+		out[i] = w.Mask(width)
+	}
+	return out
+}
+
+func TestPlaneIndex(t *testing.T) {
+	if got := PlaneIndex(4, 0, 0); got != 0 {
+		t.Errorf("PlaneIndex(4,0,0) = %d", got)
+	}
+	if got := PlaneIndex(4, 2, 3); got != 11 {
+		t.Errorf("PlaneIndex(4,2,3) = %d", got)
+	}
+	if got := PlaneIndex(1, 7, 0); got != 7 {
+		t.Errorf("PlaneIndex(1,7,0) = %d", got)
+	}
+}
+
+// BroadcastPlanes must put the same scalar word in every lane:
+// reassembling any lane returns the broadcast snapshot.
+func TestBroadcastRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, geo := range []struct{ words, width int }{
+		{3, 4}, {2, 8}, {9, 1}, {4, 64}, {2, 100},
+	} {
+		snap := randomSnapshot(rng, geo.words, geo.width)
+		planes := make([]uint64, geo.words*geo.width)
+		BroadcastPlanes(planes, snap, geo.width)
+		for _, lane := range []int{0, 1, 31, 63} {
+			got := LaneSnapshot(planes, geo.words, geo.width, lane)
+			for addr := range snap {
+				if got[addr] != snap[addr] {
+					t.Fatalf("%dx%d lane %d addr %d: got %v want %v",
+						geo.words, geo.width, lane, addr, got[addr], snap[addr])
+				}
+			}
+		}
+	}
+}
+
+// Perturbing a single lane's plane bits must be visible to LaneWord for
+// that lane only — planes are truly independent per machine.
+func TestLaneWordIsolation(t *testing.T) {
+	const words, width = 3, 4
+	snap := randomSnapshot(rand.New(rand.NewSource(9)), words, width)
+	planes := make([]uint64, words*width)
+	BroadcastPlanes(planes, snap, width)
+
+	const lane, addr, bit = 17, 1, 2
+	planes[PlaneIndex(width, addr, bit)] ^= uint64(1) << lane
+
+	for l := 0; l < 64; l++ {
+		got := LaneWord(planes, width, addr, l)
+		want := snap[addr]
+		if l == lane {
+			want = want.Xor(word.Zero.SetBit(bit, 1))
+		}
+		if got != want {
+			t.Fatalf("lane %d: got %v want %v", l, got, want)
+		}
+	}
+}
+
+// A lane snapshot can be restored onto a scalar Memory — the debugging
+// bridge the helper exists for.
+func TestLaneSnapshotRestores(t *testing.T) {
+	const words, width = 4, 8
+	snap := randomSnapshot(rand.New(rand.NewSource(3)), words, width)
+	planes := make([]uint64, words*width)
+	BroadcastPlanes(planes, snap, width)
+
+	m := MustNew(words, width)
+	if err := m.Restore(LaneSnapshot(planes, words, width, 42)); err != nil {
+		t.Fatal(err)
+	}
+	for addr := 0; addr < words; addr++ {
+		if got := m.Read(addr); got != snap[addr] {
+			t.Fatalf("addr %d: got %v want %v", addr, got, snap[addr])
+		}
+	}
+}
