@@ -21,6 +21,15 @@
 // stops accepting submissions, drains running jobs for up to -drain,
 // and flushes the journal before exiting.
 //
+// With -datadir the daemon also maintains the indexed result
+// warehouse (internal/warehouse) next to the journals: every settled
+// job's cell results are indexed under their grid dimensions, and
+// GET /campaigns/query serves dimension- and job-range-filtered reads
+// from the index without replaying a single WAL. The index is a
+// disposable view — startup reconciles it against the journal set and
+// rebuilds it from the WALs whenever it cannot be trusted; -warehouse=false
+// turns the whole subsystem off.
+//
 // With -cluster the daemon stops simulating locally and becomes the
 // coordinator of a worker fleet: each submitted campaign's cells are
 // leased out over POST /cluster/lease to twmw worker daemons, kept
@@ -46,6 +55,12 @@
 //
 //	POST   /campaigns            submit a campaign.Spec, returns {id}
 //	GET    /campaigns            list all campaigns with status
+//	GET    /campaigns/query      indexed result queries: filter by grid
+//	                             dimensions (test, width, words, scheme,
+//	                             mode) and job range (min_job, max_job),
+//	                             paged via limit/page_token; served from
+//	                             the result warehouse (internal/warehouse)
+//	                             without replaying any WAL
 //	GET    /campaigns/{id}       poll status, live partial coverage,
 //	                             elapsed/rate/ETA
 //	GET    /campaigns/{id}/events    NDJSON stream of per-cell results
@@ -89,6 +104,7 @@ import (
 	"twmarch/internal/cluster"
 	"twmarch/internal/jobstore"
 	"twmarch/internal/obs"
+	"twmarch/internal/warehouse"
 )
 
 // Per-job rate gauges: the one source of truth for cells_per_sec and
@@ -117,6 +133,7 @@ func main() {
 	clusterMode := fs.Bool("cluster", false, "dispatch campaign cells to twmw workers over /cluster instead of simulating locally")
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "with -cluster, how long a leased cell lives without a worker heartbeat before it requeues")
 	chaosMode := fs.Bool("chaos", false, "with -cluster, expose the /cluster/chaos fault-injection surface (soak harnesses only; never in production)")
+	useWarehouse := fs.Bool("warehouse", true, "with -datadir, maintain the indexed result warehouse behind GET /campaigns/query")
 	addrFile := fs.String("addr-file", "", "write the resolved listen address to this file once serving (lets harnesses use -addr 127.0.0.1:0)")
 	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
 	fs.Parse(os.Args[1:])
@@ -143,7 +160,11 @@ func main() {
 	if *clusterMode {
 		coord = cluster.New(cluster.Options{LeaseTTL: *leaseTTL, Chaos: *chaosMode})
 	}
-	h := newServer(eng, *maxJobs, store, coord, logger)
+	var wh *warehouse.Warehouse
+	if store != nil && *useWarehouse {
+		wh = openWarehouse(*datadir, store, logger)
+	}
+	h := newServerWith(eng, *maxJobs, store, coord, wh, logger)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -195,6 +216,11 @@ func main() {
 		logger.Info("all jobs drained, exiting")
 	} else {
 		logger.Warn("drain budget exhausted; interrupted jobs left journaled for recovery")
+	}
+	if wh != nil {
+		if err := wh.Close(); err != nil {
+			logger.Warn("warehouse close failed; next start rebuilds", "err", err)
+		}
 	}
 }
 
@@ -249,9 +275,12 @@ type job struct {
 	agg     *campaign.Aggregator
 	hub     *hub
 	journal *jobstore.Journal // nil without -datadir
-	cancel  context.CancelFunc
-	done    chan struct{}
-	log     *slog.Logger
+	// wh indexes the job's terminal results for /campaigns/query; nil
+	// when the warehouse is disabled.
+	wh     *warehouse.Warehouse
+	cancel context.CancelFunc
+	done   chan struct{}
+	log    *slog.Logger
 	// abandoned marks a drain-interrupted job: the runner closes the
 	// journal without a terminal marker so a restart resumes it.
 	abandoned atomic.Bool
@@ -372,6 +401,10 @@ type server struct {
 	// coord dispatches cells to remote workers instead of running the
 	// engine locally; nil without -cluster.
 	coord *cluster.Coordinator
+	// wh is the indexed result warehouse behind GET /campaigns/query;
+	// nil when disabled (no -datadir, -warehouse=false, or rebuild
+	// failure).
+	wh *warehouse.Warehouse
 	// slots bounds concurrently running campaigns; a submitted job
 	// stays queued until it acquires a slot.
 	slots chan struct{}
@@ -384,6 +417,13 @@ type server struct {
 }
 
 func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *cluster.Coordinator, logger *slog.Logger) *server {
+	return newServerWith(eng, maxJobs, store, coord, nil, logger)
+}
+
+// newServerWith is newServer plus the result warehouse: wh is
+// reconciled against the journal set before recovery resumes any job,
+// so index repairs never race live ingest.
+func newServerWith(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *cluster.Coordinator, wh *warehouse.Warehouse, logger *slog.Logger) *server {
 	if maxJobs < 1 {
 		maxJobs = 1
 	}
@@ -395,6 +435,7 @@ func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *c
 		log:    logger,
 		store:  store,
 		coord:  coord,
+		wh:     wh,
 		jobs:   make(map[string]*job),
 		mux:    http.NewServeMux(),
 		slots:  make(chan struct{}, maxJobs),
@@ -410,6 +451,7 @@ func newServer(eng campaign.Engine, maxJobs int, store *jobstore.Store, coord *c
 	obs.Mount(s.mux, obs.Default())
 	registerGatherHook(s)
 	s.handler = obs.Instrument("twmd", s.mux, routePattern)
+	s.reconcileWarehouse()
 	s.recover()
 	return s
 }
@@ -445,6 +487,9 @@ func routePattern(r *http.Request) string {
 		return "/campaigns"
 	case strings.HasPrefix(p, "/campaigns/"):
 		rest := strings.Trim(strings.TrimPrefix(p, "/campaigns/"), "/")
+		if rest == "query" {
+			return "/campaigns/query"
+		}
 		_, sub, _ := strings.Cut(rest, "/")
 		switch sub {
 		case "results", "cancel", "events":
@@ -527,6 +572,7 @@ func (s *server) recover() {
 			prog:    &campaign.Progress{},
 			agg:     campaign.NewAggregator(rec.Spec),
 			hub:     newHub(),
+			wh:      s.wh,
 			done:    make(chan struct{}),
 			log:     s.log.With("job", rec.ID),
 			state:   StateQueued,
@@ -654,6 +700,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		prog:    &campaign.Progress{},
 		agg:     campaign.NewAggregator(spec),
 		hub:     newHub(),
+		wh:      s.wh,
 		cancel:  cancel,
 		done:    make(chan struct{}),
 		state:   StateQueued,
@@ -705,6 +752,13 @@ func (s *server) run(ctx context.Context, j *job) {
 		if j.journal != nil {
 			sinks = append(sinks, j.journal)
 		}
+		if j.wh != nil {
+			// Stream completed cells into the warehouse as they finish,
+			// so a settled job's results are queryable without a backfill
+			// scan. The journal sink precedes this one: a cell is always
+			// WAL-durable before it is index-visible.
+			sinks = append(sinks, j.wh.Ingester(j.id))
+		}
 		var agg *campaign.Aggregate
 		var err error
 		if s.coord != nil {
@@ -749,17 +803,22 @@ func (j *job) settle(state, errMsg string, agg *campaign.Aggregate) {
 	} else {
 		j.logger().Info("job settled", "state", state)
 	}
-	if j.journal == nil {
-		return
+	if j.journal != nil {
+		var err error
+		if j.abandoned.Load() {
+			err = j.journal.Close()
+		} else {
+			err = j.journal.Finish(state, errMsg)
+		}
+		if err != nil {
+			j.logger().Warn("journal finish failed", "err", err)
+		}
 	}
-	var err error
-	if j.abandoned.Load() {
-		err = j.journal.Close()
-	} else {
-		err = j.journal.Finish(state, errMsg)
-	}
-	if err != nil {
-		j.logger().Warn("journal finish failed", "err", err)
+	// Index after the journal's terminal marker is down: if the process
+	// dies between the two, startup reconcile replays this step from
+	// the journal instead of trusting a half-updated index.
+	if !j.abandoned.Load() {
+		j.indexSettled(state, agg)
 	}
 }
 
@@ -840,6 +899,11 @@ func (s *server) drainJobs(ctx context.Context, settle time.Duration) bool {
 func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 	rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/campaigns/"), "/")
 	id, sub, _ := strings.Cut(rest, "/")
+	// "query" can never collide with a job id: ids are always c<seq>.
+	if id == "query" && sub == "" {
+		s.query(w, r)
+		return
+	}
 	s.mu.Lock()
 	j := s.jobs[id]
 	s.mu.Unlock()
@@ -878,6 +942,17 @@ func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 		if s.store != nil {
 			if err := s.store.Remove(id); err != nil {
 				s.log.Warn("evict journal failed", "job", id, "err", err)
+			}
+		}
+		// Drop the evicted job's index entries too, so /campaigns/query
+		// never serves results whose journal is gone.
+		if s.wh != nil {
+			if n, err := s.wh.RemoveJobID(id); err != nil {
+				s.log.Warn("evict warehouse entries failed; reconcile will repair", "job", id, "err", err)
+			} else if n > 0 {
+				if err := s.wh.Checkpoint(); err != nil {
+					s.log.Warn("warehouse checkpoint failed", "err", err)
+				}
 			}
 		}
 		writeJSON(w, http.StatusOK, st)

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"errors"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"strconv"
+
+	"twmarch/internal/campaign"
+	"twmarch/internal/jobstore"
+	"twmarch/internal/warehouse"
+)
+
+// warehouseFile is the index file name inside -datadir.
+const warehouseFile = "warehouse.idx"
+
+// openWarehouse opens (or builds) the result warehouse next to the
+// job journals. A dirty or torn index — a crash mid-ingest, a format
+// change — is rebuilt from the WALs, which stay the source of truth;
+// the index is always a disposable view. Returns nil (and serves 503
+// on the query surface) only when even the rebuild fails.
+func openWarehouse(datadir string, store *jobstore.Store, logger *slog.Logger) *warehouse.Warehouse {
+	path := filepath.Join(datadir, warehouseFile)
+	wh, err := warehouse.Open(path, warehouse.Options{})
+	if err == nil {
+		return wh
+	}
+	if !errors.Is(err, warehouse.ErrNeedsRebuild) {
+		logger.Error("open warehouse failed", "path", path, "err", err)
+		return nil
+	}
+	logger.Warn("warehouse index not trustworthy, rebuilding from WALs", "path", path, "err", err)
+	wh, err = warehouse.RebuildFromWAL(path, warehouse.Options{}, store)
+	if err != nil {
+		logger.Error("warehouse rebuild failed, queries disabled", "path", path, "err", err)
+		return nil
+	}
+	logger.Info("warehouse rebuilt", "path", path, "jobs", wh.NumJobs())
+	return wh
+}
+
+// reconcileWarehouse audits the index against the journal set and
+// logs what it repaired — the startup step that catches drift from a
+// crash between a WAL write and its index insert (or an evict that
+// died between removing the journal and the index entries). Runs
+// before any recovered job resumes, so repairs never race live
+// ingest.
+func (s *server) reconcileWarehouse() {
+	if s.wh == nil || s.store == nil {
+		return
+	}
+	stats, err := s.wh.Reconcile(s.store)
+	if err != nil {
+		s.log.Error("warehouse reconcile failed", "err", err)
+		return
+	}
+	for _, id := range stats.Removed {
+		s.log.Warn("warehouse drift: dropped index entries without a done journal", "job", id)
+	}
+	for _, id := range stats.Repaired {
+		s.log.Warn("warehouse drift: re-indexed job from its journal", "job", id)
+	}
+	if len(stats.Removed) > 0 || len(stats.Repaired) > 0 {
+		if err := s.wh.Checkpoint(); err != nil {
+			s.log.Warn("warehouse checkpoint failed", "err", err)
+		}
+	}
+}
+
+// indexSettled folds a job's terminal state into the warehouse: a
+// done job's full result set backfills (covering recovery-seeded
+// cells that never streamed through the ingest sink), any other
+// terminal state drops the job's entries. Each settle checkpoints, so
+// the index never trails the journal set by more than the job being
+// settled.
+func (j *job) indexSettled(state string, agg *campaign.Aggregate) {
+	if j.wh == nil {
+		return
+	}
+	var err error
+	if state == StateDone && agg != nil {
+		err = j.wh.IndexJob(j.id, agg.Cells)
+	} else {
+		_, err = j.wh.RemoveJobID(j.id)
+	}
+	if err != nil {
+		j.logger().Warn("warehouse index update failed; reconcile will repair", "err", err)
+		return
+	}
+	if err := j.wh.Checkpoint(); err != nil {
+		j.logger().Warn("warehouse checkpoint failed", "err", err)
+	}
+}
+
+// queryRecord is the wire form of one warehouse record.
+type queryRecord struct {
+	ID       string  `json:"id"`
+	Cell     uint32  `json:"cell"`
+	Test     string  `json:"test"`
+	Width    int     `json:"width"`
+	Words    int     `json:"words"`
+	Scheme   string  `json:"scheme"`
+	Mode     string  `json:"mode"`
+	Faults   int     `json:"faults"`
+	Detected int     `json:"detected"`
+	Coverage float64 `json:"coverage"`
+	TCM      int     `json:"tcm"`
+	TCP      int     `json:"tcp"`
+}
+
+// queryPage is the wire form of one GET /campaigns/query response.
+type queryPage struct {
+	Results []queryRecord `json:"results"`
+	// NextToken pages the scan; pass it back as ?page_token=.
+	NextToken string `json:"next_token,omitempty"`
+	// Scanned counts index entries examined for this page.
+	Scanned int `json:"scanned"`
+}
+
+// parseJobParam accepts a job bound as either a twmd id ("c17") or a
+// bare sequence number ("17").
+func parseJobParam(v string) (uint64, bool) {
+	if seq, ok := warehouse.JobSeq(v); ok {
+		return seq, true
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// query serves GET /campaigns/query: dimension- and job-range-
+// filtered reads over the warehouse index. The handler never touches
+// a WAL — every page is index pages only — so its latency is
+// independent of how many cells the matching jobs journaled.
+func (s *server) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	if s.wh == nil {
+		writeErr(w, http.StatusServiceUnavailable, "result warehouse disabled (start with -datadir, without -warehouse=false)")
+		return
+	}
+	p := r.URL.Query()
+	q := warehouse.Query{
+		Test:      p.Get("test"),
+		Scheme:    p.Get("scheme"),
+		Mode:      p.Get("mode"),
+		PageToken: p.Get("page_token"),
+	}
+	for name, dst := range map[string]*int{"width": &q.Width, "words": &q.Words, "limit": &q.Limit} {
+		if v := p.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeErr(w, http.StatusBadRequest, "bad %s %q", name, v)
+				return
+			}
+			*dst = n
+		}
+	}
+	for name, dst := range map[string]*uint64{"min_job": &q.MinJob, "max_job": &q.MaxJob} {
+		if v := p.Get(name); v != "" {
+			seq, ok := parseJobParam(v)
+			if !ok {
+				writeErr(w, http.StatusBadRequest, "bad %s %q", name, v)
+				return
+			}
+			*dst = seq
+		}
+	}
+	res, err := s.wh.Search(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	page := queryPage{Results: make([]queryRecord, 0, len(res.Records)), NextToken: res.NextToken, Scanned: res.Scanned}
+	for _, rec := range res.Records {
+		qr := queryRecord{
+			ID:       warehouse.JobID(rec.Job),
+			Cell:     rec.Cell,
+			Test:     rec.Dim.Test,
+			Width:    rec.Dim.Width,
+			Words:    rec.Dim.Words,
+			Scheme:   rec.Dim.Scheme,
+			Mode:     rec.Dim.Mode,
+			Faults:   rec.Faults,
+			Detected: rec.Detected,
+			TCM:      rec.TCM,
+			TCP:      rec.TCP,
+		}
+		if rec.Faults > 0 {
+			qr.Coverage = float64(rec.Detected) / float64(rec.Faults)
+		}
+		page.Results = append(page.Results, qr)
+	}
+	writeJSON(w, http.StatusOK, page)
+}

@@ -1,0 +1,49 @@
+package campaign
+
+// Dim is the grid-dimension tuple of one cell — the canonical
+// dimension key the result warehouse indexes campaign results under.
+// It is exactly the subset of Cell that positions the cell in the
+// spec's cross product (no seed, no index), so two cells from
+// different campaigns with the same Dim are directly comparable and
+// queries like "coverage of S5 across all word widths" are range
+// scans over Dim-ordered keys.
+type Dim struct {
+	// Test is the catalog march-test name.
+	Test string `json:"test"`
+	// Width and Words give the memory geometry.
+	Width int `json:"width"`
+	Words int `json:"words"`
+	// Scheme and Mode name the transformation and detection mechanism.
+	Scheme string `json:"scheme"`
+	Mode   string `json:"mode"`
+}
+
+// Dim returns the cell's dimension tuple.
+func (c Cell) Dim() Dim {
+	return Dim{Test: c.Test, Width: c.Width, Words: c.Words, Scheme: c.Scheme, Mode: c.Mode}
+}
+
+// Dims expands the normalized grid's dimension tuples in grid order —
+// Dims()[i] is Cells()[i].Dim() — without deriving seeds or running
+// the full spec validation. Index consumers use it to cross-check
+// journaled results against the spec they claim to belong to.
+func (s Spec) Dims() []Dim {
+	s = s.Normalized()
+	n := s.CellCount()
+	if n <= 0 || n > MaxCells {
+		return nil
+	}
+	out := make([]Dim, 0, n)
+	for _, test := range s.Tests {
+		for _, width := range s.Widths {
+			for _, words := range s.Words {
+				for _, scheme := range s.Schemes {
+					for _, mode := range s.Modes {
+						out = append(out, Dim{Test: test, Width: width, Words: words, Scheme: scheme, Mode: mode})
+					}
+				}
+			}
+		}
+	}
+	return out
+}

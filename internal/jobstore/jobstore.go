@@ -155,6 +155,37 @@ type terminalMarker struct {
 	Error string `json:"error,omitempty"`
 }
 
+// Load reads one journaled job — spec, WAL replay, terminal marker —
+// without touching the rest of the store. It fails when the spec is
+// missing or unreadable (a crash between Mkdir and the spec rename
+// leaves nothing recoverable); a malformed or torn WAL tail drops the
+// affected line and everything after it. Recover is the whole-store
+// sweep built on it; index consumers (the result warehouse's rebuild
+// and reconcile paths) use Load directly so repairing one job's index
+// entries never re-reads every journal.
+func (s *Store) Load(id string) (Job, error) {
+	if err := validID(id); err != nil {
+		return Job{}, err
+	}
+	dir := filepath.Join(s.dir, id)
+	raw, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return Job{}, fmt.Errorf("jobstore: %v", err)
+	}
+	var spec campaign.Spec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return Job{}, fmt.Errorf("jobstore: %s: parse spec: %v", id, err)
+	}
+	j := Job{ID: id, Spec: spec, Done: readWAL(filepath.Join(dir, "wal.ndjson"))}
+	if raw, err := os.ReadFile(filepath.Join(dir, "state.json")); err == nil {
+		var m terminalMarker
+		if err := json.Unmarshal(raw, &m); err == nil {
+			j.State, j.Err = m.State, m.Error
+		}
+	}
+	return j, nil
+}
+
 // Recover loads every journaled job, sorted by id (numeric-suffix
 // aware: c2 before c10). Directories without a readable spec are
 // skipped — a crash between Mkdir and the spec rename leaves nothing
@@ -170,21 +201,9 @@ func (s *Store) Recover() ([]Job, error) {
 		if !e.IsDir() {
 			continue
 		}
-		dir := filepath.Join(s.dir, e.Name())
-		raw, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+		j, err := s.Load(e.Name())
 		if err != nil {
 			continue
-		}
-		var spec campaign.Spec
-		if err := json.Unmarshal(raw, &spec); err != nil {
-			continue
-		}
-		j := Job{ID: e.Name(), Spec: spec, Done: readWAL(filepath.Join(dir, "wal.ndjson"))}
-		if raw, err := os.ReadFile(filepath.Join(dir, "state.json")); err == nil {
-			var m terminalMarker
-			if err := json.Unmarshal(raw, &m); err == nil {
-				j.State, j.Err = m.State, m.Error
-			}
 		}
 		metRecoveredJobs.Inc()
 		metRecoveredCells.Add(float64(len(j.Done)))

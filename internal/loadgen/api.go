@@ -194,6 +194,42 @@ func (c *APIClient) TailEvents(ctx context.Context, id string, maxEvents int) (i
 	return lines, err
 }
 
+// QueryPage is the subset of one /campaigns/query response page the
+// harness consumes.
+type QueryPage struct {
+	Results   []json.RawMessage `json:"results"`
+	NextToken string            `json:"next_token"`
+	Scanned   int               `json:"scanned"`
+}
+
+// Query issues one warehouse read against GET /campaigns/query with
+// the given raw query string (e.g. "test=MATS&width=4&limit=50"),
+// recording it under the "query" endpoint. The returned page carries
+// the match count and continuation token so a session can walk
+// further pages.
+func (c *APIClient) Query(ctx context.Context, rawQuery string) (QueryPage, error) {
+	var page QueryPage
+	err := c.observe("query", func() (int, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/campaigns/query?"+rawQuery, nil)
+		if err != nil {
+			return 0, err
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return 0, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode, fmt.Errorf("query: status %d", resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			return resp.StatusCode, fmt.Errorf("query: decode: %w", err)
+		}
+		return resp.StatusCode, nil
+	})
+	return page, err
+}
+
 // Healthy reports whether the coordinator answers its liveness probe.
 // It does not record into the histogram: health polls are harness
 // bookkeeping, not workload.

@@ -3,6 +3,7 @@ package loadgen
 import (
 	"fmt"
 	"math/rand"
+	"net/url"
 	"sort"
 	"time"
 
@@ -15,7 +16,9 @@ type SessionPlan struct {
 	// Kind selects the spec generator and follow behavior:
 	// interactive (submit then poll status), batch (large grid, slow
 	// poll), streaming (tail /events instead of polling), cancel
-	// (submit then cancel mid-run).
+	// (submit then cancel mid-run), query (no submissions — a read-only
+	// session hammering GET /campaigns/query over the warehouse index
+	// while the other sessions write).
 	Kind string
 	// Poll is the status poll interval for polling kinds.
 	Poll time.Duration
@@ -56,19 +59,31 @@ var profiles = map[string]Profile{
 		{Kind: "cancel", Poll: 30 * time.Millisecond, Think: 10 * time.Millisecond},
 		{Kind: "cancel", Poll: 30 * time.Millisecond, Think: 10 * time.Millisecond},
 	}},
+	// query is the read-heavy mix: one writer keeps results landing in
+	// the warehouse while two readers drive the query surface.
+	"query": {Name: "query", Plans: []SessionPlan{
+		{Kind: "interactive", Poll: 20 * time.Millisecond, Think: 10 * time.Millisecond},
+		{Kind: "query", Poll: 15 * time.Millisecond, Think: 5 * time.Millisecond},
+		{Kind: "query", Poll: 15 * time.Millisecond, Think: 5 * time.Millisecond},
+	}},
 	"mixed": {Name: "mixed", Plans: []SessionPlan{
 		{Kind: "interactive", Poll: 20 * time.Millisecond, Think: 10 * time.Millisecond},
 		{Kind: "batch", Poll: 100 * time.Millisecond, Think: 50 * time.Millisecond},
 		{Kind: "streaming", Poll: 50 * time.Millisecond, Think: 20 * time.Millisecond},
 		{Kind: "cancel", Poll: 30 * time.Millisecond, Think: 10 * time.Millisecond},
+		{Kind: "query", Poll: 25 * time.Millisecond, Think: 10 * time.Millisecond},
 	}},
 	// chaos carries the mixed workload; Run layers the fault-injection
-	// controller on top when this profile is selected.
+	// controller on top when this profile is selected. The query
+	// session doubles as a soak of the warehouse rebuild path: every
+	// coordinator SIGKILL leaves a dirty index the restart must rebuild
+	// while readers keep hammering it.
 	"chaos": {Name: "chaos", Plans: []SessionPlan{
 		{Kind: "interactive", Poll: 20 * time.Millisecond, Think: 10 * time.Millisecond},
 		{Kind: "batch", Poll: 100 * time.Millisecond, Think: 50 * time.Millisecond},
 		{Kind: "streaming", Poll: 50 * time.Millisecond, Think: 20 * time.Millisecond},
 		{Kind: "cancel", Poll: 30 * time.Millisecond, Think: 10 * time.Millisecond},
+		{Kind: "query", Poll: 25 * time.Millisecond, Think: 10 * time.Millisecond},
 	}},
 }
 
@@ -102,6 +117,36 @@ func SessionRand(seed int64, i int) *rand.Rand {
 }
 
 func pick[T any](r *rand.Rand, xs []T) T { return xs[r.Intn(len(xs))] }
+
+// QueryParamsFor generates the n-th warehouse query of a query
+// session: random dimension filters drawn from the same pools the
+// spec generators submit, so most queries hit real data, plus
+// occasional job-range bounds and tight limits to exercise paging.
+// Deterministic in (rng, n) like the spec generators.
+func QueryParamsFor(r *rand.Rand, n int) string {
+	v := url.Values{}
+	if r.Intn(3) > 0 {
+		v.Set("test", pick(r, []string{"MATS", "MATS+", "MATS++", "March X", "March C-", "March B"}))
+	}
+	if r.Intn(2) == 0 {
+		v.Set("width", fmt.Sprintf("%d", pick(r, []int{2, 4})))
+	}
+	if r.Intn(4) == 0 {
+		v.Set("scheme", pick(r, []string{"twm", "scheme1"}))
+	}
+	if r.Intn(8) == 0 {
+		v.Set("mode", "compare")
+	}
+	if r.Intn(4) == 0 {
+		lo := 1 + r.Intn(40)
+		v.Set("min_job", fmt.Sprintf("%d", lo))
+		if r.Intn(2) == 0 {
+			v.Set("max_job", fmt.Sprintf("%d", lo+r.Intn(40)))
+		}
+	}
+	v.Set("limit", fmt.Sprintf("%d", 10+r.Intn(90)))
+	return v.Encode()
+}
 
 // SpecForKind generates the n-th campaign spec of a session. Grid
 // geometry is the load knob: interactive cells simulate in a few

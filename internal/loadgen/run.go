@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"sync"
@@ -194,6 +195,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand.Rand,
 	deadline time.Time, maxJobs int, submitted *atomic.Int64,
 	track func(string, campaign.Spec, bool) *trackedJob, logf func(string, ...any)) {
+	if plan.Kind == "query" {
+		runQuerySession(ctx, api, plan, rng, deadline)
+		return
+	}
 	for n := 0; time.Now().Before(deadline); n++ {
 		if ctx.Err() != nil {
 			return
@@ -227,6 +232,35 @@ func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand
 			followStatus(ctx, api, tj, plan.Poll, deadline)
 		}
 		sleepCtx(ctx, plan.Think)
+	}
+}
+
+// runQuerySession is the read-only session kind: it submits nothing
+// (so it is exempt from the MaxJobs cap) and drives the warehouse
+// query surface for the whole window, following up to two
+// continuation pages per query the way a dashboard would. Failures
+// during coordinator outages are recorded by Observe and retried
+// after a beat, like every other endpoint.
+func runQuerySession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand.Rand, deadline time.Time) {
+	for n := 0; time.Now().Before(deadline); n++ {
+		if ctx.Err() != nil {
+			return
+		}
+		params := QueryParamsFor(rng, n)
+		page, err := api.Query(ctx, params)
+		if err != nil {
+			sleepCtx(ctx, 200*time.Millisecond)
+			continue
+		}
+		for follow := 0; follow < 2 && page.NextToken != ""; follow++ {
+			page, err = api.Query(ctx, params+"&page_token="+url.QueryEscape(page.NextToken))
+			if err != nil {
+				break
+			}
+		}
+		if !sleepCtx(ctx, plan.Poll) {
+			return
+		}
 	}
 }
 

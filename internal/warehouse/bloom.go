@@ -1,0 +1,115 @@
+package warehouse
+
+import "encoding/binary"
+
+// bloom is a fixed-size bloom filter with double hashing. All
+// operations are deterministic functions of the added keys, so a
+// rebuilt warehouse reproduces identical filters.
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+// newBloom sizes a filter for n keys at bitsPerKey bits each (10 bits
+// per key ≈ 1% false positives with k=7).
+func newBloom(n, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	k := bitsPerKey * 69 / 100 // ln 2 ≈ 0.69
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &bloom{bits: make([]uint64, (nbits+63)/64), k: k}
+}
+
+// add folds one pre-hashed key into the filter.
+func (b *bloom) add(h uint64) {
+	h2 := h>>33 | h<<31
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h + uint64(i)*h2) % n
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mightContain reports whether the key may have been added; false is
+// definitive.
+func (b *bloom) mightContain(h uint64) bool {
+	h2 := h>>33 | h<<31
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h + uint64(i)*h2) % n
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJob hashes a job sequence for the segment blooms (FNV-1a over
+// the big-endian bytes).
+func hashJob(seq uint64) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], seq)
+	h := uint64(14695981039346656037)
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// segJobs is the capacity of one bloom segment: after this many
+// distinct jobs fold in, the warehouse rotates to a fresh segment.
+// Segments bound each filter's false-positive rate as the index grows
+// and keep the min/max job range per segment tight, so point lookups
+// for absent jobs short-circuit on range or bloom without a tree
+// descent.
+const segJobs = 1024
+
+// segment is one bloom filter over a contiguous run of ingested jobs.
+type segment struct {
+	bl     *bloom
+	jobs   int
+	minJob uint64
+	maxJob uint64
+}
+
+// addJob folds a job into the newest segment, rotating when full.
+// Returns the (possibly extended) segment list.
+func addJob(segs []*segment, seq uint64) []*segment {
+	if len(segs) == 0 || segs[len(segs)-1].jobs >= segJobs {
+		segs = append(segs, &segment{bl: newBloom(segJobs, 10), minJob: seq, maxJob: seq})
+	}
+	s := segs[len(segs)-1]
+	s.bl.add(hashJob(seq))
+	s.jobs++
+	if seq < s.minJob {
+		s.minJob = seq
+	}
+	if seq > s.maxJob {
+		s.maxJob = seq
+	}
+	return segs
+}
+
+// mightContainJob reports whether any segment may hold the job.
+func mightContainJob(segs []*segment, seq uint64) bool {
+	for _, s := range segs {
+		if seq < s.minJob || seq > s.maxJob {
+			continue
+		}
+		if s.bl.mightContain(hashJob(seq)) {
+			return true
+		}
+	}
+	return false
+}

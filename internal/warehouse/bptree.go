@@ -1,0 +1,347 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Page type tags; page 0 is the meta page, so 0 doubles as the "no
+// page" sentinel in next-leaf links and the roots.
+const (
+	pageLeaf     = 1
+	pageInternal = 2
+)
+
+// node is the decoded in-memory form of one tree page. Decoding
+// copies every key and value out of the pager's buffer, so nodes stay
+// valid across later pager calls (which may evict the backing page).
+type node struct {
+	leaf bool
+	next uint32   // leaf: right sibling (0 = none)
+	keys [][]byte // sorted
+	vals [][]byte // leaf: len(keys) values
+	kids []uint32 // internal: len(keys)+1 children
+}
+
+// leafHeader is the fixed prefix of a leaf page: tag, key count, next
+// pointer. Internal pages reuse the same prefix with the next field
+// holding child 0.
+const nodeHeader = 1 + 2 + 4
+
+// size returns the node's encoded length in bytes.
+func (n *node) size() int {
+	sz := nodeHeader
+	if n.leaf {
+		for i, k := range n.keys {
+			sz += 4 + len(k) + len(n.vals[i])
+		}
+	} else {
+		for _, k := range n.keys {
+			sz += 2 + len(k) + 4
+		}
+	}
+	return sz
+}
+
+// encode serializes the node into a fresh zero-padded page buffer.
+func (n *node) encode(pageSize int) ([]byte, error) {
+	if n.size() > pageSize {
+		return nil, fmt.Errorf("warehouse: node overflows page: %d > %d", n.size(), pageSize)
+	}
+	buf := make([]byte, pageSize)
+	if n.leaf {
+		buf[0] = pageLeaf
+	} else {
+		buf[0] = pageInternal
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	off := nodeHeader
+	if n.leaf {
+		binary.BigEndian.PutUint32(buf[3:7], n.next)
+		for i, k := range n.keys {
+			v := n.vals[i]
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+			binary.BigEndian.PutUint16(buf[off+2:], uint16(len(v)))
+			off += 4
+			off += copy(buf[off:], k)
+			off += copy(buf[off:], v)
+		}
+	} else {
+		binary.BigEndian.PutUint32(buf[3:7], n.kids[0])
+		for i, k := range n.keys {
+			binary.BigEndian.PutUint16(buf[off:], uint16(len(k)))
+			off += 2
+			off += copy(buf[off:], k)
+			binary.BigEndian.PutUint32(buf[off:], n.kids[i+1])
+			off += 4
+		}
+	}
+	return buf, nil
+}
+
+// decodeNode parses a page buffer, copying keys and values out of it.
+func decodeNode(buf []byte) (*node, error) {
+	if len(buf) < nodeHeader {
+		return nil, fmt.Errorf("warehouse: short page")
+	}
+	n := &node{}
+	nkeys := int(binary.BigEndian.Uint16(buf[1:3]))
+	off := nodeHeader
+	switch buf[0] {
+	case pageLeaf:
+		n.leaf = true
+		n.next = binary.BigEndian.Uint32(buf[3:7])
+		n.keys = make([][]byte, 0, nkeys)
+		n.vals = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			if off+4 > len(buf) {
+				return nil, fmt.Errorf("warehouse: truncated leaf entry")
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			vl := int(binary.BigEndian.Uint16(buf[off+2:]))
+			off += 4
+			if off+kl+vl > len(buf) {
+				return nil, fmt.Errorf("warehouse: leaf entry overruns page")
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			n.vals = append(n.vals, append([]byte(nil), buf[off+kl:off+kl+vl]...))
+			off += kl + vl
+		}
+	case pageInternal:
+		n.kids = make([]uint32, 1, nkeys+1)
+		n.kids[0] = binary.BigEndian.Uint32(buf[3:7])
+		n.keys = make([][]byte, 0, nkeys)
+		for i := 0; i < nkeys; i++ {
+			if off+2 > len(buf) {
+				return nil, fmt.Errorf("warehouse: truncated internal entry")
+			}
+			kl := int(binary.BigEndian.Uint16(buf[off:]))
+			off += 2
+			if off+kl+4 > len(buf) {
+				return nil, fmt.Errorf("warehouse: internal entry overruns page")
+			}
+			n.keys = append(n.keys, append([]byte(nil), buf[off:off+kl]...))
+			off += kl
+			n.kids = append(n.kids, binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	default:
+		return nil, fmt.Errorf("warehouse: page tag 0x%02x is not a node", buf[0])
+	}
+	return n, nil
+}
+
+// tree is one paged B+-tree over order-preserving byte keys. It
+// supports idempotent insert, point get, lazy delete, and in-order
+// range scans via the leaf sibling chain. Methods are not safe for
+// concurrent use — the Warehouse serializes whole operations.
+//
+// Delete is lazy: it removes the entry from its leaf without merging
+// or rebalancing, so heavy deletion leaves sparse pages behind. The
+// warehouse is a derived, rebuildable view, and a rebuild from the
+// WALs compacts the file; trading space for a radically simpler
+// structure is the right call here.
+type tree struct {
+	pg   *Pager
+	root uint32
+}
+
+// newTree allocates an empty tree (a zero-key leaf root).
+func newTree(pg *Pager) (*tree, error) {
+	id := pg.Alloc()
+	t := &tree{pg: pg, root: id}
+	buf, err := (&node{leaf: true}).encode(pg.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	return t, pg.WritePage(id, buf)
+}
+
+// readNode loads and decodes one page.
+func (t *tree) readNode(id uint32) (*node, error) {
+	buf, err := t.pg.ReadPage(id)
+	if err != nil {
+		return nil, err
+	}
+	return decodeNode(buf)
+}
+
+// writeNode encodes and stores one page.
+func (t *tree) writeNode(id uint32, n *node) error {
+	buf, err := n.encode(t.pg.PageSize())
+	if err != nil {
+		return err
+	}
+	return t.pg.WritePage(id, buf)
+}
+
+// childIndex returns which child of an internal node covers key.
+func childIndex(n *node, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(key, n.keys[i]) < 0 })
+}
+
+// leafPos returns the position of the first key ≥ key in a leaf.
+func leafPos(n *node, key []byte) int {
+	return sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+}
+
+// pathEl is one step of a root-to-leaf descent.
+type pathEl struct {
+	id  uint32
+	n   *node
+	idx int // child index taken
+}
+
+// descend walks from the root to the leaf covering key, returning the
+// internal path (for split propagation) and the leaf.
+func (t *tree) descend(key []byte) (path []pathEl, leafID uint32, leaf *node, err error) {
+	id := t.root
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		if n.leaf {
+			return path, id, n, nil
+		}
+		idx := childIndex(n, key)
+		path = append(path, pathEl{id: id, n: n, idx: idx})
+		id = n.kids[idx]
+	}
+}
+
+// insert adds (key, val); an existing key is left untouched and
+// reported, making journal replay and settle-time backfill idempotent.
+func (t *tree) insert(key, val []byte) (added bool, err error) {
+	path, leafID, leaf, err := t.descend(key)
+	if err != nil {
+		return false, err
+	}
+	pos := leafPos(leaf, key)
+	if pos < len(leaf.keys) && bytes.Equal(leaf.keys[pos], key) {
+		return false, nil
+	}
+	leaf.keys = append(leaf.keys, nil)
+	copy(leaf.keys[pos+1:], leaf.keys[pos:])
+	leaf.keys[pos] = append([]byte(nil), key...)
+	leaf.vals = append(leaf.vals, nil)
+	copy(leaf.vals[pos+1:], leaf.vals[pos:])
+	leaf.vals[pos] = append([]byte(nil), val...)
+
+	if leaf.size() <= t.pg.PageSize() {
+		return true, t.writeNode(leafID, leaf)
+	}
+	// Split the leaf: left keeps the page id (parent pointers stay
+	// valid), right is fresh and linked as the sibling.
+	mid := len(leaf.keys) / 2
+	right := &node{leaf: true, next: leaf.next,
+		keys: leaf.keys[mid:], vals: leaf.vals[mid:]}
+	rightID := t.pg.Alloc()
+	leaf.keys, leaf.vals, leaf.next = leaf.keys[:mid:mid], leaf.vals[:mid:mid], rightID
+	if err := t.writeNode(rightID, right); err != nil {
+		return false, err
+	}
+	if err := t.writeNode(leafID, leaf); err != nil {
+		return false, err
+	}
+	sep := append([]byte(nil), right.keys[0]...)
+	return true, t.insertParent(path, sep, rightID)
+}
+
+// insertParent propagates a split separator up the recorded path,
+// splitting internal nodes as needed and growing a new root when the
+// split reaches the top.
+func (t *tree) insertParent(path []pathEl, sep []byte, rightID uint32) error {
+	for len(path) > 0 {
+		el := path[len(path)-1]
+		path = path[:len(path)-1]
+		n, idx := el.n, el.idx
+		n.keys = append(n.keys, nil)
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = sep
+		n.kids = append(n.kids, 0)
+		copy(n.kids[idx+2:], n.kids[idx+1:])
+		n.kids[idx+1] = rightID
+		if n.size() <= t.pg.PageSize() {
+			return t.writeNode(el.id, n)
+		}
+		mid := len(n.keys) / 2
+		upSep := n.keys[mid]
+		right := &node{keys: append([][]byte(nil), n.keys[mid+1:]...),
+			kids: append([]uint32(nil), n.kids[mid+1:]...)}
+		n.keys = n.keys[:mid:mid]
+		n.kids = n.kids[: mid+1 : mid+1]
+		newRight := t.pg.Alloc()
+		if err := t.writeNode(newRight, right); err != nil {
+			return err
+		}
+		if err := t.writeNode(el.id, n); err != nil {
+			return err
+		}
+		sep, rightID = upSep, newRight
+	}
+	// The root itself split: grow the tree by one level.
+	newRoot := t.pg.Alloc()
+	n := &node{keys: [][]byte{sep}, kids: []uint32{t.root, rightID}}
+	if err := t.writeNode(newRoot, n); err != nil {
+		return err
+	}
+	t.root = newRoot
+	return nil
+}
+
+// get returns the value stored under key.
+func (t *tree) get(key []byte) ([]byte, bool, error) {
+	_, _, leaf, err := t.descend(key)
+	if err != nil {
+		return nil, false, err
+	}
+	pos := leafPos(leaf, key)
+	if pos < len(leaf.keys) && bytes.Equal(leaf.keys[pos], key) {
+		return leaf.vals[pos], true, nil
+	}
+	return nil, false, nil
+}
+
+// delete removes key from its leaf (lazily — see the type comment).
+func (t *tree) delete(key []byte) (removed bool, err error) {
+	_, leafID, leaf, err := t.descend(key)
+	if err != nil {
+		return false, err
+	}
+	pos := leafPos(leaf, key)
+	if pos >= len(leaf.keys) || !bytes.Equal(leaf.keys[pos], key) {
+		return false, nil
+	}
+	leaf.keys = append(leaf.keys[:pos], leaf.keys[pos+1:]...)
+	leaf.vals = append(leaf.vals[:pos], leaf.vals[pos+1:]...)
+	return true, t.writeNode(leafID, leaf)
+}
+
+// scan walks entries with key ≥ start in order, calling fn until it
+// returns false or the tree is exhausted. The key and value slices
+// are owned by the scan; fn may retain them.
+func (t *tree) scan(start []byte, fn func(k, v []byte) bool) error {
+	_, _, leaf, err := t.descend(start)
+	if err != nil {
+		return err
+	}
+	pos := leafPos(leaf, start)
+	for {
+		for ; pos < len(leaf.keys); pos++ {
+			if !fn(leaf.keys[pos], leaf.vals[pos]) {
+				return nil
+			}
+		}
+		if leaf.next == 0 {
+			return nil
+		}
+		leaf, err = t.readNode(leaf.next)
+		if err != nil {
+			return err
+		}
+		pos = 0
+	}
+}

@@ -1,0 +1,139 @@
+package warehouse
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// testPager opens a small-page pager backed by a temp file so splits
+// happen after a handful of keys.
+func testPager(t *testing.T, pageSize, cachePages int) *Pager {
+	t.Helper()
+	pg, err := openPager(filepath.Join(t.TempDir(), "idx"), pageSize, cachePages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pg.Close() })
+	return pg
+}
+
+func TestTreeInsertGetScan(t *testing.T) {
+	pg := testPager(t, 256, 8)
+	pg.Alloc() // reserve page 0 like the warehouse meta does
+	tr, err := newTree(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	// Insert in a scrambled but deterministic order.
+	for i := 0; i < n; i++ {
+		j := (i * 263) % n
+		k := []byte(fmt.Sprintf("key%04d", j))
+		added, err := tr.insert(k, []byte(fmt.Sprintf("val%04d", j)))
+		if err != nil {
+			t.Fatalf("insert %d: %v", j, err)
+		}
+		if !added {
+			t.Fatalf("insert %d: reported duplicate", j)
+		}
+	}
+	// Duplicate inserts are no-ops.
+	if added, err := tr.insert([]byte("key0007"), []byte("other")); err != nil || added {
+		t.Fatalf("dup insert: added=%v err=%v", added, err)
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key%04d", i))
+		v, ok, err := tr.get(k)
+		if err != nil || !ok {
+			t.Fatalf("get %d: ok=%v err=%v", i, ok, err)
+		}
+		want := fmt.Sprintf("val%04d", i)
+		if string(v) != want {
+			t.Fatalf("get %d: %q, want %q", i, v, want)
+		}
+	}
+	if _, ok, _ := tr.get([]byte("missing")); ok {
+		t.Fatal("get of absent key reported present")
+	}
+	// Full scan returns every key in order.
+	var got []string
+	if err := tr.scan(nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan returned %d keys, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order at %d: %q then %q", i, got[i-1], got[i])
+		}
+	}
+	// Bounded scan starts at the right key.
+	var first string
+	tr.scan([]byte("key0250"), func(k, v []byte) bool { first = string(k); return false })
+	if first != "key0250" {
+		t.Fatalf("scan start = %q, want key0250", first)
+	}
+}
+
+func TestTreeDelete(t *testing.T) {
+	pg := testPager(t, 256, 8)
+	pg.Alloc()
+	tr, err := newTree(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := tr.insert([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i += 2 {
+		removed, err := tr.delete([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || !removed {
+			t.Fatalf("delete %d: removed=%v err=%v", i, removed, err)
+		}
+	}
+	if removed, err := tr.delete([]byte("k000")); err != nil || removed {
+		t.Fatalf("re-delete: removed=%v err=%v", removed, err)
+	}
+	count := 0
+	tr.scan(nil, func(k, v []byte) bool { count++; return true })
+	if count != 100 {
+		t.Fatalf("after deletes scan sees %d keys, want 100", count)
+	}
+	for i := 1; i < 200; i += 2 {
+		if _, ok, _ := tr.get([]byte(fmt.Sprintf("k%03d", i))); !ok {
+			t.Fatalf("odd key %d lost", i)
+		}
+	}
+}
+
+func TestTreeSurvivesCacheEviction(t *testing.T) {
+	// A 2-page cache forces constant eviction and re-read from disk.
+	pg := testPager(t, 256, 2)
+	pg.Alloc()
+	tr, err := newTree(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := tr.insert([]byte(fmt.Sprintf("key%04d", i)), bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		v, ok, err := tr.get([]byte(fmt.Sprintf("key%04d", i)))
+		if err != nil || !ok || !bytes.Equal(v, bytes.Repeat([]byte{byte(i)}, 16)) {
+			t.Fatalf("get %d under eviction pressure: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if s := pg.Stats(); s.Evictions == 0 || s.Misses == 0 {
+		t.Fatalf("expected evictions and misses with a 2-page cache, got %+v", s)
+	}
+}

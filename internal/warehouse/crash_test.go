@@ -1,0 +1,136 @@
+package warehouse
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"twmarch/internal/jobstore"
+)
+
+// TestWarehouseCrashHelper is the child half of
+// TestCrashConsistency: it runs only when re-exec'd with the env
+// gate, ingests past a checkpoint into the index named by the
+// environment, and spins until the parent SIGKILLs it mid-write.
+func TestWarehouseCrashHelper(t *testing.T) {
+	dir := os.Getenv("TWM_WAREHOUSE_CRASH_DIR")
+	if dir == "" {
+		t.Skip("not a crash-helper invocation")
+	}
+	store, err := jobstore.Open(filepath.Join(dir, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Open(filepath.Join(dir, "live.idx"), Options{PageSize: 512, CachePages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := doneJobs(store)
+	if err != nil || len(jobs) == 0 {
+		t.Fatalf("helper sees no jobs: %v", err)
+	}
+	// Index the first job and checkpoint: a clean, durable prefix.
+	if err := w.IndexJob(jobs[0].ID, jobs[0].Done); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// First post-checkpoint insert: ensureDirty has now synced the
+	// dirty marker, so however the parent's SIGKILL lands from here on,
+	// the on-disk file reads as dirty.
+	if err := w.IndexJob(jobs[1].ID, jobs[1].Done); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ready"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Keep mutating without ever checkpointing until the kill arrives.
+	for seq := uint64(1 << 20); ; seq++ {
+		for _, j := range jobs {
+			if err := w.IndexJob(JobID(seq), j.Done); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrashConsistency SIGKILLs a warehouse mid-ingest, then verifies
+// the crashed index is refused as dirty and that RebuildFromWAL
+// restores it byte-identical to an index built from a pristine
+// process — the WAL-is-truth contract, end to end.
+func TestCrashConsistency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test")
+	}
+	dir := t.TempDir()
+	store := seedStore(t, filepath.Join(dir, "jobs"), 6)
+
+	// Pristine reference build from the same journals.
+	pristine := filepath.Join(dir, "pristine.idx")
+	wp, err := RebuildFromWAL(pristine, Options{PageSize: 512, CachePages: 8}, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run", "TestWarehouseCrashHelper", "-test.v")
+	cmd.Env = append(os.Environ(), "TWM_WAREHOUSE_CRASH_DIR="+dir)
+	var out bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ready := filepath.Join(dir, "ready")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := os.Stat(ready); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("helper never became ready; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The crashed file must refuse to open...
+	live := filepath.Join(dir, "live.idx")
+	if _, err := Open(live, Options{PageSize: 512}); !errors.Is(err, ErrNeedsRebuild) {
+		t.Fatalf("open of crashed index: %v, want ErrNeedsRebuild", err)
+	}
+	// ...and rebuild to exactly the pristine bytes, twice.
+	for round := 0; round < 2; round++ {
+		w, err := RebuildFromWAL(live, Options{PageSize: 512, CachePages: 8}, store)
+		if err != nil {
+			t.Fatalf("rebuild round %d: %v", round, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(pristine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("rebuild round %d differs from pristine: %d vs %d bytes", round, len(got), len(want))
+		}
+	}
+}

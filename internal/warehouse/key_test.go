@@ -1,0 +1,84 @@
+package warehouse
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestKeyCodecRoundTrip(t *testing.T) {
+	keys := []Key{
+		{},
+		{Test: "S5", Width: 8, Words: 64, Scheme: "twm", Job: 42, Cell: 7},
+		{Test: "March C-", Width: 1, Words: 1, Scheme: "scheme1", Job: 1, Cell: 0},
+		{Test: "a\x00b", Width: 0, Words: 0, Scheme: "\x00\x00", Job: ^uint64(0), Cell: ^uint32(0)},
+	}
+	for _, k := range keys {
+		got, err := DecodeKey(k.Encode(nil))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", k, err)
+		}
+		if got != k {
+			t.Fatalf("round trip: %+v != %+v", got, k)
+		}
+	}
+}
+
+func TestJobSeq(t *testing.T) {
+	if seq, ok := JobSeq("c17"); !ok || seq != 17 {
+		t.Fatalf("JobSeq(c17) = %d, %v", seq, ok)
+	}
+	for _, bad := range []string{"", "c", "17", "x17", "c-1", "c1x"} {
+		if _, ok := JobSeq(bad); ok {
+			t.Fatalf("JobSeq(%q) accepted", bad)
+		}
+	}
+	if JobID(17) != "c17" {
+		t.Fatalf("JobID(17) = %q", JobID(17))
+	}
+}
+
+// sign collapses a comparison to {-1, 0, 1}.
+func sign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	}
+	return 0
+}
+
+// FuzzKeyCodecRoundTrip holds the codec's two contracts: DecodeKey
+// inverts Encode, and bytes.Compare over encodings equals Compare
+// over the tuples (the order-preserving property every range scan
+// rests on).
+func FuzzKeyCodecRoundTrip(f *testing.F) {
+	f.Add("S5", uint32(8), uint32(64), "twm", uint64(42), uint32(7),
+		"March C-", uint32(4), uint32(64), "scheme1", uint64(41), uint32(7))
+	f.Add("a\x00", uint32(0), uint32(0), "", uint64(0), uint32(0),
+		"a", uint32(1), uint32(0), "\x00", uint64(1), uint32(1))
+	f.Add("", ^uint32(0), uint32(1), "x", ^uint64(0), uint32(2),
+		"", ^uint32(0), uint32(1), "x", ^uint64(0), uint32(2))
+	f.Fuzz(func(t *testing.T,
+		t1 string, w1, d1 uint32, s1 string, j1 uint64, c1 uint32,
+		t2 string, w2, d2 uint32, s2 string, j2 uint64, c2 uint32) {
+		k1 := Key{Test: t1, Width: w1, Words: d1, Scheme: s1, Job: j1, Cell: c1}
+		k2 := Key{Test: t2, Width: w2, Words: d2, Scheme: s2, Job: j2, Cell: c2}
+		e1, e2 := k1.Encode(nil), k2.Encode(nil)
+		for _, pair := range []struct {
+			k Key
+			e []byte
+		}{{k1, e1}, {k2, e2}} {
+			got, err := DecodeKey(pair.e)
+			if err != nil {
+				t.Fatalf("decode %+v: %v", pair.k, err)
+			}
+			if got != pair.k {
+				t.Fatalf("round trip: %+v != %+v", got, pair.k)
+			}
+		}
+		if be, tu := sign(bytes.Compare(e1, e2)), sign(k1.Compare(k2)); be != tu {
+			t.Fatalf("order disagreement: bytes %d, tuples %d for %+v vs %+v", be, tu, k1, k2)
+		}
+	})
+}

@@ -1,0 +1,293 @@
+package warehouse
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultPageSize is the on-disk page size when Options leaves it 0.
+// 4 KiB matches the common filesystem block size, so one page write is
+// one block write.
+const DefaultPageSize = 4096
+
+// DefaultCachePages is the page-cache capacity when Options leaves it
+// 0: 256 pages × 4 KiB = 1 MiB of hot index per warehouse.
+const DefaultCachePages = 256
+
+// CacheStats is a point-in-time read of one pager's cache counters.
+// The same numbers feed the twm_warehouse_pager_* metrics; the local
+// copies exist so tests can assert per-instance behaviour against a
+// registry shared by the whole process.
+type CacheStats struct {
+	// Hits and Misses count page reads served from cache vs disk.
+	Hits   uint64
+	Misses uint64
+	// Evictions counts pages dropped to make room (dirty ones are
+	// written back first).
+	Evictions uint64
+}
+
+// cpage is one cached page: an intrusive LRU list node.
+type cpage struct {
+	id         uint32
+	buf        []byte
+	dirty      bool
+	prev, next *cpage
+}
+
+// Pager reads and writes fixed-size pages of one index file through
+// an LRU cache. The hot path — a cache hit — takes one mutex
+// acquisition and two pointer splices; the atomic stat counters stay
+// off the lock entirely. A Pager is safe for concurrent use, though
+// the warehouse additionally serializes whole tree operations.
+type Pager struct {
+	pageSize int
+	maxPages int
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mu     sync.Mutex
+	f      *os.File
+	cache  map[uint32]*cpage
+	head   *cpage // most recently used
+	tail   *cpage // least recently used
+	npages uint32
+}
+
+// openPager opens (or creates) the file and derives the allocated
+// page count from its size.
+func openPager(path string, pageSize, cachePages int) (*Pager, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if cachePages <= 0 {
+		cachePages = DefaultCachePages
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: %v", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("warehouse: %v", err)
+	}
+	if fi.Size()%int64(pageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s: size %d not a multiple of the %d-byte page",
+			ErrNeedsRebuild, path, fi.Size(), pageSize)
+	}
+	return &Pager{
+		pageSize: pageSize,
+		maxPages: cachePages,
+		f:        f,
+		cache:    make(map[uint32]*cpage),
+		npages:   uint32(fi.Size() / int64(pageSize)),
+	}, nil
+}
+
+// PageSize returns the fixed page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the allocated page count.
+func (p *Pager) NumPages() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.npages
+}
+
+// Stats returns the cache counters.
+func (p *Pager) Stats() CacheStats {
+	return CacheStats{Hits: p.hits.Load(), Misses: p.misses.Load(), Evictions: p.evictions.Load()}
+}
+
+// unlink removes c from the LRU list.
+func (p *Pager) unlink(c *cpage) {
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		p.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	} else {
+		p.tail = c.prev
+	}
+	c.prev, c.next = nil, nil
+}
+
+// pushFront makes c the most recently used page.
+func (p *Pager) pushFront(c *cpage) {
+	c.next = p.head
+	if p.head != nil {
+		p.head.prev = c
+	}
+	p.head = c
+	if p.tail == nil {
+		p.tail = c
+	}
+}
+
+// evictLocked drops the least-recently-used page, writing it back
+// first when dirty. Callers hold p.mu.
+func (p *Pager) evictLocked() error {
+	c := p.tail
+	if c == nil {
+		return nil
+	}
+	if c.dirty {
+		if _, err := p.f.WriteAt(c.buf, int64(c.id)*int64(p.pageSize)); err != nil {
+			return fmt.Errorf("warehouse: write page %d: %v", c.id, err)
+		}
+	}
+	p.unlink(c)
+	delete(p.cache, c.id)
+	p.evictions.Add(1)
+	metPagerEvictions.Inc()
+	return nil
+}
+
+// ReadPage returns page id's bytes. The slice is owned by the cache:
+// it is valid only until the next Pager call and must not be mutated
+// — mutations go through WritePage with a fresh buffer.
+func (p *Pager) ReadPage(id uint32) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if c, ok := p.cache[id]; ok {
+		p.hits.Add(1)
+		metPagerHits.Inc()
+		if p.head != c {
+			p.unlink(c)
+			p.pushFront(c)
+		}
+		return c.buf, nil
+	}
+	if id >= p.npages {
+		return nil, fmt.Errorf("warehouse: read past end: page %d of %d", id, p.npages)
+	}
+	p.misses.Add(1)
+	metPagerMisses.Inc()
+	buf := make([]byte, p.pageSize)
+	// A page allocated and cached but evicted clean before its first
+	// flush cannot exist: eviction writes dirty pages, and every
+	// allocated page is written dirty before it is ever read back. So
+	// a short read here is real corruption, not a hole.
+	if _, err := p.f.ReadAt(buf, int64(id)*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("warehouse: read page %d: %v", id, err)
+	}
+	for len(p.cache) >= p.maxPages {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	c := &cpage{id: id, buf: buf}
+	p.cache[id] = c
+	p.pushFront(c)
+	return buf, nil
+}
+
+// WritePage replaces page id's contents and marks it dirty. The pager
+// takes ownership of buf, which must be exactly one page long.
+func (p *Pager) WritePage(id uint32, buf []byte) error {
+	if len(buf) != p.pageSize {
+		return fmt.Errorf("warehouse: write page %d: %d bytes, want %d", id, len(buf), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id >= p.npages {
+		return fmt.Errorf("warehouse: write past end: page %d of %d", id, p.npages)
+	}
+	if c, ok := p.cache[id]; ok {
+		c.buf = buf
+		c.dirty = true
+		if p.head != c {
+			p.unlink(c)
+			p.pushFront(c)
+		}
+		return nil
+	}
+	for len(p.cache) >= p.maxPages {
+		if err := p.evictLocked(); err != nil {
+			return err
+		}
+	}
+	c := &cpage{id: id, buf: buf, dirty: true}
+	p.cache[id] = c
+	p.pushFront(c)
+	return nil
+}
+
+// WriteNow writes the page through the cache straight to disk and
+// syncs — the durability point for the meta page's clean/dirty marker.
+func (p *Pager) WriteNow(id uint32, buf []byte) error {
+	if err := p.WritePage(id, buf); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.cache[id]
+	if _, err := p.f.WriteAt(c.buf, int64(id)*int64(p.pageSize)); err != nil {
+		return fmt.Errorf("warehouse: write page %d: %v", id, err)
+	}
+	c.dirty = false
+	return p.sync()
+}
+
+// Alloc extends the file by one page and returns its id. The page's
+// contents are undefined until the first WritePage.
+func (p *Pager) Alloc() uint32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.npages
+	p.npages++
+	return id
+}
+
+// Flush writes every dirty cached page (in page order) and syncs the
+// file.
+func (p *Pager) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ids := make([]uint32, 0, len(p.cache))
+	for id, c := range p.cache {
+		if c.dirty {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		c := p.cache[id]
+		if _, err := p.f.WriteAt(c.buf, int64(id)*int64(p.pageSize)); err != nil {
+			return fmt.Errorf("warehouse: write page %d: %v", id, err)
+		}
+		c.dirty = false
+	}
+	return p.sync()
+}
+
+// sync fsyncs the file. Callers hold p.mu.
+func (p *Pager) sync() error {
+	if err := p.f.Sync(); err != nil {
+		return fmt.Errorf("warehouse: sync: %v", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the file.
+func (p *Pager) Close() error {
+	if err := p.Flush(); err != nil {
+		p.f.Close()
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.f.Close(); err != nil {
+		return fmt.Errorf("warehouse: %v", err)
+	}
+	return nil
+}

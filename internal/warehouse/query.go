@@ -1,0 +1,269 @@
+package warehouse
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultQueryLimit is the page size a Query gets when it asks for
+// none, and MaxQueryLimit the most records one page may return.
+const (
+	DefaultQueryLimit = 100
+	MaxQueryLimit     = 1000
+)
+
+// maxScanPerQuery bounds how many index entries one Search call may
+// examine. A highly selective in-scan filter (say Mode over a huge
+// job range) could otherwise walk the whole tree inside one request;
+// hitting the cap returns a continuation token instead, keeping
+// per-request latency bounded.
+const maxScanPerQuery = 4096
+
+// Query selects indexed records by grid dimensions and job range.
+// Zero-valued fields match everything: empty strings and zero ints
+// mean "any", MaxJob 0 means "no upper bound".
+//
+// The planner uses the dimension tree when Test is set, narrowing the
+// scan prefix by each further dimension set consecutively in key
+// order (Width, then Words, then Scheme); otherwise it range-scans
+// the primary tree by job sequence. Whatever the plan cannot pin —
+// including Mode, which is never part of a key — is filtered in-scan.
+type Query struct {
+	// Test, Scheme and Mode filter their dimension exactly; empty
+	// matches any.
+	Test   string
+	Scheme string
+	Mode   string
+	// Width and Words filter the memory geometry; 0 matches any.
+	Width int
+	Words int
+	// MinJob and MaxJob bound the job sequence, inclusive. MaxJob 0
+	// means unbounded.
+	MinJob uint64
+	MaxJob uint64
+	// Limit caps records per page (DefaultQueryLimit when 0, clamped
+	// to MaxQueryLimit).
+	Limit int
+	// PageToken resumes a prior Result at its NextToken.
+	PageToken string
+}
+
+// limit returns the effective page size.
+func (q Query) limit() int {
+	if q.Limit <= 0 {
+		return DefaultQueryLimit
+	}
+	if q.Limit > MaxQueryLimit {
+		return MaxQueryLimit
+	}
+	return q.Limit
+}
+
+// maxJob returns the effective inclusive upper bound.
+func (q Query) maxJob() uint64 {
+	if q.MaxJob == 0 {
+		return ^uint64(0)
+	}
+	return q.MaxJob
+}
+
+// matches applies the filters a scan plan could not pin into its key
+// range.
+func (q Query) matches(r Record) bool {
+	if q.Test != "" && r.Dim.Test != q.Test {
+		return false
+	}
+	if q.Width != 0 && r.Dim.Width != q.Width {
+		return false
+	}
+	if q.Words != 0 && r.Dim.Words != q.Words {
+		return false
+	}
+	if q.Scheme != "" && r.Dim.Scheme != q.Scheme {
+		return false
+	}
+	if q.Mode != "" && r.Dim.Mode != q.Mode {
+		return false
+	}
+	return r.Job >= q.MinJob && r.Job <= q.maxJob()
+}
+
+// Result is one page of a Search.
+type Result struct {
+	// Records are the matches, in plan order: dimension-key order for
+	// dimension-tree scans, (job, cell) order for primary scans.
+	Records []Record
+	// NextToken resumes the scan where this page stopped; empty when
+	// the scan is exhausted.
+	NextToken string
+	// Scanned counts index entries examined to build the page — the
+	// observable gap between a tight index plan and a filter-heavy one.
+	Scanned int
+}
+
+// Plan markers, recorded in page tokens so a continuation resumes the
+// same scan it left.
+const (
+	planDim     = 'd'
+	planPrimary = 'p'
+)
+
+// plan returns which tree the query scans.
+func (q Query) plan() byte {
+	if q.Test != "" {
+		return planDim
+	}
+	return planPrimary
+}
+
+// dimPrefix builds the dimension-tree scan prefix: each dimension set
+// consecutively in key order extends it. Returns the prefix and
+// whether all four key dimensions are pinned (so MinJob can extend
+// the start key too).
+func (q Query) dimPrefix() (prefix []byte, full bool) {
+	prefix = appendEscaped(nil, q.Test)
+	if q.Width == 0 {
+		return prefix, false
+	}
+	prefix = binary.BigEndian.AppendUint32(prefix, uint32(q.Width))
+	if q.Words == 0 {
+		return prefix, false
+	}
+	prefix = binary.BigEndian.AppendUint32(prefix, uint32(q.Words))
+	if q.Scheme == "" {
+		return prefix, false
+	}
+	return appendEscaped(prefix, q.Scheme), true
+}
+
+// encodeToken renders a continuation token: the plan marker plus the
+// last examined key, base64 for URL safety.
+func encodeToken(plan byte, lastKey []byte) string {
+	raw := make([]byte, 0, 1+len(lastKey))
+	raw = append(raw, plan)
+	raw = append(raw, lastKey...)
+	return base64.RawURLEncoding.EncodeToString(raw)
+}
+
+// decodeToken parses a PageToken and checks it belongs to this
+// query's plan.
+func decodeToken(tok string, plan byte) ([]byte, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(tok)
+	if err != nil || len(raw) < 1 {
+		return nil, fmt.Errorf("warehouse: malformed page token")
+	}
+	if raw[0] != plan {
+		return nil, fmt.Errorf("warehouse: page token does not match this query")
+	}
+	return raw[1:], nil
+}
+
+// Search runs one page of the query against the index. It touches
+// only index pages — never the WALs — and bounds its work by the page
+// limit and maxScanPerQuery.
+func (w *Warehouse) Search(q Query) (Result, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	metQueries.Inc()
+	if q.MinJob > q.maxJob() {
+		return Result{}, nil
+	}
+
+	plan := q.plan()
+	var start, prefix []byte
+	var full bool
+	if plan == planDim {
+		prefix, full = q.dimPrefix()
+		start = prefix
+		if full && q.MinJob > 0 {
+			start = binary.BigEndian.AppendUint64(append([]byte(nil), prefix...), q.MinJob)
+		}
+	} else {
+		start = priKey(q.MinJob, 0)
+	}
+	if q.PageToken != "" {
+		after, err := decodeToken(q.PageToken, plan)
+		if err != nil {
+			return Result{}, err
+		}
+		// Resume exclusively: one zero byte past the last examined key
+		// is the smallest key strictly greater than it.
+		start = append(after, 0x00)
+	}
+
+	limit := q.limit()
+	res := Result{}
+	var lastKey []byte
+	more := false
+	scan := func(k, v []byte) bool {
+		rec, job, ok := w.entryRecord(plan, k, v)
+		if !ok {
+			return false // corrupt entry: stop rather than skip silently
+		}
+		if plan == planDim {
+			if !bytes.HasPrefix(k, prefix) {
+				return false // past the dimension prefix: done
+			}
+			if full && job > q.maxJob() {
+				// All key dimensions pinned, so within the prefix keys
+				// sort by job: past the range means done. With a partial
+				// prefix, later keys can rewind to smaller jobs, so only
+				// the in-scan filter applies.
+				return false
+			}
+		} else if job > q.maxJob() {
+			return false
+		}
+		res.Scanned++
+		lastKey = k
+		if q.matches(rec) {
+			res.Records = append(res.Records, rec)
+		}
+		if len(res.Records) >= limit || res.Scanned >= maxScanPerQuery {
+			more = true
+			return false
+		}
+		return true
+	}
+	if plan == planDim {
+		if err := w.dim.scan(start, scan); err != nil {
+			return Result{}, err
+		}
+	} else {
+		if err := w.pri.scan(start, scan); err != nil {
+			return Result{}, err
+		}
+	}
+	if more && lastKey != nil {
+		res.NextToken = encodeToken(plan, lastKey)
+	}
+	metQueryResults.Add(float64(len(res.Records)))
+	return res, nil
+}
+
+// entryRecord decodes one scanned index entry into a Record according
+// to the plan's key shape.
+func (w *Warehouse) entryRecord(plan byte, k, v []byte) (Record, uint64, bool) {
+	if plan == planDim {
+		key, err := DecodeKey(k)
+		if err != nil {
+			return Record{}, 0, false
+		}
+		rec, err := decodeValue(key.Job, key.Cell, v)
+		if err != nil {
+			return Record{}, 0, false
+		}
+		return rec, key.Job, true
+	}
+	if len(k) != 12 {
+		return Record{}, 0, false
+	}
+	job := binary.BigEndian.Uint64(k)
+	rec, err := decodeValue(job, binary.BigEndian.Uint32(k[8:]), v)
+	if err != nil {
+		return Record{}, 0, false
+	}
+	return rec, job, true
+}

@@ -1,0 +1,215 @@
+package warehouse
+
+import (
+	"os"
+	"sort"
+
+	"twmarch/internal/campaign"
+	"twmarch/internal/jobstore"
+)
+
+// validResults canonicalizes a job's journaled cell results for
+// indexing: errored cells and negative indices are dropped, the rest
+// are sorted by cell index, and duplicate indices (a WAL replayed
+// over a resumed run can journal a cell twice) keep the first
+// occurrence. The output is a pure function of the input set, which
+// is what makes RebuildFromWAL deterministic.
+func validResults(results []campaign.CellResult) []campaign.CellResult {
+	out := make([]campaign.CellResult, 0, len(results))
+	seen := make(map[int]bool, len(results))
+	for _, r := range results {
+		if r.Err != "" || r.Index < 0 || seen[r.Index] {
+			continue
+		}
+		seen[r.Index] = true
+		out = append(out, r)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Index < out[b].Index })
+	return out
+}
+
+// IndexJob indexes every valid journaled result of one job — the
+// settle-time backfill that covers cells a recovery-seeded run never
+// streamed through a Sink. Re-indexing an already-indexed job is a
+// no-op per cell. Ids that are not twmd-shaped ("c<seq>") are
+// silently not indexable.
+func (w *Warehouse) IndexJob(id string, results []campaign.CellResult) error {
+	seq, ok := JobSeq(id)
+	if !ok {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, r := range validResults(results) {
+		if err := w.insertLocked(seq, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveJobID drops a job's index entries by twmd job id — the evict
+// path. Unindexable ids are a no-op.
+func (w *Warehouse) RemoveJobID(id string) (int, error) {
+	seq, ok := JobSeq(id)
+	if !ok {
+		return 0, nil
+	}
+	return w.RemoveJob(seq)
+}
+
+// Ingester returns a campaign.Sink that indexes each completed cell
+// of the job as it streams out of the engine, so a finished job's
+// results are queryable the moment it settles without a backfill
+// scan. Insert failures count in twm_warehouse_ingest_errors_total;
+// the WALs stay the source of truth, so a dropped insert is repaired
+// by the next reconcile or rebuild rather than failing the run.
+func (w *Warehouse) Ingester(id string) campaign.Sink {
+	seq, ok := JobSeq(id)
+	if !ok {
+		return campaign.SinkFunc(func(campaign.CellResult) {})
+	}
+	return campaign.SinkFunc(func(r campaign.CellResult) {
+		if err := w.InsertResult(seq, r); err != nil {
+			metIngestErrors.Inc()
+		}
+	})
+}
+
+// RebuildFromWAL builds a fresh index at path from the jobstore's
+// journals and returns it opened. The build happens in path+
+// ".rebuild" and atomically renames over path, so a crash mid-rebuild
+// leaves either the old file or none. Only terminally done jobs are
+// indexed, in job-sequence order with cells in index order, and every
+// page is zero-padded before use — two rebuilds of the same store
+// produce byte-identical files.
+func RebuildFromWAL(path string, opts Options, store *jobstore.Store) (*Warehouse, error) {
+	tmp := path + ".rebuild"
+	if err := remove(tmp); err != nil {
+		return nil, err
+	}
+	w, err := Open(tmp, opts)
+	if err != nil {
+		return nil, err
+	}
+	jobs, err := doneJobs(store)
+	if err != nil {
+		w.pg.Close()
+		return nil, err
+	}
+	for _, j := range jobs {
+		if err := w.IndexJob(j.ID, j.Done); err != nil {
+			w.pg.Close()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, err
+	}
+	metRebuilds.Inc()
+	return Open(path, opts)
+}
+
+// doneJobs loads every terminally done, indexable job from the store,
+// sorted by job sequence.
+func doneJobs(store *jobstore.Store) ([]jobstore.Job, error) {
+	ids, err := store.IDs()
+	if err != nil {
+		return nil, err
+	}
+	type seqID struct {
+		seq uint64
+		id  string
+	}
+	var seqs []seqID
+	for _, id := range ids {
+		if seq, ok := JobSeq(id); ok {
+			seqs = append(seqs, seqID{seq, id})
+		}
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a].seq < seqs[b].seq })
+	var jobs []jobstore.Job
+	for _, s := range seqs {
+		j, err := store.Load(s.id)
+		if err != nil {
+			continue // unrecoverable journal: nothing to index
+		}
+		if j.State == "done" {
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs, nil
+}
+
+// ReconcileStats reports what Reconcile changed.
+type ReconcileStats struct {
+	// Removed lists jobs dropped from the index: their WAL is gone or
+	// no longer terminally done (an evict or crash raced the index).
+	Removed []string
+	// Repaired lists jobs whose indexed cell set drifted from the WAL
+	// and were re-indexed from it.
+	Repaired []string
+}
+
+// Reconcile audits the index against the jobstore and repairs drift
+// in both directions: indexed jobs without a terminally done WAL are
+// removed, and done WALs whose indexed cell count disagrees are
+// re-indexed. cmd/twmd runs this at startup, after recovery scans the
+// datadir and before resumed runs begin mutating either side.
+func (w *Warehouse) Reconcile(store *jobstore.Store) (ReconcileStats, error) {
+	indexed, err := w.IndexedJobs()
+	if err != nil {
+		return ReconcileStats{}, err
+	}
+	jobs, err := doneJobs(store)
+	if err != nil {
+		return ReconcileStats{}, err
+	}
+	var stats ReconcileStats
+	done := make(map[uint64]bool, len(jobs))
+	for _, j := range jobs {
+		seq, _ := JobSeq(j.ID)
+		done[seq] = true
+		want := validResults(j.Done)
+		if indexed[seq] == len(want) && len(want) > 0 {
+			continue
+		}
+		if len(want) == 0 {
+			// Nothing indexable in the WAL; drop any stale entries.
+			if indexed[seq] != 0 {
+				if _, err := w.RemoveJob(seq); err != nil {
+					return stats, err
+				}
+				stats.Removed = append(stats.Removed, j.ID)
+				metReconcileRemoved.Inc()
+			}
+			continue
+		}
+		if indexed[seq] != 0 {
+			if _, err := w.RemoveJob(seq); err != nil {
+				return stats, err
+			}
+		}
+		if err := w.IndexJob(j.ID, j.Done); err != nil {
+			return stats, err
+		}
+		stats.Repaired = append(stats.Repaired, j.ID)
+		metReconcileRepaired.Inc()
+	}
+	for seq := range indexed {
+		if done[seq] {
+			continue
+		}
+		if _, err := w.RemoveJob(seq); err != nil {
+			return stats, err
+		}
+		stats.Removed = append(stats.Removed, JobID(seq))
+		metReconcileRemoved.Inc()
+	}
+	sort.Strings(stats.Removed)
+	sort.Strings(stats.Repaired)
+	return stats, nil
+}

@@ -1,0 +1,123 @@
+package warehouse
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"twmarch/internal/campaign"
+)
+
+// Record is one indexed campaign cell result: the dimension tuple
+// plus the headline counters a query consumer needs. It is the unit
+// both trees store — the warehouse answers queries entirely from
+// records, never from the WALs.
+type Record struct {
+	// Job is the numeric job sequence (see JobSeq) and Cell the cell's
+	// grid index within it.
+	Job  uint64
+	Cell uint32
+	// Dim is the cell's grid-dimension tuple.
+	Dim campaign.Dim
+	// Faults and Detected count the cell's fault population and
+	// detections; TCM and TCP are the generated test and prediction
+	// lengths in operations per address.
+	Faults   int
+	Detected int
+	TCM      int
+	TCP      int
+}
+
+// Key returns the record's composite dimension key.
+func (r Record) Key() Key {
+	return Key{
+		Test:   r.Dim.Test,
+		Width:  uint32(r.Dim.Width),
+		Words:  uint32(r.Dim.Words),
+		Scheme: r.Dim.Scheme,
+		Job:    r.Job,
+		Cell:   r.Cell,
+	}
+}
+
+// appendLP appends a length-prefixed string (uvarint length).
+func appendLP(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// readLP decodes one appendLP string.
+func readLP(b []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < n {
+		return "", nil, fmt.Errorf("warehouse: truncated string in record")
+	}
+	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
+}
+
+// encodeValue serializes the record's non-key payload. Both trees
+// store the same bytes: the primary tree's key carries only
+// (job, cell), so the value repeats the dimensions to make every
+// entry self-describing.
+func encodeValue(r Record) []byte {
+	out := make([]byte, 0, 48)
+	out = appendLP(out, r.Dim.Test)
+	out = binary.AppendUvarint(out, uint64(r.Dim.Width))
+	out = binary.AppendUvarint(out, uint64(r.Dim.Words))
+	out = appendLP(out, r.Dim.Scheme)
+	out = appendLP(out, r.Dim.Mode)
+	out = binary.AppendUvarint(out, uint64(r.Faults))
+	out = binary.AppendUvarint(out, uint64(r.Detected))
+	out = binary.AppendUvarint(out, uint64(r.TCM))
+	out = binary.AppendUvarint(out, uint64(r.TCP))
+	return out
+}
+
+// decodeValue parses an encodeValue payload back into a Record.
+func decodeValue(job uint64, cell uint32, b []byte) (Record, error) {
+	r := Record{Job: job, Cell: cell}
+	var err error
+	if r.Dim.Test, b, err = readLP(b); err != nil {
+		return Record{}, err
+	}
+	ints := [2]*int{&r.Dim.Width, &r.Dim.Words}
+	for _, p := range ints {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return Record{}, fmt.Errorf("warehouse: truncated int in record")
+		}
+		*p = int(n)
+		b = b[sz:]
+	}
+	if r.Dim.Scheme, b, err = readLP(b); err != nil {
+		return Record{}, err
+	}
+	if r.Dim.Mode, b, err = readLP(b); err != nil {
+		return Record{}, err
+	}
+	tails := [4]*int{&r.Faults, &r.Detected, &r.TCM, &r.TCP}
+	for _, p := range tails {
+		n, sz := binary.Uvarint(b)
+		if sz <= 0 {
+			return Record{}, fmt.Errorf("warehouse: truncated counter in record")
+		}
+		*p = int(n)
+		b = b[sz:]
+	}
+	if len(b) != 0 {
+		return Record{}, fmt.Errorf("warehouse: %d trailing bytes in record", len(b))
+	}
+	return r, nil
+}
+
+// recordOf builds the Record for one completed cell result.
+func recordOf(job uint64, r campaign.CellResult) Record {
+	return Record{
+		Job:      job,
+		Cell:     uint32(r.Index),
+		Dim:      r.Cell.Dim(),
+		Faults:   r.Faults,
+		Detected: r.Detected,
+		TCM:      r.TCM,
+		TCP:      r.TCP,
+	}
+}
