@@ -41,6 +41,7 @@ import (
 	"twmarch/internal/symmetric"
 	"twmarch/internal/tomt"
 	"twmarch/internal/trace"
+	"twmarch/internal/tracing"
 	"twmarch/internal/word"
 
 	"twmarch/internal/ecc"
@@ -656,6 +657,34 @@ func BenchmarkE10Characterization(b *testing.B) {
 		}
 	}
 	b.ReportMetric(100*cov, "CFid_coverage_pct")
+}
+
+// BenchmarkTracingHotPath measures one span lifecycle — start, an
+// attr, finish — on the internal/tracing hot path. "sampled" pays the
+// full cost including the ring write; "unsampled" is the early-out a
+// fleet running -trace-sample 0 takes on every span, the number that
+// has to stay negligible for tracing to be safe to leave wired in.
+// scripts/benchdiff gates both.
+func BenchmarkTracingHotPath(b *testing.B) {
+	ctx := context.Background()
+	b.Run("sampled", func(b *testing.B) {
+		tr := tracing.New(tracing.Options{Sample: 1, Capacity: 1024})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.Start(ctx, "bench", tracing.KindInternal)
+			sp.SetAttr("cell", "7")
+			sp.Finish()
+		}
+	})
+	b.Run("unsampled", func(b *testing.B) {
+		tr := tracing.New(tracing.Options{Sample: -1, Capacity: 1024})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, sp := tr.Start(ctx, "bench", tracing.KindInternal)
+			sp.SetAttr("cell", "7")
+			sp.Finish()
+		}
+	})
 }
 
 // BenchmarkMetricsHotPath measures the internal/obs instrumentation

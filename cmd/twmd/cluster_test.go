@@ -183,7 +183,7 @@ func TestClusterEvictionRevokesLeases(t *testing.T) {
 	if st, err := cl.Renew(context.Background(), g.Job, g.LeaseID); err != nil || st != cluster.StatusGone {
 		t.Errorf("renew after evict: %q, %v (want gone)", st, err)
 	}
-	if st, err := cl.Complete(context.Background(), g.Job, g.LeaseID, campaign.CellResult{Cell: *g.Cell}); err != nil || st != cluster.StatusGone {
+	if st, err := cl.Complete(context.Background(), g.Job, g.LeaseID, campaign.CellResult{Cell: *g.Cell}, nil); err != nil || st != cluster.StatusGone {
 		t.Errorf("complete after evict: %q, %v (want gone)", st, err)
 	}
 

@@ -66,6 +66,10 @@
 //	GET    /campaigns/{id}/events    NDJSON stream of per-cell results
 //	GET    /campaigns/{id}/results   fetch the aggregate (canonical
 //	                             JSON; ?format=text for the table)
+//	GET    /campaigns/{id}/trace     the job's span timeline as NDJSON:
+//	                             submit, dispatch, leases, and the
+//	                             worker/cell spans shipped back by the
+//	                             fleet (internal/tracing)
 //	POST   /campaigns/{id}/cancel    cancel a running campaign
 //	DELETE /campaigns/{id}       cancel (if running) and evict the job,
 //	                             freeing its results and journal
@@ -73,11 +77,19 @@
 //	GET    /metrics              Prometheus text exposition (internal/obs)
 //	GET    /debug/runtime        JSON runtime snapshot (goroutines, heap,
 //	                             full registry dump)
+//	GET    /debug/traces         recent traces from the process span
+//	                             ring, NDJSON (filter by trace, job,
+//	                             error, min_dur, limit)
 //	GET    /debug/pprof/...      net/http/pprof profiling surface
 //
+// Every request runs under a tracing span (W3C traceparent in,
+// continued across coordinator leases and worker execution);
+// -trace-sample and -trace-slow tune what the span ring retains.
+//
 // Logs are structured (log/slog): every record carries component=twmd
-// plus job/lease attributes where applicable; -log-format selects
-// text or json.
+// plus job/lease attributes where applicable — and trace/span ids
+// when logged under a traced context; -log-format selects text or
+// json.
 package main
 
 import (
@@ -104,8 +116,27 @@ import (
 	"twmarch/internal/cluster"
 	"twmarch/internal/jobstore"
 	"twmarch/internal/obs"
+	"twmarch/internal/tracing"
 	"twmarch/internal/warehouse"
 )
+
+// jobCollectorCap bounds the spans a single job's timeline retains for
+// GET /campaigns/{id}/trace. Generous relative to the per-completion
+// ship cap: a long campaign's early cells stay on the timeline until
+// the cap, then the collector counts drops instead of growing.
+const jobCollectorCap = 4096
+
+// configureTracing installs the process-wide tracer from the -trace-*
+// flags (shared verbatim by twmd and twmw). A zero or negative sample
+// rate means "head-sample nothing" — spans then survive only through
+// the tail-keep rules (errored, or slower than slow) — which Options
+// expresses as a negative rate (zero is its "default to 1" sentinel).
+func configureTracing(sample float64, slow time.Duration) {
+	if sample <= 0 {
+		sample = -1
+	}
+	tracing.Configure(tracing.Options{Sample: sample, Slow: slow})
+}
 
 // Per-job rate gauges: the one source of truth for cells_per_sec and
 // eta_ns — published from the engine's Progress, read back by both the
@@ -136,9 +167,12 @@ func main() {
 	useWarehouse := fs.Bool("warehouse", true, "with -datadir, maintain the indexed result warehouse behind GET /campaigns/query")
 	addrFile := fs.String("addr-file", "", "write the resolved listen address to this file once serving (lets harnesses use -addr 127.0.0.1:0)")
 	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
+	traceSample := fs.Float64("trace-sample", 1, "tracing head-sample rate in [0,1]; 0 keeps only errored and slow spans")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "tracing tail-keep threshold: unsampled spans at least this slow are retained anyway")
 	fs.Parse(os.Args[1:])
 
-	logger := obs.NewLogger(os.Stderr, *logFormat, "twmd")
+	configureTracing(*traceSample, *traceSlow)
+	logger := obs.NewLogger(os.Stderr, *logFormat, "twmd", nil)
 	eng := campaign.Engine{Workers: *workers}
 	if *once {
 		if err := runOnce(context.Background(), eng, *specPath, *asJSON, os.Stdout); err != nil {
@@ -281,6 +315,12 @@ type job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 	log    *slog.Logger
+	// span is the job's root tracing span (finished in settle) and col
+	// the collector every span on the job's trace lands in — including
+	// the worker-side spans the coordinator records — backing
+	// GET /campaigns/{id}/trace. Both nil for recovered terminal jobs.
+	span *tracing.Span
+	col  *tracing.Collector
 	// abandoned marks a drain-interrupted job: the runner closes the
 	// journal without a terminal marker so a restart resumes it.
 	abandoned atomic.Bool
@@ -492,7 +532,7 @@ func routePattern(r *http.Request) string {
 		}
 		_, sub, _ := strings.Cut(rest, "/")
 		switch sub {
-		case "results", "cancel", "events":
+		case "results", "cancel", "events", "trace":
 			return "/campaigns/{id}/" + sub
 		case "":
 			return "/campaigns/{id}"
@@ -628,6 +668,15 @@ func (s *server) recover() {
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		j.cancel = cancel
+		// Resume the job's journaled trace: the new root span is a remote
+		// child of the pre-restart one, so the submitter's trace id spans
+		// the crash. A missing or corrupt trace file starts a fresh trace.
+		j.col = tracing.NewCollector(jobCollectorCap)
+		ctx = tracing.ContextWithCollector(ctx, j.col)
+		parent, _ := tracing.ParseTraceParent(rec.TraceParent)
+		ctx, j.span = tracing.StartRemote(ctx, "job", tracing.KindInternal, parent)
+		j.span.SetAttr("job", j.id)
+		j.span.SetAttr("resumed", "true")
 		j.logger().Info("recovered job, resuming", "journaled", len(seeded), "cells", len(cells))
 		s.run(ctx, j)
 	}
@@ -721,6 +770,25 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 			j.journal = jn
 		}
 	}
+	// The job's root span continues the submitter's trace: the request
+	// context carries the Instrument server span (itself continuing any
+	// inbound traceparent), and the job span becomes its child even
+	// though the job outlives the request. The traceparent is journaled
+	// so a restart resumes the same trace.
+	j.col = tracing.NewCollector(jobCollectorCap)
+	ctx = tracing.ContextWithCollector(ctx, j.col)
+	var remote tracing.SpanContext
+	if sp := tracing.SpanFromContext(r.Context()); sp != nil {
+		remote = sp.Context()
+	}
+	ctx, j.span = tracing.StartRemote(ctx, "job", tracing.KindInternal, remote)
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("cells", strconv.Itoa(j.cells))
+	if s.store != nil {
+		if err := s.store.WriteTrace(j.id, j.span.Context().TraceParent()); err != nil {
+			j.logger().Warn("journal trace write failed; a restart starts a fresh trace", "err", err)
+		}
+	}
 	s.run(ctx, j)
 
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -729,6 +797,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) {
 		"status":  path.Join("/campaigns", j.id),
 		"results": path.Join("/campaigns", j.id, "results"),
 		"events":  path.Join("/campaigns", j.id, "events"),
+		"trace":   path.Join("/campaigns", j.id, "trace"),
 	})
 }
 
@@ -797,6 +866,15 @@ func (j *job) settle(state, errMsg string, agg *campaign.Aggregate) {
 	j.finished = time.Now()
 	j.state, j.errMsg, j.aggFinal = state, errMsg, agg
 	j.mu.Unlock()
+	switch state {
+	case StateDone:
+		j.span.SetStatus(tracing.StatusOK)
+	case StateCanceled:
+		j.span.SetStatus(tracing.StatusCanceled)
+	default:
+		j.span.SetStatus(tracing.StatusError)
+	}
+	j.span.Finish()
 	j.hub.close()
 	if errMsg != "" {
 		j.logger().Warn("job settled", "state", state, "err", errMsg)
@@ -958,11 +1036,25 @@ func (s *server) campaign(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, st)
 	case sub == "results" && r.Method == http.MethodGet:
 		s.results(w, r, j)
+	case sub == "trace" && r.Method == http.MethodGet:
+		s.trace(w, j)
 	case sub == "events":
 		s.events(w, r, j)
 	default:
 		writeErr(w, http.StatusMethodNotAllowed, "%s /campaigns/%s/%s not supported", r.Method, id, sub)
 	}
+}
+
+// trace serves GET /campaigns/{id}/trace: the job's span timeline —
+// submit, dispatch, every lease, and the worker/cell spans shipped
+// back in completions — as NDJSON in start order. Live jobs show the
+// timeline so far; recovered terminal jobs (no collector) are empty.
+func (s *server) trace(w http.ResponseWriter, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if j.col == nil {
+		return
+	}
+	tracing.Default().ExportNDJSON(w, j.col.Snapshot())
 }
 
 func (s *server) results(w http.ResponseWriter, r *http.Request, j *job) {

@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"twmarch/internal/campaign"
+	"twmarch/internal/cluster"
+	"twmarch/internal/tracing"
+)
+
+// fetchTraceSpans decodes one NDJSON span surface.
+func fetchTraceSpans(t *testing.T, url string) []tracing.SpanRecord {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("GET %s: content type %q", url, ct)
+	}
+	var spans []tracing.SpanRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var rec tracing.SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad span line %q: %v", sc.Bytes(), err)
+		}
+		spans = append(spans, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return spans
+}
+
+// TestTraceEndToEnd is the tracing acceptance e2e: a campaign
+// submitted with a caller-chosen traceparent runs through the cluster
+// path — coordinator dispatch, lease HTTP, worker execution, per-cell
+// simulation, completion shipping — and GET /campaigns/{id}/trace
+// reassembles one contiguous tree on exactly that trace ID.
+func TestTraceEndToEnd(t *testing.T) {
+	coord := cluster.New(cluster.Options{
+		LeaseTTL:  5 * time.Second,
+		IdleRetry: 2 * time.Millisecond,
+	})
+	s := newServer(campaign.Engine{}, 2, nil, coord, nil)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	// Submit with a known traceparent, the way an external caller
+	// carrying its own trace would.
+	root := tracing.SpanContext{Trace: tracing.NewTraceID(), Span: tracing.NewSpanID(), Sampled: true}
+	body, err := json.Marshal(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/campaigns", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	tracing.Inject(req.Header, root)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id, _ := sub["id"].(string)
+	if id == "" {
+		t.Fatalf("submit response: %v", sub)
+	}
+
+	stop := clusterWorkers(t, ts.URL, 2)
+	defer stop()
+	waitState(t, ts, id, StateDone)
+
+	// The job's assembled timeline: every span on the submitter's
+	// trace, including the ones that lived in worker processes.
+	spans := fetchTraceSpans(t, ts.URL+"/campaigns/"+id+"/trace")
+	if len(spans) == 0 {
+		t.Fatal("empty trace timeline for a completed cluster job")
+	}
+	byID := make(map[string]tracing.SpanRecord, len(spans))
+	byName := make(map[string][]tracing.SpanRecord)
+	for _, sp := range spans {
+		if sp.Trace != root.Trace.String() {
+			t.Fatalf("span %s (%s) on trace %s, want the submitted %s",
+				sp.Span, sp.Name, sp.Trace, root.Trace.String())
+		}
+		byID[sp.Span] = sp
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+
+	// One contiguous tree: submit -> job -> dispatch -> lease ->
+	// worker.cell -> campaign.cell, every stage present, every parent
+	// resolvable. The job span's parent is the submit request's server
+	// span, which lives in the ring rather than the job collector.
+	cells := smallSpec().CellCount()
+	if n := len(byName["job"]); n != 1 {
+		t.Fatalf("timeline has %d job spans, want 1 (names: %v)", n, names(byName))
+	}
+	if n := len(byName["cluster.dispatch"]); n != 1 {
+		t.Fatalf("timeline has %d dispatch spans, want 1", n)
+	}
+	if n := len(byName["cluster.lease"]); n < cells {
+		t.Fatalf("timeline has %d lease spans, want >= %d", n, cells)
+	}
+	if n := len(byName["worker.cell"]); n < cells {
+		t.Fatalf("timeline has %d worker.cell spans, want >= %d", n, cells)
+	}
+	if n := len(byName["campaign.cell"]); n != cells {
+		t.Fatalf("timeline has %d campaign.cell spans, want exactly %d", n, cells)
+	}
+	jobSpan := byName["job"][0]
+	for _, sp := range spans {
+		if sp.Span == jobSpan.Span {
+			continue
+		}
+		if sp.Parent == "" {
+			t.Errorf("span %s (%s) has no parent", sp.Span, sp.Name)
+			continue
+		}
+		if _, ok := byID[sp.Parent]; !ok {
+			t.Errorf("orphan span %s (%s): parent %s not in the timeline", sp.Span, sp.Name, sp.Parent)
+		}
+	}
+	// Every completed lease closed ok and every cell span is annotated
+	// with its cell index and fault counts.
+	for _, sp := range byName["cluster.lease"] {
+		if sp.Status != tracing.StatusOK {
+			t.Errorf("lease span %s status %q, want ok", sp.Span, sp.Status)
+		}
+	}
+	for _, sp := range byName["campaign.cell"] {
+		if sp.Attrs["cell"] == "" || sp.Attrs["faults"] == "" {
+			t.Errorf("campaign.cell span %s missing attrs: %v", sp.Span, sp.Attrs)
+		}
+	}
+
+	// The ring surface agrees: /debug/traces filtered to the submitted
+	// trace contains the submit request's server span as a child of the
+	// caller's root span, and the job is findable by id.
+	ringSpans := fetchTraceSpans(t, ts.URL+"/debug/traces?trace="+root.Trace.String())
+	var serverSpan *tracing.SpanRecord
+	for i, sp := range ringSpans {
+		if sp.Kind == tracing.KindServer && sp.Parent == root.Span.String() {
+			serverSpan = &ringSpans[i]
+		}
+	}
+	if serverSpan == nil {
+		t.Fatalf("/debug/traces has no server span parented on the caller's root (got %d spans)", len(ringSpans))
+	}
+	if jobSpan.Parent != serverSpan.Span {
+		t.Errorf("job span parent %s, want the submit server span %s", jobSpan.Parent, serverSpan.Span)
+	}
+	if byJob := fetchTraceSpans(t, ts.URL+"/debug/traces?job="+id); len(byJob) == 0 {
+		t.Error("/debug/traces?job= found nothing for the completed job")
+	}
+}
+
+func names(byName map[string][]tracing.SpanRecord) []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	return out
+}
+
+// TestTraceRestartResume pins the jobstore half of the tentpole: a
+// journaled job interrupted mid-run resumes on the SAME trace ID after
+// a restart, because submit stamped the traceparent into the store.
+func TestTraceRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	coord := cluster.New(cluster.Options{LeaseTTL: 10 * time.Second, IdleRetry: 2 * time.Millisecond})
+	s := newServer(campaign.Engine{}, 1, openStore(t, dir), coord, nil)
+	ts := httptest.NewServer(s)
+
+	root := tracing.SpanContext{Trace: tracing.NewTraceID(), Span: tracing.NewSpanID(), Sampled: true}
+	body, _ := json.Marshal(smallSpec())
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/campaigns", bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	tracing.Inject(req.Header, root)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub map[string]any
+	json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	id, _ := sub["id"].(string)
+
+	// Complete one cell so the journal has progress, then crash.
+	cl := &cluster.Client{Base: ts.URL, Worker: "w0", Backoff: time.Millisecond}
+	var g *cluster.LeaseGrant
+	for {
+		g, err = cl.Lease(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Status == cluster.StatusLease {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rg, ok := tracing.ParseTraceParent(g.TraceParent); !ok || rg.Trace != root.Trace {
+		t.Fatalf("lease grant traceparent %q not on the submitted trace", g.TraceParent)
+	}
+	crash(t, s)
+	ts.Close()
+
+	// Restart on the same journal; the job resumes and completes.
+	s2 := newServer(campaign.Engine{}, 1, openStore(t, dir), cluster.New(cluster.Options{
+		LeaseTTL: 5 * time.Second, IdleRetry: 2 * time.Millisecond}), nil)
+	ts2 := httptest.NewServer(s2)
+	defer ts2.Close()
+	stop := clusterWorkers(t, ts2.URL, 2)
+	defer stop()
+	waitState(t, ts2, id, StateDone)
+
+	spans := fetchTraceSpans(t, ts2.URL+"/campaigns/"+id+"/trace")
+	if len(spans) == 0 {
+		t.Fatal("resumed job has an empty timeline")
+	}
+	for _, sp := range spans {
+		if sp.Trace != root.Trace.String() {
+			t.Fatalf("post-restart span %s (%s) on trace %s, want the pre-restart %s",
+				sp.Span, sp.Name, sp.Trace, root.Trace.String())
+		}
+	}
+	var resumed *tracing.SpanRecord
+	for i, sp := range spans {
+		if sp.Name == "job" && sp.Attrs["resumed"] == "true" {
+			resumed = &spans[i]
+		}
+	}
+	if resumed == nil {
+		t.Fatal("no resumed job span on the timeline")
+	}
+}

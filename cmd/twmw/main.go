@@ -23,8 +23,11 @@
 // -log-format selects text or json. With -metrics-addr the worker
 // serves its own observability sidecar — GET /metrics (Prometheus
 // text exposition covering leases processed, simulation latency,
-// retries and idle time) and /debug/pprof — on a separate listener so
-// the scrape surface never competes with simulation work.
+// retries and idle time), GET /debug/traces (the worker's span ring:
+// each leased cell runs under a span continuing the coordinator's
+// traceparent), and /debug/pprof — on a separate listener so the
+// scrape surface never competes with simulation work. -trace-sample
+// and -trace-slow tune what the span ring retains.
 package main
 
 import (
@@ -42,7 +45,19 @@ import (
 
 	"twmarch/internal/cluster"
 	"twmarch/internal/obs"
+	"twmarch/internal/tracing"
 )
+
+// configureTracing installs the process-wide tracer from the -trace-*
+// flags, mirroring twmd: a zero or negative sample rate head-samples
+// nothing (expressed to Options as a negative rate, since zero is its
+// "default to 1" sentinel), leaving only errored and slow spans.
+func configureTracing(sample float64, slow time.Duration) {
+	if sample <= 0 {
+		sample = -1
+	}
+	tracing.Configure(tracing.Options{Sample: sample, Slow: slow})
+}
 
 // defaultWorkerID names the worker host-pid when -id is not given, so
 // a fleet spawned from one image still reports distinct ids.
@@ -65,8 +80,11 @@ func main() {
 	logFormat := fs.String("log-format", obs.LogText, "structured log format: text or json")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	addrFile := fs.String("addr-file", "", "write the resolved -metrics-addr listen address to this file (lets harnesses use :0)")
+	traceSample := fs.Float64("trace-sample", 1, "tracing head-sample rate in [0,1]; 0 keeps only errored and slow spans")
+	traceSlow := fs.Duration("trace-slow", 250*time.Millisecond, "tracing tail-keep threshold: unsampled spans at least this slow are retained anyway")
 	fs.Parse(os.Args[1:])
 
+	configureTracing(*traceSample, *traceSlow)
 	if *coordinator == "" {
 		fmt.Fprintln(os.Stderr, "twmw: -coordinator is required")
 		os.Exit(2)
@@ -75,7 +93,7 @@ func main() {
 	if worker == "" {
 		worker = defaultWorkerID()
 	}
-	logger := obs.NewLogger(os.Stderr, *logFormat, "twmw").With("worker", worker)
+	logger := obs.NewLogger(os.Stderr, *logFormat, "twmw", nil).With("worker", worker)
 	w := &cluster.Worker{
 		Client:   &cluster.Client{Base: *coordinator, Worker: worker},
 		Parallel: *parallel,

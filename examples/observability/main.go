@@ -35,7 +35,7 @@ import (
 func main() {
 	// Structured logging, as twmw -log-format text configures it: every
 	// record carries component; per-lease records add job/lease/cell.
-	logger := obs.NewLogger(os.Stderr, obs.LogText, "example").With("worker", "twmw-1")
+	logger := obs.NewLogger(os.Stderr, obs.LogText, "example", nil).With("worker", "twmw-1")
 
 	spec := campaign.Spec{
 		Name:    "observability",

@@ -3,9 +3,12 @@ package campaign
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"twmarch/internal/tracing"
 )
 
 // Progress exposes a campaign's completion counters and run timestamps
@@ -159,6 +162,15 @@ func (e Engine) Stream(ctx context.Context, spec Spec, prog *Progress, agg *Aggr
 	if err != nil {
 		return nil, err
 	}
+	var span *tracing.Span
+	ctx, span = tracing.Start(ctx, "campaign.stream", tracing.KindInternal)
+	span.SetAttr("cells", strconv.Itoa(len(cells)))
+	defer func() {
+		if ctx.Err() != nil {
+			span.SetStatus(tracing.StatusCanceled)
+		}
+		span.Finish()
+	}()
 	if agg == nil {
 		agg = NewAggregator(spec)
 	}

@@ -3,6 +3,7 @@ package campaign
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"twmarch/internal/faults"
 	"twmarch/internal/faultsim"
 	"twmarch/internal/march"
+	"twmarch/internal/tracing"
 )
 
 // CellResult is the outcome of simulating one grid cell. Failures are
@@ -108,11 +110,24 @@ func (s *Simulator) RunCell(ctx context.Context, spec Spec, c Cell) CellResult {
 // runCell expects a normalized spec. A non-nil cache shares one fault
 // enumeration per memory geometry across the campaign's cells; ctx
 // cancellation is observed between fault batches, not just between
-// cells, so oversized cells cannot pin a canceled campaign.
+// cells, so oversized cells cannot pin a canceled campaign. It is the
+// single convergence point for engine and worker execution, so the
+// per-cell tracing span — index, test, scheme, fault counts — is
+// emitted here for both.
 func runCell(ctx context.Context, spec Spec, c Cell, cache *faultCache) CellResult {
 	start := time.Now()
+	ctx, span := tracing.Start(ctx, "campaign.cell", tracing.KindInternal)
+	span.SetAttr("cell", strconv.Itoa(c.Index))
+	span.SetAttr("test", c.Test)
+	span.SetAttr("scheme", c.Scheme)
 	res := simulateCell(ctx, spec, c, cache)
 	res.DurationNS = time.Since(start).Nanoseconds()
+	span.SetAttr("faults", strconv.Itoa(res.Faults))
+	span.SetAttr("detected", strconv.Itoa(res.Detected))
+	if res.Err != "" {
+		span.SetStatus(tracing.StatusError)
+	}
+	span.Finish()
 	metCells.Inc()
 	if res.Err != "" {
 		metCellErrors.Inc()

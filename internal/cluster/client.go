@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/tracing"
 )
 
 // Client is the worker side of the /cluster wire protocol: typed
@@ -66,12 +67,13 @@ func (c *Client) Renew(ctx context.Context, job, leaseID string) (string, error)
 	return resp.Status, nil
 }
 
-// Complete reports a simulated cell. StatusOK covers duplicates (the
-// coordinator folds them as no-ops), so retrying a Complete whose
-// response was lost is always safe.
-func (c *Client) Complete(ctx context.Context, job, leaseID string, res campaign.CellResult) (string, error) {
+// Complete reports a simulated cell, shipping along the worker-side
+// spans finished while running it (may be nil). StatusOK covers
+// duplicates (the coordinator folds them as no-ops), so retrying a
+// Complete whose response was lost is always safe.
+func (c *Client) Complete(ctx context.Context, job, leaseID string, res campaign.CellResult, spans []tracing.SpanRecord) (string, error) {
 	var resp CompleteResponse
-	if err := c.post(ctx, "/cluster/complete", CompleteRequest{Worker: c.Worker, Job: job, LeaseID: leaseID, Result: res}, &resp); err != nil {
+	if err := c.post(ctx, "/cluster/complete", CompleteRequest{Worker: c.Worker, Job: job, LeaseID: leaseID, Result: res, Spans: spans}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Status, nil
@@ -91,7 +93,7 @@ func (c *Client) post(ctx context.Context, path string, reqBody, respBody any) e
 	}
 	var last error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.try(ctx, path, raw, respBody)
+		resp, err := c.try(ctx, path, raw, respBody, attempt)
 		if err == nil {
 			return nil
 		}
@@ -112,16 +114,32 @@ func (c *Client) post(ctx context.Context, path string, reqBody, respBody any) e
 	}
 }
 
-// try performs one attempt. The response is returned (with its body
-// drained and closed) alongside the error so the retry loop can read
-// status and Retry-After.
-func (c *Client) try(ctx context.Context, path string, raw []byte, respBody any) (*http.Response, error) {
+// try performs one attempt. When the context carries a tracing span,
+// the attempt runs under its own client span — named after the path,
+// tagged with the attempt number, traceparent injected — so a retried
+// call shows each try on the timeline. A bare context (the worker's
+// idle lease polls) stays span-free and header-free. The response is
+// returned (with its body drained and closed) alongside the error so
+// the retry loop can read status and Retry-After.
+func (c *Client) try(ctx context.Context, path string, raw []byte, respBody any, attempt int) (resp *http.Response, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(raw))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %v", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(req)
+	if tracing.SpanFromContext(ctx) != nil {
+		var span *tracing.Span
+		_, span = tracing.Start(ctx, "cluster"+path, tracing.KindClient)
+		span.SetAttr("attempt", strconv.Itoa(attempt))
+		tracing.Inject(req.Header, span.Context())
+		defer func() {
+			if err != nil {
+				span.SetStatus(tracing.StatusError)
+			}
+			span.Finish()
+		}()
+	}
+	resp, err = c.http().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %s: %v", path, err)
 	}

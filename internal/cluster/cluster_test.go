@@ -247,7 +247,7 @@ func TestDispatchCancelRevokesLeases(t *testing.T) {
 		t.Errorf("renew after cancel: %q, %v (want gone)", st, err)
 	}
 	res := campaign.CellResult{Cell: *g.Cell}
-	if st, err := cl.Complete(context.Background(), g.Job, g.LeaseID, res); err != nil || st != StatusGone {
+	if st, err := cl.Complete(context.Background(), g.Job, g.LeaseID, res, nil); err != nil || st != StatusGone {
 		t.Errorf("complete after cancel: %q, %v (want gone)", st, err)
 	}
 	if g2, err := cl.Lease(context.Background()); err != nil || g2.Status != StatusIdle {

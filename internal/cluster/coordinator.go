@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/tracing"
 )
 
 // Options tunes the coordinator. The zero value gets production
@@ -202,6 +203,7 @@ func (c *Coordinator) Complete(req CompleteRequest, now time.Time) (CompleteResp
 	if err != nil {
 		return CompleteResponse{}, err
 	}
+	q.recordSpans(req.Spans)
 	return CompleteResponse{Status: st}, nil
 }
 
@@ -265,6 +267,16 @@ func (c *Coordinator) Dispatch(ctx context.Context, job string, spec campaign.Sp
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tctx, span := tracing.Start(ctx, "cluster.dispatch", tracing.KindInternal)
+	span.SetAttr("job", job)
+	span.SetAttr("cells", strconv.Itoa(len(cells)))
+	span.SetAttr("pending", strconv.Itoa(len(pending)))
+	defer func() {
+		if ctx.Err() != nil {
+			span.SetStatus(tracing.StatusCanceled)
+		}
+		span.Finish()
+	}()
 	if len(pending) == 0 {
 		a := agg.Snapshot()
 		a.WallClockNS = time.Since(start).Nanoseconds()
@@ -274,7 +286,7 @@ func (c *Coordinator) Dispatch(ctx context.Context, job string, spec campaign.Sp
 	// The queue delivers at most one result per pending cell, so this
 	// buffer guarantees its sends never block while it holds its lock.
 	results := make(chan campaign.CellResult, len(pending))
-	q := newQueue(job, spec, cells, pending, results, c.opts, events)
+	q := newQueue(tctx, job, spec, cells, pending, results, c.opts, events)
 	if err := c.register(job, q); err != nil {
 		return nil, err
 	}

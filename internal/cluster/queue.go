@@ -1,12 +1,15 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"twmarch/internal/campaign"
 	"twmarch/internal/obs"
+	"twmarch/internal/tracing"
 )
 
 // pendingCell is one cell waiting to be leased. eligible gates
@@ -24,6 +27,10 @@ type lease struct {
 	cell     campaign.Cell
 	attempt  int
 	deadline time.Time
+	// span covers the lease's lifetime coordinator-side: grant to
+	// completion (ok), expiry (abandoned), or job end (revoked). Its
+	// identity rides the grant's TraceParent to the worker.
+	span *tracing.Span
 }
 
 // queue is one dispatched job's lease state. It owns the cells the
@@ -48,6 +55,10 @@ type queue struct {
 	results chan<- campaign.CellResult
 	opts    Options
 	events  func(Event)
+	// tctx is the dispatch span's context: lease spans start under it
+	// so they parent to the dispatch span and land in the job's
+	// trace collector.
+	tctx context.Context
 
 	// depth and out are this job's queue-depth and outstanding-lease
 	// gauges, resolved once; close deletes the series.
@@ -58,8 +69,12 @@ type queue struct {
 // newQueue builds the queue for one Dispatch call. cells is the full
 // grid expansion; pending the subset still to simulate (the rest is
 // marked done so a stray completion for a pre-folded cell is a
-// duplicate, not a fold).
-func newQueue(job string, spec campaign.Spec, cells, pending []campaign.Cell, results chan<- campaign.CellResult, opts Options, events func(Event)) *queue {
+// duplicate, not a fold). tctx carries the dispatch span and the
+// job's trace collector (nil means background).
+func newQueue(tctx context.Context, job string, spec campaign.Spec, cells, pending []campaign.Cell, results chan<- campaign.CellResult, opts Options, events func(Event)) *queue {
+	if tctx == nil {
+		tctx = context.Background()
+	}
 	q := &queue{
 		job:     job,
 		spec:    spec,
@@ -69,6 +84,7 @@ func newQueue(job string, spec campaign.Spec, cells, pending []campaign.Cell, re
 		results: results,
 		opts:    opts,
 		events:  events,
+		tctx:    tctx,
 		depth:   metQueueDepth.With(job),
 		out:     metLeasesOut.With(job),
 	}
@@ -134,16 +150,22 @@ func (q *queue) lease(worker string, now time.Time) (*LeaseGrant, time.Duration)
 			attempt:  p.attempt,
 			deadline: now.Add(q.opts.LeaseTTL),
 		}
+		_, l.span = tracing.Start(q.tctx, "cluster.lease", tracing.KindInternal)
+		l.span.SetAttr("job", q.job)
+		l.span.SetAttr("cell", strconv.Itoa(p.cell.Index))
+		l.span.SetAttr("worker", worker)
+		l.span.SetAttr("attempt", strconv.Itoa(p.attempt))
 		q.leases[l.id] = l
 		cell := p.cell
 		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventLease, Cell: cell.Index, Worker: worker, Lease: l.id, Attempt: l.attempt})
 		return &LeaseGrant{
-			Status:  StatusLease,
-			LeaseID: l.id,
-			Job:     q.job,
-			Spec:    &q.spec,
-			Cell:    &cell,
-			TTLNS:   q.opts.LeaseTTL.Nanoseconds(),
+			Status:      StatusLease,
+			LeaseID:     l.id,
+			Job:         q.job,
+			Spec:        &q.spec,
+			Cell:        &cell,
+			TTLNS:       q.opts.LeaseTTL.Nanoseconds(),
+			TraceParent: l.span.Context().TraceParent(),
 		}, 0
 	}
 	return nil, wait
@@ -200,6 +222,8 @@ func (q *queue) complete(leaseID string, res campaign.CellResult, now time.Time)
 	if l, ok := q.leases[leaseID]; ok && l.cell.Index == res.Index {
 		attempt = l.attempt
 		delete(q.leases, leaseID)
+		l.span.SetStatus(tracing.StatusOK)
+		l.span.Finish()
 	}
 	if q.done[res.Index] {
 		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventDuplicate, Cell: res.Index, Lease: leaseID})
@@ -217,6 +241,8 @@ func (q *queue) complete(leaseID string, res campaign.CellResult, now time.Time)
 	for id, l := range q.leases {
 		if l.cell.Index == res.Index {
 			delete(q.leases, id)
+			l.span.SetStatus(tracing.StatusRevoked)
+			l.span.Finish()
 			evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventRevoke, Cell: res.Index, Worker: l.worker, Lease: id, Attempt: l.attempt})
 		}
 	}
@@ -250,6 +276,11 @@ func (q *queue) expireLocked(now time.Time) []Event {
 			continue
 		}
 		delete(q.leases, id)
+		// The holder vanished either way (requeue or abandon): the
+		// lease span closes abandoned, and the loadgen chaos stage
+		// asserts exactly these spans for SIGKILLed workers.
+		l.span.SetStatus(tracing.StatusAbandoned)
+		l.span.Finish()
 		attempt := l.attempt + 1
 		evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventExpire, Cell: l.cell.Index, Worker: l.worker, Lease: id, Attempt: attempt})
 		if attempt >= q.opts.MaxAttempts {
@@ -299,6 +330,8 @@ func (q *queue) close(now time.Time) {
 	if !q.closed {
 		q.closed = true
 		for id, l := range q.leases {
+			l.span.SetStatus(tracing.StatusRevoked)
+			l.span.Finish()
 			evs = append(evs, Event{TimeNS: now.UnixNano(), Kind: EventRevoke, Cell: l.cell.Index, Worker: l.worker, Lease: id, Attempt: l.attempt})
 			delete(q.leases, id)
 		}
@@ -310,6 +343,37 @@ func (q *queue) close(now time.Time) {
 	metQueueDepth.Delete(q.job)
 	metLeasesOut.Delete(q.job)
 	q.emit(evs)
+}
+
+// maxShippedSpans caps how many worker-shipped span records one
+// completion may carry into the ring and collector.
+const maxShippedSpans = 512
+
+// recordSpans folds worker-shipped span records into the process ring
+// and the job's trace collector, so cross-process timelines assemble
+// coordinator-side. Records from a different trace than the job's are
+// dropped — a stale or confused worker must not pollute another job's
+// timeline. A worker retrying a lost completion can deliver the same
+// record twice; duplicates are harmless in both surfaces.
+func (q *queue) recordSpans(recs []tracing.SpanRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	if len(recs) > maxShippedSpans {
+		recs = recs[:maxShippedSpans]
+	}
+	jobTrace := ""
+	if sp := tracing.SpanFromContext(q.tctx); sp != nil {
+		jobTrace = sp.Context().Trace.String()
+	}
+	col := tracing.CollectorFromContext(q.tctx)
+	for _, rec := range recs {
+		if jobTrace != "" && rec.Trace != jobTrace {
+			continue
+		}
+		tracing.Default().Record(rec)
+		col.Add(rec)
+	}
 }
 
 // workerLeases counts worker's outstanding leases.

@@ -44,7 +44,7 @@ func newTestQueue(t *testing.T, spec campaign.Spec, opts Options) (*queue, chan 
 	}
 	results := make(chan campaign.CellResult, len(cells))
 	var events []Event
-	q := newQueue("j1", spec, cells, cells, results, opts, func(ev Event) { events = append(events, ev) })
+	q := newQueue(nil, "j1", spec, cells, cells, results, opts, func(ev Event) { events = append(events, ev) })
 	return q, results, &events
 }
 

@@ -24,7 +24,10 @@
 // expired — answers "gone", telling the worker to abandon the cell.
 package cluster
 
-import "twmarch/internal/campaign"
+import (
+	"twmarch/internal/campaign"
+	"twmarch/internal/tracing"
+)
 
 // Wire statuses returned by the coordinator's /cluster endpoints.
 const (
@@ -62,6 +65,9 @@ type LeaseGrant struct {
 	Cell    *campaign.Cell `json:"cell,omitempty"`
 	TTLNS   int64          `json:"ttl_ns,omitempty"`
 	RetryNS int64          `json:"retry_ns,omitempty"`
+	// TraceParent carries the coordinator-side lease span's identity
+	// so the worker's cell execution continues the job's trace.
+	TraceParent string `json:"traceparent,omitempty"`
 }
 
 // RenewRequest is a lease heartbeat (POST /cluster/renew): it pushes
@@ -88,6 +94,10 @@ type CompleteRequest struct {
 	Job     string              `json:"job"`
 	LeaseID string              `json:"lease_id"`
 	Result  campaign.CellResult `json:"result"`
+	// Spans are the worker-side spans finished while simulating the
+	// leased cell, shipped back so the coordinator can assemble the
+	// job's full cross-process timeline.
+	Spans []tracing.SpanRecord `json:"spans,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. StatusOK covers the

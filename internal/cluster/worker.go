@@ -4,13 +4,20 @@ import (
 	"context"
 	"encoding/json"
 	"log/slog"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"twmarch/internal/campaign"
 	"twmarch/internal/obs"
+	"twmarch/internal/tracing"
 )
+
+// shipCollectorCap bounds the worker-side spans collected per lease
+// for shipping back in the completion (well under the coordinator's
+// maxShippedSpans acceptance cap plus decode limits).
+const shipCollectorCap = 256
 
 // Worker is the lease-poll-simulate-complete loop cmd/twmw runs: each
 // of Parallel slots independently leases a cell, simulates it locally
@@ -171,10 +178,26 @@ func (w *Worker) slot(ctx context.Context) {
 // heartbeat renews at a third of the TTL; a gone response (or a renew
 // that keeps failing past the client's retries) cancels the
 // simulation so the slot stops burning CPU on a dead cell.
+//
+// Tracing: the grant's TraceParent is continued in a worker.cell span
+// so the cell's execution — including the campaign.cell span under it
+// and each renew attempt — stays on the job's trace. Every span
+// finished during the lease collects locally and ships back in the
+// completion, letting the coordinator assemble the cross-process
+// timeline.
 func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 	log := w.log().With("job", g.Job, "lease", g.LeaseID, "cell", g.Cell.Index)
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	col := tracing.NewCollector(shipCollectorCap)
+	cctx = tracing.ContextWithCollector(cctx, col)
+	remote, _ := tracing.ParseTraceParent(g.TraceParent)
+	var span *tracing.Span
+	cctx, span = tracing.StartRemote(cctx, "worker.cell", tracing.KindInternal, remote)
+	span.SetAttr("job", g.Job)
+	span.SetAttr("lease", g.LeaseID)
+	span.SetAttr("cell", strconv.Itoa(g.Cell.Index))
+	span.SetAttr("worker", w.Client.Worker)
 	ttl := time.Duration(g.TTLNS)
 	if ttl <= 0 {
 		ttl = 15 * time.Second
@@ -192,12 +215,12 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 			case <-t.C:
 				st, err := w.Client.Renew(cctx, g.Job, g.LeaseID)
 				if err != nil && cctx.Err() == nil {
-					log.Warn("lease renew failed, abandoning cell", "err", err)
+					log.WarnContext(cctx, "lease renew failed, abandoning cell", "err", err)
 					cancel()
 					return
 				}
 				if st == StatusGone {
-					log.Info("lease gone, abandoning cell")
+					log.InfoContext(cctx, "lease gone, abandoning cell")
 					cancel()
 					return
 				}
@@ -220,19 +243,26 @@ func (w *Worker) runLease(ctx context.Context, g *LeaseGrant) {
 	cancel()
 	hb.Wait()
 	if poisoned || ctx.Err() != nil {
+		span.SetStatus(tracing.StatusAbandoned)
+		span.Finish()
 		metWorkerLeases.With("abandoned").Inc()
 		return
 	}
-	st, err := w.Client.Complete(ctx, g.Job, g.LeaseID, res)
+	// Finish the cell span before completing so it ships in the same
+	// request; the Complete call itself runs as its child (span
+	// identity survives Finish for parenting and injection).
+	span.Finish()
+	tctx := tracing.ContextWithSpan(ctx, span)
+	st, err := w.Client.Complete(tctx, g.Job, g.LeaseID, res, col.Snapshot())
 	switch {
 	case err != nil:
 		metWorkerLeases.With("error").Inc()
-		log.Warn("complete failed", "err", err)
+		log.WarnContext(tctx, "complete failed", "err", err)
 	case st == StatusGone:
 		metWorkerLeases.With("gone").Inc()
-		log.Info("job gone, result discarded")
+		log.InfoContext(tctx, "job gone, result discarded")
 	default:
 		metWorkerLeases.With("completed").Inc()
-		log.Info("cell completed")
+		log.InfoContext(tctx, "cell completed")
 	}
 }

@@ -15,6 +15,8 @@
 //	<id>/dispatch.ndjson cluster scheduling events (lease/requeue/...),
 //	                     append-only; an operator-facing side log that
 //	                     recovery never replays
+//	<id>/trace           the job span's W3C traceparent (atomic rename),
+//	                     so a restarted server resumes the same trace
 //
 // The WAL is written one line per syscall without fsync: a torn tail
 // from a crash is detected on replay and dropped, costing only the
@@ -147,6 +149,9 @@ type Job struct {
 	State string
 	// Err is the terminal marker's error message.
 	Err string
+	// TraceParent is the job span's journaled W3C traceparent, empty
+	// when the job predates tracing or the file was lost.
+	TraceParent string
 }
 
 // terminalMarker is the state.json schema.
@@ -183,7 +188,20 @@ func (s *Store) Load(id string) (Job, error) {
 			j.State, j.Err = m.State, m.Error
 		}
 	}
+	if raw, err := os.ReadFile(filepath.Join(dir, "trace")); err == nil {
+		j.TraceParent = strings.TrimSpace(string(raw))
+	}
 	return j, nil
+}
+
+// WriteTrace journals the job span's traceparent so recovery can
+// resume the job on the same trace. Written once at submission;
+// atomic like the other markers.
+func (s *Store) WriteTrace(id, traceparent string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	return atomicWrite(filepath.Join(s.dir, id, "trace"), []byte(traceparent+"\n"))
 }
 
 // Recover loads every journaled job, sorted by id (numeric-suffix

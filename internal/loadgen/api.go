@@ -60,8 +60,11 @@ func (c *APIClient) observe(endpoint string, fn func() (int, error)) error {
 	return err
 }
 
-// Submit posts a campaign spec and returns the job id.
-func (c *APIClient) Submit(ctx context.Context, spec campaign.Spec) (string, error) {
+// Submit posts a campaign spec and returns the job id. A non-empty
+// traceparent is sent as the W3C header, putting the job's whole span
+// tree on a trace id the harness knows in advance — the hook the
+// post-drain trace-continuity checks hang off.
+func (c *APIClient) Submit(ctx context.Context, spec campaign.Spec, traceparent string) (string, error) {
 	var id string
 	err := c.observe("submit", func() (int, error) {
 		raw, err := json.Marshal(spec)
@@ -73,6 +76,9 @@ func (c *APIClient) Submit(ctx context.Context, spec campaign.Spec) (string, err
 			return 0, err
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
 			return 0, err

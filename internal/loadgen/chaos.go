@@ -258,6 +258,7 @@ func (cc *ChaosController) Run(ctx context.Context) {
 	} else {
 		cc.logf("worker %d kill accounted: %d expiries = %d requeues + %d abandons",
 			victim, cc.Stats.LeaseExpiries, cc.Stats.Requeues, cc.Stats.Abandons)
+		cc.checkAbandonedLeaseSpans(ctx)
 	}
 	if err := cc.Cluster.StartWorker(ctx, victim); err != nil {
 		cc.Rec.Violation("chaos: restart worker %d: %v", victim, err)
@@ -304,6 +305,39 @@ func (cc *ChaosController) Run(ctx context.Context) {
 			cc.Rec.Violation("chaos accounting: %d jobs were live at coordinator SIGKILL but the restart reports zero journal recoveries", hadLive)
 		}
 	}
+}
+
+// checkAbandonedLeaseSpans verifies the kill-mid-lease trace
+// accounting: every lease the victim's death expired must have had its
+// coordinator-side span closed with an "abandoned" status, so the
+// expiries just counted in /metrics are visible on the trace surface
+// too. It must run before the coordinator SIGKILL stage — that wipes
+// the in-memory span ring these spans live in. Abandoned lease spans
+// are tail-kept whatever the sample rate (non-ok status), and errored
+// traces are fresh enough here that ring eviction cannot have claimed
+// all of them, so finding none at all is a real accounting hole.
+func (cc *ChaosController) checkAbandonedLeaseSpans(ctx context.Context) {
+	// The rejected completes of the kill setup each mint a newer errored
+	// trace; a default-sized page of newest-first traces could be all of
+	// those, so ask for enough to reach the job traces behind them.
+	client := &http.Client{Timeout: 5 * time.Second}
+	spans, err := fetchSpans(ctx, client, cc.base()+"/debug/traces?error=true&limit=1000")
+	if err != nil {
+		cc.Rec.Violation("chaos: read /debug/traces after worker kill: %v", err)
+		return
+	}
+	abandoned := 0
+	for _, sp := range spans {
+		if sp.Name == "cluster.lease" && sp.Status == "abandoned" {
+			abandoned++
+		}
+	}
+	if abandoned == 0 {
+		cc.Rec.Violation("chaos: worker kill expired %d leases but no cluster.lease span is closed abandoned in /debug/traces",
+			cc.Stats.LeaseExpiries)
+		return
+	}
+	cc.logf("worker kill traced: %d cluster.lease spans closed abandoned", abandoned)
 }
 
 // liveJobs counts non-terminal campaigns on the coordinator.

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"twmarch/internal/campaign"
+	"twmarch/internal/tracing"
 )
 
 // Config parameterizes one twmload run.
@@ -38,7 +39,12 @@ type trackedJob struct {
 	id       string
 	spec     campaign.Spec
 	canceled bool // the session asked for cancellation
-	final    JobStatus
+	// trace is the session's trace id (32 hex) and parentSpan the span
+	// id the submit's traceparent named as parent — the two facts the
+	// trace-continuity checks verify the fleet's spans against.
+	trace      string
+	parentSpan string
+	final      JobStatus
 }
 
 // Run executes one load/chaos soak: build (if needed) and spawn the
@@ -122,8 +128,9 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		jobs      []*trackedJob
 		submitted atomic.Int64
 	)
-	track := func(id string, spec campaign.Spec, canceled bool) *trackedJob {
-		tj := &trackedJob{id: id, spec: spec, canceled: canceled}
+	track := func(id string, spec campaign.Spec, canceled bool, sc tracing.SpanContext) *trackedJob {
+		tj := &trackedJob{id: id, spec: spec, canceled: canceled,
+			trace: sc.Trace.String(), parentSpan: sc.Span.String()}
 		mu.Lock()
 		jobs = append(jobs, tj)
 		mu.Unlock()
@@ -168,6 +175,10 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	stats := verify(ctx, api, rec, jobs, logf)
 	stats.Submitted = int(submitted.Load())
 
+	// Trace continuity: each completed campaign's span timeline must
+	// hang off the traceparent its session minted, with no orphans.
+	traceChecks(ctx, api, rec, jobs, logf)
+
 	// Final accounting (all profiles; the worker-retry check only
 	// applies when faults were injected).
 	urls := make([]string, 0, cfg.Workers)
@@ -192,9 +203,13 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 // runSession is one client session: submit a campaign, follow it per
 // the plan, think, repeat until the submission deadline or job cap.
+// Every submission carries a traceparent minted here — one trace per
+// submission under a session-known parent span — so after drain the
+// harness can ask the fleet for each job's trace by an id it chose
+// itself and verify the span tree hangs together.
 func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand.Rand,
 	deadline time.Time, maxJobs int, submitted *atomic.Int64,
-	track func(string, campaign.Spec, bool) *trackedJob, logf func(string, ...any)) {
+	track func(string, campaign.Spec, bool, tracing.SpanContext) *trackedJob, logf func(string, ...any)) {
 	if plan.Kind == "query" {
 		runQuerySession(ctx, api, plan, rng, deadline)
 		return
@@ -207,7 +222,8 @@ func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand
 			return
 		}
 		spec := SpecForKind(plan.Kind, rng, n)
-		id, err := api.Submit(ctx, spec)
+		sc := tracing.SpanContext{Trace: tracing.NewTraceID(), Span: tracing.NewSpanID(), Sampled: true}
+		id, err := api.Submit(ctx, spec, sc.TraceParent())
 		if err != nil {
 			// Expected during coordinator outages: count it (Observe
 			// already did) and retry after a beat.
@@ -215,7 +231,7 @@ func runSession(ctx context.Context, api *APIClient, plan SessionPlan, rng *rand
 			continue
 		}
 		submitted.Add(1)
-		tj := track(id, spec, plan.Kind == "cancel")
+		tj := track(id, spec, plan.Kind == "cancel", sc)
 
 		switch plan.Kind {
 		case "cancel":

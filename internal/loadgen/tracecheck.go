@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"twmarch/internal/tracing"
+)
+
+// fetchSpans GETs one NDJSON span surface (GET /debug/traces or
+// GET /campaigns/{id}/trace) and decodes every line. Trace fetches are
+// harness bookkeeping like health polls, so they never land in the
+// latency histograms.
+func fetchSpans(ctx context.Context, client *http.Client, url string) ([]tracing.SpanRecord, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("traces: %s: status %d", url, resp.StatusCode)
+	}
+	var spans []tracing.SpanRecord
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec tracing.SpanRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return spans, fmt.Errorf("traces: %s: decode: %w", url, err)
+		}
+		spans = append(spans, rec)
+	}
+	return spans, sc.Err()
+}
+
+// Traces reads GET /debug/traces with the given raw query string.
+func (c *APIClient) Traces(ctx context.Context, rawQuery string) ([]tracing.SpanRecord, error) {
+	url := c.Base + "/debug/traces"
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	return fetchSpans(ctx, c.httpClient(), url)
+}
+
+// JobTrace reads GET /campaigns/{id}/trace, the job's assembled span
+// timeline.
+func (c *APIClient) JobTrace(ctx context.Context, id string) ([]tracing.SpanRecord, error) {
+	return fetchSpans(ctx, c.httpClient(), c.Base+"/campaigns/"+id+"/trace")
+}
+
+// traceChecks verifies trace continuity for every completed campaign:
+// the spans served for the job — the union of the coordinator's ring
+// (GET /debug/traces, filtered to the session's trace id) and the
+// job's assembled timeline (GET /campaigns/{id}/trace) — must all
+// carry the trace id the session minted, and none may be orphaned.
+//
+// A span is orphaned when its parent is in none of the places a parent
+// can legitimately live: the fetched union, the session's own root
+// span (the traceparent's span id — the harness never records it), the
+// calling process of a server span (a coordinator-side span for an
+// inbound worker request is parented on the worker's client span,
+// which only the worker's own ring holds), or the pre-restart half of
+// a trace a coordinator SIGKILL wiped, which the union's
+// earliest-started span stands in for (a resumed job's root is a
+// remote child of the journaled pre-crash root).
+//
+// A completed job with no spans on either surface is skipped, not
+// flagged: the chaos profile's coordinator kill wipes the in-memory
+// ring and collectors, and the ring evicts old traces under sustained
+// load — absence is not evidence of a broken trace.
+func traceChecks(ctx context.Context, api *APIClient, rec *Recorder, jobs []*trackedJob, logf func(string, ...any)) {
+	checked := 0
+	for _, tj := range jobs {
+		if tj.final.State != "done" || tj.trace == "" {
+			continue
+		}
+		ringSpans, err := api.Traces(ctx, "trace="+tj.trace)
+		if err != nil {
+			rec.Violation("trace: job %s: read /debug/traces: %v", tj.id, err)
+			continue
+		}
+		colSpans, err := api.JobTrace(ctx, tj.id)
+		if err != nil {
+			rec.Violation("trace: job %s: read timeline: %v", tj.id, err)
+			continue
+		}
+		byID := make(map[string]tracing.SpanRecord)
+		var earliest tracing.SpanRecord
+		for _, sp := range append(ringSpans, colSpans...) {
+			if sp.Trace != tj.trace {
+				rec.Violation("trace: job %s: span %s (%s) carries trace %s, session minted %s",
+					tj.id, sp.Span, sp.Name, sp.Trace, tj.trace)
+				continue
+			}
+			if _, ok := byID[sp.Span]; !ok {
+				byID[sp.Span] = sp
+				if earliest.Span == "" || sp.StartNS < earliest.StartNS {
+					earliest = sp
+				}
+			}
+		}
+		if len(byID) == 0 {
+			continue // wiped by a coordinator restart or evicted; see doc comment
+		}
+		for _, sp := range byID {
+			if sp.Parent == "" || sp.Parent == tj.parentSpan ||
+				sp.Kind == tracing.KindServer || sp.Span == earliest.Span {
+				continue
+			}
+			if _, ok := byID[sp.Parent]; !ok {
+				rec.Violation("trace: job %s: orphan span %s (%s): parent %s absent from the %d-span union",
+					tj.id, sp.Span, sp.Name, sp.Parent, len(byID))
+			}
+		}
+		checked++
+	}
+	logf("trace continuity verified on %d completed campaigns", checked)
+}

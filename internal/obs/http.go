@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"strconv"
 	"time"
+
+	"twmarch/internal/tracing"
 )
 
 // HTTP-layer metrics, shared by every Instrument wrapper in the
@@ -23,9 +25,12 @@ var (
 )
 
 // Instrument wraps an HTTP handler with request counting and latency
-// observation on the default registry. route maps a request to its
-// bounded route pattern (e.g. "/campaigns/{id}/events"); nil uses the
-// raw URL path, which is only safe for muxes with a fixed path set.
+// observation on the default registry, and opens a server span per
+// request — continuing the caller's trace when the request carries a
+// traceparent header, starting a fresh one otherwise. route maps a
+// request to its bounded route pattern (e.g.
+// "/campaigns/{id}/events"); nil uses the raw URL path, which is only
+// safe for muxes with a fixed path set.
 func Instrument(component string, next http.Handler, route func(*http.Request) string) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		pattern := r.URL.Path
@@ -33,8 +38,17 @@ func Instrument(component string, next http.Handler, route func(*http.Request) s
 			pattern = route(r)
 		}
 		start := time.Now()
+		remote, _ := tracing.Extract(r.Header)
+		ctx, span := tracing.StartRemote(r.Context(), pattern, tracing.KindServer, remote)
+		span.SetAttr("component", component)
+		span.SetAttr("method", r.Method)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		next.ServeHTTP(sw, r)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		span.SetAttr("code", strconv.Itoa(sw.code))
+		if sw.code >= http.StatusInternalServerError {
+			span.SetStatus(tracing.StatusError)
+		}
+		span.Finish()
 		httpReqs.With(component, pattern, r.Method, strconv.Itoa(sw.code)).Inc()
 		httpDur.With(component, pattern).Observe(time.Since(start).Seconds())
 	})
@@ -115,6 +129,7 @@ func NewRuntimeSnapshot(reg *Registry) RuntimeSnapshot {
 //
 //	/metrics            Prometheus text exposition of reg
 //	/debug/runtime      JSON runtime snapshot (goroutines, heap, registry)
+//	/debug/traces       recent traces from the span ring, as NDJSON
 //	/debug/pprof/...    the standard net/http/pprof handlers
 //
 // cmd/twmd mounts these on its API mux; cmd/twmw serves DebugMux on
@@ -124,6 +139,7 @@ func Mount(mux *http.ServeMux, reg *Registry) {
 		reg = Default()
 	}
 	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/traces", tracing.Handler(nil))
 	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"log/slog"
+
+	"twmarch/internal/tracing"
 )
 
 // Log formats accepted by NewLogger and the daemons' -log-format flag.
@@ -16,17 +19,22 @@ const (
 
 // NewLogger builds a structured logger writing to w in the given
 // format (LogText unless format is LogJSON), with a component
-// attribute — "twmd", "twmw" — on every record. Call-site attributes
-// (job, lease, worker, cell) are added per call or via With, replacing
-// the old hand-rolled "twmd: " prefixes.
-func NewLogger(w io.Writer, format, component string) *slog.Logger {
+// attribute — "twmd", "twmw" — on every record. level bounds the
+// minimum level (nil means slog.LevelInfo). Records logged through
+// the context-aware methods (InfoContext etc.) gain trace and span
+// attrs when the context carries a tracing span, tying log lines to
+// the per-job timelines. Call-site attributes (job, lease, worker,
+// cell) are added per call or via With, replacing the old hand-rolled
+// "twmd: " prefixes.
+func NewLogger(w io.Writer, format, component string, level slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
 	var h slog.Handler
 	if format == LogJSON {
-		h = slog.NewJSONHandler(w, nil)
+		h = slog.NewJSONHandler(w, opts)
 	} else {
-		h = slog.NewTextHandler(w, nil)
+		h = slog.NewTextHandler(w, opts)
 	}
-	l := slog.New(h)
+	l := slog.New(traceHandler{h})
 	if component != "" {
 		l = l.With("component", component)
 	}
@@ -36,5 +44,57 @@ func NewLogger(w io.Writer, format, component string) *slog.Logger {
 // NopLogger returns a logger that discards every record — the default
 // for library types (cluster.Worker) and tests that pass no logger.
 func NopLogger() *slog.Logger {
-	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+	return slog.New(discardHandler{})
+}
+
+// discardHandler drops everything at the Enabled gate, so disabled
+// log calls cost a single virtual call and no formatting. (The stdlib
+// slog.DiscardHandler only exists from Go 1.24; this repo supports
+// 1.21.)
+type discardHandler struct{}
+
+// Enabled reports false for every level.
+func (discardHandler) Enabled(context.Context, slog.Level) bool { return false }
+
+// Handle discards the record.
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+
+// WithAttrs returns the handler unchanged.
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler { return d }
+
+// WithGroup returns the handler unchanged.
+func (d discardHandler) WithGroup(string) slog.Handler { return d }
+
+// traceHandler decorates records with the current tracing identity:
+// when the logging context carries a span, the record gains trace and
+// span attrs, so grepping a trace ID in the logs yields the exact
+// lines interleaved with that trace's spans.
+type traceHandler struct {
+	next slog.Handler
+}
+
+// Enabled defers to the wrapped handler.
+func (h traceHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.next.Enabled(ctx, level)
+}
+
+// Handle adds trace/span attrs from ctx, then forwards.
+func (h traceHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sc := tracing.SpanFromContext(ctx).Context(); sc.Valid() {
+		rec.AddAttrs(
+			slog.String("trace", sc.Trace.String()),
+			slog.String("span", sc.Span.String()),
+		)
+	}
+	return h.next.Handle(ctx, rec)
+}
+
+// WithAttrs forwards and re-wraps, keeping trace decoration.
+func (h traceHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return traceHandler{h.next.WithAttrs(attrs)}
+}
+
+// WithGroup forwards and re-wraps, keeping trace decoration.
+func (h traceHandler) WithGroup(name string) slog.Handler {
+	return traceHandler{h.next.WithGroup(name)}
 }

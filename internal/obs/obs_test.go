@@ -268,7 +268,7 @@ func TestDebugMux(t *testing.T) {
 // component attribute.
 func TestLoggerFormats(t *testing.T) {
 	var buf bytes.Buffer
-	NewLogger(&buf, LogJSON, "twmd").Info("hello", "job", "c1")
+	NewLogger(&buf, LogJSON, "twmd", nil).Info("hello", "job", "c1")
 	var rec map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
 		t.Fatalf("json log line %q: %v", buf.String(), err)
@@ -277,7 +277,7 @@ func TestLoggerFormats(t *testing.T) {
 		t.Errorf("json record %v", rec)
 	}
 	buf.Reset()
-	NewLogger(&buf, LogText, "twmw").Info("hi", "lease", "c1-7")
+	NewLogger(&buf, LogText, "twmw", nil).Info("hi", "lease", "c1-7")
 	line := buf.String()
 	if !strings.Contains(line, "component=twmw") || !strings.Contains(line, "lease=c1-7") {
 		t.Errorf("text record %q", line)

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"sync"
+
+	"twmarch/internal/tracing"
+)
+
+// Tracing counter bridge: the tracing package keeps its own atomic
+// lifetime counters (it cannot import obs — obs imports tracing), so
+// at every gather the deltas since the previous scrape are folded
+// into one counter family. stage is the tracer-lifecycle stage.
+var metTracingSpans = NewCounter("twm_tracing_spans_total",
+	"tracing spans by lifecycle stage: started, finished, sampled (kept in the ring), dropped, exported",
+	"stage")
+
+var tracingBridge struct {
+	mu   sync.Mutex
+	last tracing.Stats
+}
+
+func init() {
+	defaultRegistry.OnGather(func() {
+		cur := tracing.Default().Stats()
+		tracingBridge.mu.Lock()
+		last := tracingBridge.last
+		tracingBridge.last = cur
+		tracingBridge.mu.Unlock()
+		// Configure swaps the tracer and resets its counters; clamp
+		// so a post-swap scrape adds nothing instead of wrapping.
+		add := func(stage string, cur, last uint64) {
+			if cur > last {
+				metTracingSpans.With(stage).Add(float64(cur - last))
+			}
+		}
+		add("started", cur.Started, last.Started)
+		add("finished", cur.Finished, last.Finished)
+		add("sampled", cur.Sampled, last.Sampled)
+		add("dropped", cur.Dropped, last.Dropped)
+		add("exported", cur.Exported, last.Exported)
+	})
+}

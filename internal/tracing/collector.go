@@ -1,0 +1,85 @@
+package tracing
+
+import (
+	"context"
+	"sort"
+	"sync"
+)
+
+// Collector accumulates every span finished under one context
+// regardless of sampling — the per-job sidecar that lets
+// GET /campaigns/{id}/trace serve a complete timeline even after the
+// global ring evicted the job's spans. It is bounded: once cap spans
+// are held, later ones are counted but not stored.
+type Collector struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []SpanRecord
+	dropped int
+}
+
+// NewCollector builds a Collector bounded at cap spans (cap <= 0
+// means 4096).
+func NewCollector(cap int) *Collector {
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &Collector{cap: cap}
+}
+
+// Add stores rec unless the collector is full, in which case the
+// overflow is counted instead.
+func (c *Collector) Add(rec SpanRecord) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if len(c.spans) < c.cap {
+		c.spans = append(c.spans, rec)
+	} else {
+		c.dropped++
+	}
+	c.mu.Unlock()
+}
+
+// Snapshot copies the collected spans, ordered by start time then
+// span ID.
+func (c *Collector) Snapshot() []SpanRecord {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	out := append([]SpanRecord(nil), c.spans...)
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].Span < out[j].Span
+	})
+	return out
+}
+
+// Dropped reports how many spans overflowed the bound.
+func (c *Collector) Dropped() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+type collectorCtxKey struct{}
+
+// ContextWithCollector returns a context under which every finished
+// span is also delivered to c. Attach one per job at submission.
+func ContextWithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, collectorCtxKey{}, c)
+}
+
+// CollectorFromContext returns the context's collector, or nil.
+func CollectorFromContext(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorCtxKey{}).(*Collector)
+	return c
+}

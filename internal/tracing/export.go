@@ -1,0 +1,153 @@
+package tracing
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// sortRecords orders records by start time, breaking ties by span ID
+// — the canonical NDJSON export order.
+func sortRecords(recs []SpanRecord) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].StartNS != recs[j].StartNS {
+			return recs[i].StartNS < recs[j].StartNS
+		}
+		return recs[i].Span < recs[j].Span
+	})
+}
+
+// ExportNDJSON writes recs to w, one JSON object per line, ordered by
+// start time then span ID, and counts each line in the exported stat.
+func (t *Tracer) ExportNDJSON(w io.Writer, recs []SpanRecord) error {
+	recs = append([]SpanRecord(nil), recs...)
+	sortRecords(recs)
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+		t.exported.Add(1)
+	}
+	return nil
+}
+
+// traceGroup is one trace assembled from the ring for /debug/traces.
+type traceGroup struct {
+	id      string
+	startNS int64
+	endNS   int64
+	errored bool
+	jobs    map[string]bool
+	spans   []SpanRecord
+}
+
+// groupTraces folds ring records into per-trace groups.
+func groupTraces(recs []SpanRecord) []*traceGroup {
+	byID := make(map[string]*traceGroup)
+	for _, rec := range recs {
+		g := byID[rec.Trace]
+		if g == nil {
+			g = &traceGroup{id: rec.Trace, startNS: rec.StartNS, endNS: rec.EndNS, jobs: make(map[string]bool)}
+			byID[rec.Trace] = g
+		}
+		if rec.StartNS < g.startNS {
+			g.startNS = rec.StartNS
+		}
+		if rec.EndNS > g.endNS {
+			g.endNS = rec.EndNS
+		}
+		if rec.Status != "" && rec.Status != StatusOK {
+			g.errored = true
+		}
+		if job := rec.Attrs["job"]; job != "" {
+			g.jobs[job] = true
+		}
+		g.spans = append(g.spans, rec)
+	}
+	out := make([]*traceGroup, 0, len(byID))
+	for _, g := range byID {
+		out = append(out, g)
+	}
+	return out
+}
+
+// Handler serves GET /debug/traces: recent traces from the ring as
+// NDJSON span records, newest trace first, spans within a trace in
+// start order. Query parameters filter the output:
+//
+//	trace=<32 hex>    only this trace
+//	job=<id>          only traces touching this campaign
+//	error=true        only traces containing a non-ok span
+//	min_dur=<dur>     only traces at least this long (e.g. 50ms)
+//	limit=<n>         at most n traces (default 20)
+//
+// A nil t serves from the tracer that is Default at request time,
+// surviving a later Configure.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := t
+		if tr == nil {
+			tr = Default()
+		}
+		q := r.URL.Query()
+		limit := 20
+		if v := q.Get("limit"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		var minDur time.Duration
+		if v := q.Get("min_dur"); v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				http.Error(w, "bad min_dur", http.StatusBadRequest)
+				return
+			}
+			minDur = d
+		}
+		wantTrace := q.Get("trace")
+		wantJob := q.Get("job")
+		onlyErrored := q.Get("error") == "true"
+
+		groups := groupTraces(tr.Snapshot())
+		kept := groups[:0]
+		for _, g := range groups {
+			if wantTrace != "" && g.id != wantTrace {
+				continue
+			}
+			if wantJob != "" && !g.jobs[wantJob] {
+				continue
+			}
+			if onlyErrored && !g.errored {
+				continue
+			}
+			if minDur > 0 && time.Duration(g.endNS-g.startNS) < minDur {
+				continue
+			}
+			kept = append(kept, g)
+		}
+		// Newest trace first; ties broken by ID for stable output.
+		sort.Slice(kept, func(i, j int) bool {
+			if kept[i].startNS != kept[j].startNS {
+				return kept[i].startNS > kept[j].startNS
+			}
+			return kept[i].id < kept[j].id
+		})
+		if len(kept) > limit {
+			kept = kept[:limit]
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, g := range kept {
+			if err := tr.ExportNDJSON(w, g.spans); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package tracing
+
+import (
+	"encoding/json"
+	"sync/atomic"
+)
+
+// ring is a bounded lock-free buffer of finished span records.
+// Writers claim a monotonically increasing slot index and store an
+// immutable record; the newest Capacity records survive, older ones
+// are overwritten in place. Readers snapshot by loading each slot's
+// pointer — records are never mutated after being stored, so a torn
+// view is impossible and neither side ever blocks the other.
+//
+// Slots hold records pre-marshaled to JSON rather than live
+// SpanRecord values: a full ring of structs would pin thousands of
+// attr maps and strings as permanent GC roots, taxing every mark
+// cycle of the surrounding process (measurably so in the twmd stream
+// path). A flat byte slice per slot is invisible to the collector's
+// scan; the cost moves to an unmarshal per record on the rare debug
+// scrape instead of every GC cycle in between.
+type ring struct {
+	slots []atomic.Pointer[[]byte]
+	next  atomic.Uint64
+}
+
+func newRing(n int) *ring {
+	return &ring{slots: make([]atomic.Pointer[[]byte], n)}
+}
+
+// put stores rec, overwriting the oldest record once the ring is
+// full.
+func (r *ring) put(rec *SpanRecord) {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return // no SpanRecord field can fail to marshal
+	}
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(&line)
+}
+
+// snapshot decodes the current contents, unordered. Concurrent puts
+// may or may not be observed; each slot read is individually atomic.
+func (r *ring) snapshot() []SpanRecord {
+	out := make([]SpanRecord, 0, len(r.slots))
+	for i := range r.slots {
+		p := r.slots[i].Load()
+		if p == nil {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal(*p, &rec); err != nil {
+			continue // unreachable: slots only ever hold marshaled records
+		}
+		out = append(out, rec)
+	}
+	return out
+}

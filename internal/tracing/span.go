@@ -1,0 +1,342 @@
+package tracing
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds, labeling which side of a boundary a span observes.
+const (
+	// KindServer marks a span opened while handling an incoming
+	// request; its parent usually lives in another process.
+	KindServer = "server"
+	// KindClient marks a span wrapping one outgoing HTTP attempt.
+	KindClient = "client"
+	// KindInternal marks in-process work: job runs, leases, cells.
+	KindInternal = "internal"
+)
+
+// Span statuses. The empty status means the span finished without
+// incident; anything except "" and StatusOK triggers tail-keep.
+const (
+	// StatusOK marks explicit success.
+	StatusOK = "ok"
+	// StatusError marks a failure the caller observed.
+	StatusError = "error"
+	// StatusCanceled marks work stopped by context cancellation.
+	StatusCanceled = "canceled"
+	// StatusAbandoned marks a lease or cell whose owner vanished —
+	// the span was closed by the expiry sweep, not its worker.
+	StatusAbandoned = "abandoned"
+	// StatusRevoked marks a duplicate lease retired because a
+	// sibling completed the cell first, or a lease closed by job end.
+	StatusRevoked = "revoked"
+)
+
+// SpanRecord is the immutable, exportable form of a finished span —
+// one NDJSON line on the wire and one slot in the ring buffer.
+type SpanRecord struct {
+	// Trace is the 32-hex-digit trace ID.
+	Trace string `json:"trace"`
+	// Span is the 16-hex-digit span ID.
+	Span string `json:"span"`
+	// Parent is the parent span ID, empty for a root span.
+	Parent string `json:"parent,omitempty"`
+	// Name is the operation, e.g. "cluster.lease" or "campaign.cell".
+	Name string `json:"name"`
+	// Kind is KindServer, KindClient, or KindInternal.
+	Kind string `json:"kind,omitempty"`
+	// Status is empty or one of the Status constants.
+	Status string `json:"status,omitempty"`
+	// StartNS is the wall-clock start in Unix nanoseconds.
+	StartNS int64 `json:"start_ns"`
+	// EndNS is the wall-clock end in Unix nanoseconds.
+	EndNS int64 `json:"end_ns"`
+	// Attrs are free-form key/value annotations.
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock length.
+func (r SpanRecord) Duration() time.Duration { return time.Duration(r.EndNS - r.StartNS) }
+
+// Options configures a Tracer.
+type Options struct {
+	// Sample is the head-sampling rate in [0,1]. The decision is a
+	// deterministic function of the trace ID, so every process in the
+	// fleet keeps or drops the same traces without coordination.
+	// Default 1 (keep everything).
+	Sample float64
+	// Slow is the tail-keep threshold: an unsampled span at least
+	// this long is recorded anyway. Default 250ms.
+	Slow time.Duration
+	// Capacity is the ring-buffer size in spans. Default 8192.
+	Capacity int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sample == 0 {
+		o.Sample = 1
+	}
+	if o.Sample < 0 {
+		o.Sample = 0
+	}
+	if o.Slow <= 0 {
+		o.Slow = 250 * time.Millisecond
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 8192
+	}
+	return o
+}
+
+// Stats is a snapshot of a Tracer's lifetime counters, bridged into
+// the obs registry as twm_tracing_spans_total{stage=...}.
+type Stats struct {
+	// Started counts spans opened.
+	Started uint64
+	// Finished counts spans closed.
+	Finished uint64
+	// Sampled counts finished spans recorded into the ring (head
+	// sampling, tail-keep, or shipped in via Record).
+	Sampled uint64
+	// Dropped counts finished spans the ring did not keep.
+	Dropped uint64
+	// Exported counts span records written out as NDJSON.
+	Exported uint64
+}
+
+// Tracer owns the sampling policy and the process ring buffer.
+// Methods are safe for concurrent use; the zero value is not usable —
+// construct with New.
+type Tracer struct {
+	opts      Options
+	threshold uint64 // head-sample iff first 8 ID bytes < threshold
+	ring      *ring
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+	sampled  atomic.Uint64
+	dropped  atomic.Uint64
+	exported atomic.Uint64
+}
+
+// New builds a Tracer, applying defaults for zero Options fields.
+// Options.Sample < 0 disables head sampling entirely (tail-keep still
+// applies).
+func New(opts Options) *Tracer {
+	opts = opts.withDefaults()
+	t := &Tracer{opts: opts, ring: newRing(opts.Capacity)}
+	switch {
+	case opts.Sample >= 1:
+		t.threshold = math.MaxUint64
+	default:
+		t.threshold = uint64(opts.Sample * float64(math.MaxUint64))
+	}
+	return t
+}
+
+var defaultTracer atomic.Pointer[Tracer]
+
+func init() { defaultTracer.Store(New(Options{})) }
+
+// Default returns the process-wide tracer.
+func Default() *Tracer { return defaultTracer.Load() }
+
+// Configure replaces the process-wide tracer (daemon startup, after
+// flag parsing). Spans already in flight finish against the tracer
+// they were started on.
+func Configure(opts Options) { defaultTracer.Store(New(opts)) }
+
+// headSample is the deterministic keep/drop decision for a new trace.
+func (t *Tracer) headSample(id TraceID) bool {
+	if t.threshold == math.MaxUint64 {
+		return true
+	}
+	return binary.BigEndian.Uint64(id[:8]) < t.threshold
+}
+
+// Span is one in-flight operation. All methods are nil-safe so call
+// sites never guard; a nil span is an inert no-op.
+type Span struct {
+	tracer *Tracer
+	col    *Collector
+	sc     SpanContext
+	parent SpanID
+	name   string
+	kind   string
+	start  time.Time
+
+	mu     sync.Mutex
+	attrs  map[string]string
+	status string
+	done   bool
+}
+
+// Start opens a span as a child of the context's current span, or as
+// a new root (fresh trace ID, head-sampling decision) when the
+// context carries none. The returned context carries the new span.
+func (t *Tracer) Start(ctx context.Context, name, kind string) (context.Context, *Span) {
+	sp := &Span{
+		tracer: t,
+		col:    CollectorFromContext(ctx),
+		name:   name,
+		kind:   kind,
+		start:  time.Now(),
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp.sc = SpanContext{Trace: parent.sc.Trace, Span: NewSpanID(), Sampled: parent.sc.Sampled}
+		sp.parent = parent.sc.Span
+	} else {
+		id := NewTraceID()
+		sp.sc = SpanContext{Trace: id, Span: NewSpanID(), Sampled: t.headSample(id)}
+	}
+	t.started.Add(1)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartRemote opens a span continuing remote — a SpanContext
+// extracted from a traceparent header or replayed from the jobstore.
+// The remote's sampling decision is respected so a trace is kept or
+// dropped consistently across the fleet. An invalid remote falls back
+// to Start semantics.
+func (t *Tracer) StartRemote(ctx context.Context, name, kind string, remote SpanContext) (context.Context, *Span) {
+	if !remote.Valid() {
+		return t.Start(ctx, name, kind)
+	}
+	sp := &Span{
+		tracer: t,
+		col:    CollectorFromContext(ctx),
+		sc:     SpanContext{Trace: remote.Trace, Span: NewSpanID(), Sampled: remote.Sampled},
+		parent: remote.Span,
+		name:   name,
+		kind:   kind,
+		start:  time.Now(),
+	}
+	t.started.Add(1)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Start opens a span on the default tracer; see Tracer.Start.
+func Start(ctx context.Context, name, kind string) (context.Context, *Span) {
+	return Default().Start(ctx, name, kind)
+}
+
+// StartRemote opens a remote-continuing span on the default tracer;
+// see Tracer.StartRemote.
+func StartRemote(ctx context.Context, name, kind string, remote SpanContext) (context.Context, *Span) {
+	return Default().StartRemote(ctx, name, kind, remote)
+}
+
+// Context returns the span's propagable identity, or the zero
+// SpanContext for a nil span.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// SetAttr annotates the span. Later values win for a repeated key.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// SetStatus sets the span's outcome; the last call before Finish
+// wins. Any status except "" and StatusOK makes the span tail-kept.
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.status = status
+	s.mu.Unlock()
+}
+
+// Finish closes the span, records it into the ring when retained
+// (head-sampled, errored, or slower than the tail-keep threshold),
+// and into the context's Collector unconditionally. Second and later
+// calls are no-ops.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	status := s.status
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	t := s.tracer
+	t.finished.Add(1)
+	keep := s.sc.Sampled ||
+		(status != "" && status != StatusOK) ||
+		dur >= t.opts.Slow
+	if !keep && s.col == nil {
+		t.dropped.Add(1)
+		return
+	}
+	rec := &SpanRecord{
+		Trace:   s.sc.Trace.String(),
+		Span:    s.sc.Span.String(),
+		Name:    s.name,
+		Kind:    s.kind,
+		Status:  status,
+		StartNS: s.start.UnixNano(),
+		EndNS:   s.start.UnixNano() + dur.Nanoseconds(),
+		Attrs:   attrs,
+	}
+	if !s.parent.IsZero() {
+		rec.Parent = s.parent.String()
+	}
+	if s.col != nil {
+		s.col.Add(*rec)
+	}
+	if keep {
+		t.ring.put(rec)
+		t.sampled.Add(1)
+	} else {
+		t.dropped.Add(1)
+	}
+}
+
+// Record stores an externally produced span record into the ring —
+// how the coordinator folds in spans shipped back by workers in
+// CompleteRequest. Records missing trace, span, or name are ignored.
+func (t *Tracer) Record(rec SpanRecord) {
+	if rec.Trace == "" || rec.Span == "" || rec.Name == "" {
+		return
+	}
+	t.ring.put(&rec)
+	t.sampled.Add(1)
+}
+
+// Stats snapshots the tracer's lifetime counters.
+func (t *Tracer) Stats() Stats {
+	return Stats{
+		Started:  t.started.Load(),
+		Finished: t.finished.Load(),
+		Sampled:  t.sampled.Load(),
+		Dropped:  t.dropped.Load(),
+		Exported: t.exported.Load(),
+	}
+}
+
+// Snapshot copies the ring's current contents, unordered.
+func (t *Tracer) Snapshot() []SpanRecord { return t.ring.snapshot() }

@@ -1,0 +1,200 @@
+// Package tracing is the fleet's distributed-tracing layer, built on
+// nothing outside the standard library: 128-bit random trace IDs,
+// W3C trace-context (traceparent) propagation over HTTP, head-based
+// sampling with a tail-keep override for errored and slow spans, a
+// bounded lock-free ring buffer of recently finished spans, and
+// NDJSON export behind GET /debug/traces.
+//
+// A span is opened with Start (child of whatever span the context
+// carries) or StartRemote (continuing a traceparent extracted from an
+// incoming request), annotated with SetAttr/SetStatus, and closed
+// with Finish. Finishing decides retention: head-sampled spans and
+// spans that errored or ran longer than the slow threshold land in
+// the process ring; every finished span additionally lands in the
+// per-job Collector when the context carries one, so a job's own
+// timeline survives ring eviction. Trace identity crosses process
+// boundaries via Inject/Extract on HTTP headers and crosses restarts
+// via the traceparent string persisted in the jobstore.
+package tracing
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// TraceID is a 128-bit trace identifier, rendered as 32 lowercase hex
+// digits on the wire. The zero value is invalid per W3C trace-context.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID is a 64-bit span identifier, rendered as 16 lowercase hex
+// digits on the wire. The zero value is invalid per W3C trace-context.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// idRand buffers crypto/rand behind a mutex: every span needs a few
+// random bytes, and paying a getrandom syscall per ID would put
+// microseconds of syscall latency on each span open in the dispatch
+// hot path. The buffer amortizes one syscall over ~64 IDs at the same
+// entropy.
+var idRand = struct {
+	mu sync.Mutex
+	r  *bufio.Reader
+}{r: bufio.NewReaderSize(rand.Reader, 1024)}
+
+func readID(p []byte) {
+	idRand.mu.Lock()
+	_, err := io.ReadFull(idRand.r, p)
+	idRand.mu.Unlock()
+	if err != nil {
+		// crypto/rand never fails on supported platforms; a counter
+		// fallback would silently weaken ID uniqueness, so treat
+		// failure as the programming error it is.
+		panic("tracing: crypto/rand: " + err.Error())
+	}
+}
+
+// NewTraceID returns a random non-zero trace ID from crypto/rand.
+func NewTraceID() TraceID {
+	var t TraceID
+	for t.IsZero() {
+		readID(t[:])
+	}
+	return t
+}
+
+// NewSpanID returns a random non-zero span ID from crypto/rand.
+func NewSpanID() SpanID {
+	var s SpanID
+	for s.IsZero() {
+		readID(s[:])
+	}
+	return s
+}
+
+// SpanContext is the propagated identity of a span: the trace it
+// belongs to, its own ID, and whether head sampling kept the trace.
+// It is the unit that crosses process boundaries.
+type SpanContext struct {
+	Trace   TraceID
+	Span    SpanID
+	Sampled bool
+}
+
+// Valid reports whether both IDs are non-zero, i.e. the context
+// identifies a real span.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && !sc.Span.IsZero() }
+
+// TraceParent renders the context as a W3C traceparent header value:
+// version 00, then trace ID, span ID, and the sampled flag.
+func (sc SpanContext) TraceParent() string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return "00-" + sc.Trace.String() + "-" + sc.Span.String() + "-" + flags
+}
+
+// ParseTraceParent parses a W3C traceparent header value. It accepts
+// any known-length version except the reserved ff, requires non-zero
+// trace and span IDs, and reads bit 0 of the flags as the sampled
+// flag. ok is false for anything malformed.
+func ParseTraceParent(s string) (sc SpanContext, ok bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 {
+		return SpanContext{}, false
+	}
+	version, traceHex, spanHex, flagsHex := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || version == "ff" || !isHex(version) {
+		return SpanContext{}, false
+	}
+	// isHex accepts only lowercase, as W3C trace-context requires;
+	// hex.DecodeString alone would let uppercase through.
+	if len(traceHex) != 32 || !isHex(traceHex) ||
+		len(spanHex) != 16 || !isHex(spanHex) ||
+		len(flagsHex) != 2 || !isHex(flagsHex) {
+		return SpanContext{}, false
+	}
+	traceRaw, err := hex.DecodeString(traceHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	spanRaw, err := hex.DecodeString(spanHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	copy(sc.Trace[:], traceRaw)
+	copy(sc.Span[:], spanRaw)
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	flags, err := hex.DecodeString(flagsHex)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	sc.Sampled = flags[0]&1 == 1
+	return sc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceParentHeader is the W3C trace-context header name.
+const TraceParentHeader = "traceparent"
+
+// Inject writes sc into h as a traceparent header. Invalid contexts
+// are not written.
+func Inject(h http.Header, sc SpanContext) {
+	if sc.Valid() {
+		h.Set(TraceParentHeader, sc.TraceParent())
+	}
+}
+
+// Extract reads a traceparent header from h. ok is false when the
+// header is absent or malformed.
+func Extract(h http.Header) (SpanContext, bool) {
+	v := h.Get(TraceParentHeader)
+	if v == "" {
+		return SpanContext{}, false
+	}
+	return ParseTraceParent(v)
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span;
+// Start derives children from it and the obs log handler reads it for
+// trace/span log attrs.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil when the context
+// carries none.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}

@@ -1,0 +1,338 @@
+package tracing
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	got, ok := ParseTraceParent(sc.TraceParent())
+	if !ok || got != sc {
+		t.Fatalf("round trip: %+v -> %q -> %+v (ok=%v)", sc, sc.TraceParent(), got, ok)
+	}
+	sc.Sampled = false
+	if got, ok = ParseTraceParent(sc.TraceParent()); !ok || got.Sampled {
+		t.Fatalf("unsampled flag lost: %q -> %+v", sc.TraceParent(), got)
+	}
+	// Future versions with extra fields parse; the flags byte's other
+	// bits are ignored.
+	if got, ok = ParseTraceParent("01-" + sc.Trace.String() + "-" + sc.Span.String() + "-03-extra"); !ok || !got.Sampled {
+		t.Fatalf("future version rejected: %+v ok=%v", got, ok)
+	}
+}
+
+func TestParseTraceParentRejects(t *testing.T) {
+	valid := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}.TraceParent()
+	for _, bad := range []string{
+		"",
+		"garbage",
+		"00-short-span-01",
+		strings.Replace(valid, "00-", "ff-", 1), // reserved version
+		"00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01", // zero trace
+		"00-" + strings.Repeat("a", 32) + "-" + strings.Repeat("0", 16) + "-01", // zero span
+		strings.ToUpper(valid), // W3C requires lowercase hex
+		valid[:len(valid)-1],   // truncated flags
+	} {
+		if sc, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) accepted: %+v", bad, sc)
+		}
+	}
+}
+
+func TestInjectExtract(t *testing.T) {
+	h := http.Header{}
+	sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	Inject(h, sc)
+	if got, ok := Extract(h); !ok || got != sc {
+		t.Fatalf("header round trip: %+v ok=%v", got, ok)
+	}
+	// An invalid context must not write a header.
+	h2 := http.Header{}
+	Inject(h2, SpanContext{})
+	if h2.Get(TraceParentHeader) != "" {
+		t.Fatal("invalid context injected a header")
+	}
+	if _, ok := Extract(h2); ok {
+		t.Fatal("extract from empty headers reported ok")
+	}
+}
+
+// TestHeadSampling: the keep/drop decision is deterministic in the
+// trace ID, children inherit the root's decision, and StartRemote
+// respects the remote flag — so the whole fleet agrees per trace.
+func TestHeadSampling(t *testing.T) {
+	always := New(Options{Sample: 1})
+	never := New(Options{Sample: -1})
+	id := NewTraceID()
+	if !always.headSample(id) {
+		t.Fatal("sample 1 dropped a trace")
+	}
+	if never.headSample(id) {
+		t.Fatal("sample -1 kept a trace")
+	}
+	half := New(Options{Sample: 0.5})
+	for i := 0; i < 32; i++ {
+		id := NewTraceID()
+		if half.headSample(id) != half.headSample(id) {
+			t.Fatal("head sampling not deterministic")
+		}
+	}
+
+	ctx, root := never.Start(context.Background(), "root", KindInternal)
+	_, child := never.Start(ctx, "child", KindInternal)
+	if child.Context().Sampled != root.Context().Sampled {
+		t.Fatal("child did not inherit the root's sampling decision")
+	}
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatal("child left the root's trace")
+	}
+	if child.Context().Span == root.Context().Span {
+		t.Fatal("child reused the root's span ID")
+	}
+
+	remote := SpanContext{Trace: NewTraceID(), Span: NewSpanID(), Sampled: true}
+	_, sp := never.StartRemote(context.Background(), "srv", KindServer, remote)
+	sc := sp.Context()
+	if !sc.Sampled || sc.Trace != remote.Trace || sc.Span == remote.Span {
+		t.Fatalf("StartRemote mangled the remote context: %+v from %+v", sc, remote)
+	}
+	sp.Finish()
+	if got := len(never.Snapshot()); got != 1 {
+		t.Fatalf("remote-sampled span not in ring: %d records", got)
+	}
+}
+
+// TestTailKeep: with head sampling off, only errored and slow spans
+// reach the ring — the "interesting 1% is never dropped" rule.
+func TestTailKeep(t *testing.T) {
+	tr := New(Options{Sample: -1, Slow: 10 * time.Millisecond})
+
+	_, fast := tr.Start(context.Background(), "fast", KindInternal)
+	fast.Finish()
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("fast clean span kept: %d records", got)
+	}
+
+	_, errored := tr.Start(context.Background(), "errored", KindInternal)
+	errored.SetStatus(StatusError)
+	errored.Finish()
+	_, slow := tr.Start(context.Background(), "slow", KindInternal)
+	time.Sleep(15 * time.Millisecond)
+	slow.Finish()
+	recs := tr.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("tail-keep recorded %d spans, want errored + slow", len(recs))
+	}
+	st := tr.Stats()
+	if st.Started != 3 || st.Finished != 3 || st.Sampled != 2 || st.Dropped != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// An explicit ok status is success, not tail-keep bait.
+	_, okSpan := tr.Start(context.Background(), "ok", KindInternal)
+	okSpan.SetStatus(StatusOK)
+	okSpan.Finish()
+	if got := len(tr.Snapshot()); got != 2 {
+		t.Fatalf("ok-status span tail-kept: %d records", got)
+	}
+}
+
+// TestCollectorCompleteness: the per-job collector receives every
+// finished span under its context regardless of sampling, so a job
+// timeline is whole even at sample 0; drops past the cap are counted.
+func TestCollectorCompleteness(t *testing.T) {
+	tr := New(Options{Sample: -1})
+	col := NewCollector(4)
+	ctx := ContextWithCollector(context.Background(), col)
+	for i := 0; i < 6; i++ {
+		_, sp := tr.Start(ctx, "cell", KindInternal)
+		sp.Finish()
+	}
+	if got := len(col.Snapshot()); got != 4 {
+		t.Fatalf("collector holds %d spans, want the cap 4", got)
+	}
+	if col.Dropped() != 2 {
+		t.Fatalf("collector dropped %d, want 2", col.Dropped())
+	}
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("unsampled spans leaked into the ring: %d", got)
+	}
+	// Nil-safety: a nil collector and a nil span are inert.
+	var nilCol *Collector
+	nilCol.Add(SpanRecord{})
+	if nilCol.Snapshot() != nil || nilCol.Dropped() != 0 {
+		t.Fatal("nil collector not inert")
+	}
+	var nilSpan *Span
+	nilSpan.SetAttr("k", "v")
+	nilSpan.SetStatus(StatusError)
+	nilSpan.Finish()
+	if nilSpan.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+}
+
+// TestRecordValidation: worker-shipped records without identity are
+// refused instead of polluting the ring.
+func TestRecordValidation(t *testing.T) {
+	tr := New(Options{})
+	tr.Record(SpanRecord{Span: "b", Name: "n"})
+	tr.Record(SpanRecord{Trace: "a", Name: "n"})
+	tr.Record(SpanRecord{Trace: "a", Span: "b"})
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("invalid records stored: %d", got)
+	}
+	tr.Record(SpanRecord{Trace: "a", Span: "b", Name: "n"})
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("valid record not stored: %d", got)
+	}
+}
+
+// TestRingConcurrency is the race test for the lock-free ring: many
+// writers wrapping a small ring while readers snapshot continuously.
+// Run under -race (CI does); correctness here is "every snapshot entry
+// is a whole record" — torn or nil entries mean the ring broke.
+func TestRingConcurrency(t *testing.T) {
+	tr := New(Options{Sample: 1, Capacity: 64})
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, rec := range tr.Snapshot() {
+					if rec.Trace == "" || rec.Span == "" || rec.Name == "" {
+						t.Error("snapshot returned a torn record")
+						return
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_, sp := tr.Start(context.Background(), "spin", KindInternal)
+				sp.SetAttr("k", "v")
+				sp.Finish()
+			}
+		}()
+	}
+	for tr.Stats().Finished < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	recs := tr.Snapshot()
+	if len(recs) != 64 {
+		t.Fatalf("full ring snapshot has %d records, want the capacity 64", len(recs))
+	}
+	if st := tr.Stats(); st.Sampled != writers*perWriter {
+		t.Fatalf("sampled %d, want %d", st.Sampled, writers*perWriter)
+	}
+}
+
+// TestExportNDJSONGolden pins the export wire format and ordering:
+// spans sort by start time with span-ID tie-breaks, one compact JSON
+// object per line, empty fields omitted.
+func TestExportNDJSONGolden(t *testing.T) {
+	tr := New(Options{})
+	recs := []SpanRecord{
+		{Trace: "0af7651916cd43dd8448eb211c80319c", Span: "b7ad6b7169203331", Name: "late", StartNS: 300, EndNS: 400},
+		{Trace: "0af7651916cd43dd8448eb211c80319c", Span: "00f067aa0ba902b7", Parent: "b7ad6b7169203331",
+			Name: "cell", Kind: KindInternal, Status: StatusError, StartNS: 100, EndNS: 250,
+			Attrs: map[string]string{"cell": "3"}},
+		{Trace: "0af7651916cd43dd8448eb211c80319c", Span: "aaaaaaaaaaaaaaaa", Name: "tie-low", StartNS: 100, EndNS: 150},
+	}
+	var buf bytes.Buffer
+	if err := tr.ExportNDJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	golden := `{"trace":"0af7651916cd43dd8448eb211c80319c","span":"00f067aa0ba902b7","parent":"b7ad6b7169203331","name":"cell","kind":"internal","status":"error","start_ns":100,"end_ns":250,"attrs":{"cell":"3"}}
+{"trace":"0af7651916cd43dd8448eb211c80319c","span":"aaaaaaaaaaaaaaaa","name":"tie-low","start_ns":100,"end_ns":150}
+{"trace":"0af7651916cd43dd8448eb211c80319c","span":"b7ad6b7169203331","name":"late","start_ns":300,"end_ns":400}
+`
+	if buf.String() != golden {
+		t.Errorf("export diverged from golden:\n got: %q\nwant: %q", buf.String(), golden)
+	}
+	// The input slice must not be reordered in place.
+	if recs[0].Name != "late" {
+		t.Error("ExportNDJSON reordered the caller's slice")
+	}
+	if st := tr.Stats(); st.Exported != 3 {
+		t.Errorf("exported stat %d, want 3", st.Exported)
+	}
+}
+
+// TestDebugTracesHandler drives GET /debug/traces through its filters.
+func TestDebugTracesHandler(t *testing.T) {
+	tr := New(Options{Sample: 1})
+	mk := func(name, status, job string) SpanRecord {
+		sc := SpanContext{Trace: NewTraceID(), Span: NewSpanID()}
+		rec := SpanRecord{Trace: sc.Trace.String(), Span: sc.Span.String(), Name: name,
+			Status: status, StartNS: 1000, EndNS: 2000}
+		if job != "" {
+			rec.Attrs = map[string]string{"job": job}
+		}
+		return rec
+	}
+	okRec := mk("clean", "", "c1")
+	errRec := mk("broken", StatusError, "c2")
+	tr.Record(okRec)
+	tr.Record(errRec)
+	ts := httptest.NewServer(Handler(tr))
+	defer ts.Close()
+
+	get := func(query string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get(""); code != http.StatusOK ||
+		!strings.Contains(body, okRec.Trace) || !strings.Contains(body, errRec.Trace) {
+		t.Fatalf("unfiltered: code %d body %q", code, body)
+	}
+	if _, body := get("?error=true"); strings.Contains(body, okRec.Trace) || !strings.Contains(body, errRec.Trace) {
+		t.Fatalf("error filter: %q", body)
+	}
+	if _, body := get("?job=c1"); !strings.Contains(body, okRec.Trace) || strings.Contains(body, errRec.Trace) {
+		t.Fatalf("job filter: %q", body)
+	}
+	if _, body := get("?trace=" + errRec.Trace); strings.Contains(body, okRec.Trace) {
+		t.Fatalf("trace filter: %q", body)
+	}
+	if _, body := get("?min_dur=1h"); strings.Contains(body, okRec.Trace) || strings.Contains(body, errRec.Trace) {
+		t.Fatalf("min_dur filter: %q", body)
+	}
+	if _, body := get("?limit=1"); strings.Count(body, "\n") != 1 {
+		t.Fatalf("limit=1 returned %d lines: %q", strings.Count(body, "\n"), body)
+	}
+	for _, bad := range []string{"?limit=0", "?limit=x", "?min_dur=fast"} {
+		if code, _ := get(bad); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", bad, code)
+		}
+	}
+}

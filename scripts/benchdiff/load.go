@@ -10,6 +10,11 @@ package main
 // not single-digit drift. A report carrying violations fails the gate
 // outright, whatever the latencies: byte-identity and fault accounting
 // are correctness, not performance.
+//
+// On top of the relative drift gate, the baseline's optional "slo"
+// block sets absolute per-endpoint p99 ceilings. The drift gate asks
+// "did this PR slow us down?"; the SLO gate asks "are we honoring the
+// latency promise at all?" — the nightly soak fails on either.
 
 import (
 	"encoding/json"
@@ -51,6 +56,49 @@ type LoadBaseline struct {
 	Seed    int64  `json:"seed"`
 	// Endpoints maps endpoint name to its recorded stats.
 	Endpoints map[string]loadgen.EndpointStats `json:"endpoints"`
+	// SLO maps endpoint name to its hand-set service-level objective.
+	// Unlike Endpoints, these are absolute promises, not measurements:
+	// -update carries them forward untouched, and the gate fails on any
+	// breach regardless of how the relative drift check fares — a soak
+	// may be within 4x of a fast baseline and still burn the SLO, or
+	// drift 3x against a very fast baseline while honoring it.
+	SLO map[string]SLOTarget `json:"slo,omitempty"`
+}
+
+// SLOTarget is one endpoint's objective. Zero fields are not gated.
+type SLOTarget struct {
+	// P99NS is the p99 latency ceiling in nanoseconds.
+	P99NS int64 `json:"p99_ns"`
+}
+
+// gateSLO checks fresh endpoint stats against the absolute targets.
+// Endpoints missing from the fresh report are gateLoad's problem; an
+// SLO naming an endpoint the baseline doesn't track is still gated.
+func gateSLO(slo map[string]SLOTarget, fresh map[string]loadgen.EndpointStats) (report []string, failures []string) {
+	names := make([]string, 0, len(slo))
+	for n := range slo {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		target := slo[n]
+		if target.P99NS <= 0 {
+			continue
+		}
+		f, ok := fresh[n]
+		if !ok {
+			continue
+		}
+		status := "ok  "
+		if f.P99NS > target.P99NS {
+			status = "FAIL"
+			failures = append(failures, n)
+		}
+		report = append(report, fmt.Sprintf("%s %-8s SLO p99 %10v   fresh p99 %10v  (%5.1f%% of budget)",
+			status, n, time.Duration(target.P99NS), time.Duration(f.P99NS),
+			100*float64(f.P99NS)/float64(target.P99NS)))
+	}
+	return report, failures
 }
 
 // gateLoad compares fresh endpoint stats against the baseline.
@@ -117,11 +165,17 @@ func runLoad(reportPath, basePath string, threshold float64, update bool, note s
 				" -report load-report.json && go run ./scripts/benchdiff -load load-report.json -update"
 		}
 		base := LoadBaseline{Note: note, Profile: rep.Profile, Seed: rep.Seed, Endpoints: rep.Endpoints}
+		// The SLO block is a hand-set promise, not a measurement: a
+		// baseline refresh must never silently loosen or drop it.
+		var prev LoadBaseline
+		if err := readJSON(basePath, &prev); err == nil {
+			base.SLO = prev.SLO
+		}
 		if err := writeJSONAny(basePath, base); err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "benchdiff: load baseline %s updated with %d endpoints (profile %s seed %d)\n",
-			basePath, len(rep.Endpoints), rep.Profile, rep.Seed)
+		fmt.Fprintf(stdout, "benchdiff: load baseline %s updated with %d endpoints (profile %s seed %d; %d SLO targets kept)\n",
+			basePath, len(rep.Endpoints), rep.Profile, rep.Seed, len(base.SLO))
 		return nil
 	}
 
@@ -137,12 +191,20 @@ func runLoad(reportPath, basePath string, threshold float64, update bool, note s
 			basePath, base.Profile, rep.Profile)
 	}
 	report, failures := gateLoad(base.Endpoints, rep.Endpoints, threshold)
-	for _, l := range report {
+	sloReport, sloFailures := gateSLO(base.SLO, rep.Endpoints)
+	for _, l := range append(report, sloReport...) {
 		fmt.Fprintln(stdout, l)
 	}
-	if len(failures) > 0 {
+	switch {
+	case len(failures) > 0 && len(sloFailures) > 0:
+		return fmt.Errorf("benchdiff: %d endpoint(s) regressed beyond %.0f%%: %v; %d endpoint(s) burned their SLO: %v",
+			len(failures), 100*threshold, failures, len(sloFailures), sloFailures)
+	case len(failures) > 0:
 		return fmt.Errorf("benchdiff: %d endpoint(s) regressed beyond %.0f%%: %v", len(failures), 100*threshold, failures)
+	case len(sloFailures) > 0:
+		return fmt.Errorf("benchdiff: %d endpoint(s) burned their p99 SLO: %v", len(sloFailures), sloFailures)
 	}
-	fmt.Fprintf(stdout, "benchdiff: %d endpoints within %.0f%% of baseline, zero violations\n", len(base.Endpoints), 100*threshold)
+	fmt.Fprintf(stdout, "benchdiff: %d endpoints within %.0f%% of baseline, %d SLO targets honored, zero violations\n",
+		len(base.Endpoints), 100*threshold, len(base.SLO))
 	return nil
 }

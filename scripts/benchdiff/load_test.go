@@ -87,6 +87,74 @@ func TestLoadGate(t *testing.T) {
 	}
 }
 
+// TestLoadGateSLO: the absolute SLO block fails the gate on a burn
+// even when the relative drift check passes, and -update carries the
+// hand-set targets forward instead of dropping them.
+func TestLoadGateSLO(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "LOAD_BASELINE.json")
+	baseRep := loadgen.Report{
+		Profile: "chaos", Seed: 1, Workers: 3,
+		Endpoints: map[string]loadgen.EndpointStats{
+			"submit": ep(1_000_000, 10_000_000),
+			"status": ep(500_000, 5_000_000),
+		},
+		Violations: []string{},
+	}
+	repPath := writeLoadReport(t, dir, "base-report.json", baseRep)
+	var out strings.Builder
+	if err := run([]string{"-load", repPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-set an SLO: submit p99 must stay under 20ms.
+	var base LoadBaseline
+	if err := readJSON(basePath, &base); err != nil {
+		t.Fatal(err)
+	}
+	base.SLO = map[string]SLOTarget{"submit": {P99NS: 20_000_000}}
+	if err := writeJSONAny(basePath, base); err != nil {
+		t.Fatal(err)
+	}
+
+	// Within both gates: passes, and the SLO line is reported.
+	out.Reset()
+	if err := run([]string{"-load", repPath, "-baseline", basePath}, &out); err != nil {
+		t.Fatalf("SLO-honoring report failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "SLO p99") || !strings.Contains(out.String(), "1 SLO targets honored") {
+		t.Fatalf("SLO not reported:\n%s", out.String())
+	}
+
+	// 25ms p99 is only 2.5x the 10ms baseline — well inside the 4x
+	// drift gate — but burns the 20ms SLO. The gate must fail on the
+	// SLO alone.
+	burn := baseRep
+	burn.Endpoints = map[string]loadgen.EndpointStats{
+		"submit": ep(1_000_000, 25_000_000),
+		"status": ep(500_000, 5_000_000),
+	}
+	burnPath := writeLoadReport(t, dir, "burn-report.json", burn)
+	out.Reset()
+	err := run([]string{"-load", burnPath, "-baseline", basePath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "SLO") || !strings.Contains(err.Error(), "submit") {
+		t.Fatalf("SLO burn not caught: err=%v\n%s", err, out.String())
+	}
+
+	// A baseline refresh keeps the hand-set SLO block.
+	out.Reset()
+	if err := run([]string{"-load", repPath, "-baseline", basePath, "-update"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var refreshed LoadBaseline
+	if err := readJSON(basePath, &refreshed); err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.SLO["submit"].P99NS != 20_000_000 {
+		t.Fatalf("-update dropped the SLO block: %+v", refreshed.SLO)
+	}
+}
+
 func TestLoadGateRefusesViolationsAndProfileMismatch(t *testing.T) {
 	dir := t.TempDir()
 	basePath := filepath.Join(dir, "LOAD_BASELINE.json")
